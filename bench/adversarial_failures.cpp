@@ -1,0 +1,185 @@
+// Stress tests beyond the paper's random-failure model:
+//
+// 1. Failure *placement*: one contiguous ring arc vs the same number of
+//    scattered random failures. The counter-intuitive result (which the
+//    §5.1 partition discussion predicts once you see it): a localized
+//    outage leaves the survivors' d-links path-connected — the ring minus
+//    one arc is a chain, and RINGCAST completes over it even at F = 2.
+//    Scattered failures are the *hard* case: they cut the ring into many
+//    partitions whose bridging falls entirely to the r-links. RANDCAST is
+//    indifferent to placement (it has no structure to destroy).
+//
+// 2. Heavy-tailed (Pareto) session churn vs the paper's geometric model
+//    at matched mean lifetime. Real traces (Saroiu et al.) are heavy-
+//    tailed: most sessions are short, so deaths concentrate on nodes
+//    whose ring integration just finished, and the ring carries more
+//    stale links at the same average turnover.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "analysis/stack.hpp"
+#include "bench_common.hpp"
+#include "cast/selector.hpp"
+#include "common/table.hpp"
+#include "sim/churn.hpp"
+#include "sim/failures.hpp"
+#include "sim/session_churn.hpp"
+
+namespace {
+
+using namespace vs07;
+
+void arcVsRandom(const bench::Scale& scale) {
+  std::printf("--- random kill vs contiguous ring-arc kill (10%% dead), "
+              "miss%% ---\n");
+  Table table({"protocol", "fanout", "random_kill", "arc_kill"});
+  for (const bool multiRing : {false, true}) {
+    for (const std::uint32_t fanout : {2u, 3u, 5u}) {
+      std::vector<std::string> row{
+          multiRing ? "MultiRing(2)" : "RingCast", std::to_string(fanout)};
+      for (const bool arc : {false, true}) {
+        analysis::StackConfig config;
+        config.nodes = scale.nodes;
+        config.rings = multiRing ? 2 : 1;
+        config.seed = scale.seed + fanout + (multiRing ? 100 : 0);
+        analysis::ProtocolStack stack(config);
+        stack.warmup();
+        Rng killRng(config.seed ^ 0xA5C);
+        if (arc)
+          sim::killContiguousArc(stack.network(), 0.10, killRng);
+        else
+          sim::killRandomFraction(stack.network(), 0.10, killRng);
+        const auto snapshot =
+            multiRing ? stack.snapshotMultiRing() : stack.snapshotRing();
+        const cast::RingCastSelector selector;
+        const auto point = analysis::measureEffectiveness(
+            snapshot, selector, fanout, scale.runs, config.seed + 7);
+        row.push_back(fmtLog(point.avgMissPercent));
+      }
+      table.addRow(std::move(row));
+    }
+  }
+  // RandCast baseline: indifferent to *where* the dead sit on the ring.
+  for (const std::uint32_t fanout : {3u}) {
+    std::vector<std::string> row{"RandCast", std::to_string(fanout)};
+    for (const bool arc : {false, true}) {
+      analysis::StackConfig config;
+      config.nodes = scale.nodes;
+      config.seed = scale.seed + 55;
+      analysis::ProtocolStack stack(config);
+      stack.warmup();
+      Rng killRng(config.seed ^ 0xA5C);
+      if (arc)
+        sim::killContiguousArc(stack.network(), 0.10, killRng);
+      else
+        sim::killRandomFraction(stack.network(), 0.10, killRng);
+      const cast::RandCastSelector selector;
+      const auto point = analysis::measureEffectiveness(
+          stack.snapshotRandom(), selector, fanout, scale.runs,
+          config.seed + 7);
+      row.push_back(fmtLog(point.avgMissPercent));
+    }
+    table.addRow(std::move(row));
+  }
+  std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
+             stdout);
+}
+
+void churnModels(const bench::Scale& scale, double meanLifetime) {
+  // Fixed cycle budget (3x the mean lifetime) instead of full turnover:
+  // Pareto's longest initial sessions would otherwise dominate runtime
+  // without changing the comparison.
+  const auto budget = static_cast<std::uint64_t>(3 * meanLifetime);
+  constexpr std::uint32_t kNetworks = 2;  // average out network-level noise
+  std::printf("\n--- geometric vs heavy-tailed churn at mean lifetime %.0f "
+              "cycles (%llu churn cycles, %u networks/model): RingCast "
+              "miss%% ---\n",
+              meanLifetime, static_cast<unsigned long long>(budget),
+              kNetworks);
+  Table table({"churn_model", "F=2", "F=3", "F=6", "young_miss_share%"});
+  for (const bool pareto : {false, true}) {
+    const std::uint32_t runs = std::max(50u, scale.runs);
+    std::array<double, 3> missSum{};
+    std::uint64_t young = 0;
+    std::uint64_t total = 0;
+    for (std::uint32_t net = 0; net < kNetworks; ++net) {
+      analysis::StackConfig config;
+      config.nodes = scale.nodes;
+      config.seed = scale.seed + (pareto ? 1 : 2) + net * 1000;
+      analysis::ProtocolStack stack(config);
+      stack.warmup();
+
+      std::unique_ptr<sim::Control> churn;
+      if (pareto) {
+        auto control = std::make_unique<sim::SessionChurnControl>(
+            stack.network(), sim::paretoForMeanLifetime(meanLifetime, 1.5),
+            config.seed + 3);
+        control->addJoinHandler(stack.cyclon());
+        control->addJoinHandler(stack.rings());
+        churn = std::move(control);
+      } else {
+        auto control = std::make_unique<sim::ChurnControl>(
+            stack.network(), 1.0 / meanLifetime, config.seed + 3);
+        control->addJoinHandler(stack.cyclon());
+        control->addJoinHandler(stack.rings());
+        churn = std::move(control);
+      }
+      stack.engine().addControl(*churn);
+      stack.engine().run(budget);
+
+      const auto now = stack.engine().cycle();
+      const cast::RingCastSelector selector;
+      const std::array<std::uint32_t, 3> fanouts{2u, 3u, 6u};
+      for (std::size_t i = 0; i < fanouts.size(); ++i) {
+        const auto study = analysis::measureMissLifetimes(
+            stack.snapshotRing(), selector, stack.network(), now,
+            fanouts[i], runs, config.seed + fanouts[i]);
+        missSum[i] += study.effectiveness.avgMissPercent;
+        for (const auto& [lifetime, count] :
+             study.missedLifetimes.sorted()) {
+          total += count;
+          young += lifetime <= 20 ? count : 0;
+        }
+      }
+    }
+    std::vector<std::string> row{pareto ? "pareto(a=1.5)" : "geometric"};
+    for (const double sum : missSum) row.push_back(fmtLog(sum / kNetworks));
+    row.push_back(total == 0 ? "-" : fmt(100.0 * young / total, 1));
+    table.addRow(std::move(row));
+  }
+  std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
+             stdout);
+  std::printf(
+      "\nheavy-tailed sessions leave the ring with more stale links at the "
+      "same average turnover: deaths concentrate on recently-integrated "
+      "nodes, and misses spread beyond fresh joiners (lower young share).\n");
+}
+
+int run(const bench::Scale& scale, double meanLifetime) {
+  bench::printHeader(
+      "Failure placement and realistic churn (beyond-paper stress)",
+      "a localized arc outage leaves the ring path-connected (RingCast "
+      "completes even at F=2); scattered failures are the hard case; "
+      "heavy-tailed churn degrades the ring more than geometric churn at "
+      "equal mean lifetime",
+      scale);
+  arcVsRandom(scale);
+  churnModels(scale, meanLifetime);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parser = bench::makeParser(
+      "Adversarial contiguous-arc failures and Pareto session churn "
+      "compared against the paper's random/geometric models.");
+  parser.option("mean-lifetime",
+                "mean session length in cycles for the churn comparison "
+                "(default 500 = the paper's 0.2%/cycle intensity)");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'000,
+                                         /*quickRuns=*/25);
+  return run(scale, args->getDouble("mean-lifetime", 500.0));
+}

@@ -1,0 +1,84 @@
+// Shared scaffolding for the figure benches: scale selection (quick
+// default vs --paper), common CLI options, and header printing so every
+// bench output is self-describing.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+
+namespace vs07::bench {
+
+/// Experiment scale resolved from the command line.
+struct Scale {
+  std::uint32_t nodes = 0;
+  std::uint32_t runs = 0;
+  std::uint64_t seed = 0;
+  bool paper = false;
+  bool csv = false;
+};
+
+/// Registers the options every figure bench shares.
+inline CliParser makeParser(const std::string& description) {
+  CliParser parser(description);
+  parser.option("nodes", "population size (default: quick scale)")
+      .option("runs", "disseminations per data point (default: quick scale)")
+      .option("seed", "root random seed (default 42)")
+      .option("paper", "run at the paper's full scale (10k nodes, 100 runs)",
+              /*takesValue=*/false)
+      .option("csv", "emit CSV instead of aligned tables",
+              /*takesValue=*/false);
+  return parser;
+}
+
+/// Resolves the scale: explicit flags beat --paper beats quick defaults.
+inline Scale resolveScale(const CliArgs& args, std::uint32_t quickNodes,
+                          std::uint32_t quickRuns) {
+  Scale scale;
+  scale.paper = args.getBool("paper");
+  const std::uint32_t defaultNodes = scale.paper ? 10'000 : quickNodes;
+  const std::uint32_t defaultRuns = scale.paper ? 100 : quickRuns;
+  scale.nodes = static_cast<std::uint32_t>(args.getUint("nodes", defaultNodes));
+  scale.runs = static_cast<std::uint32_t>(args.getUint("runs", defaultRuns));
+  scale.seed = args.getUint("seed", 42);
+  scale.csv = args.getBool("csv");
+  return scale;
+}
+
+/// Prints the bench banner: what figure this regenerates and at what scale.
+inline void printHeader(const std::string& figure, const std::string& paperNote,
+                        const Scale& scale) {
+  std::printf("=== %s ===\n", figure.c_str());
+  std::printf("paper: %s\n", paperNote.c_str());
+  std::printf("scale: %u nodes, %u runs/point, seed %llu%s\n\n",
+              scale.nodes, scale.runs,
+              static_cast<unsigned long long>(scale.seed),
+              scale.paper ? " [--paper]" : " [quick; use --paper for 10k/100]");
+}
+
+/// Stopwatch for phase timing lines.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The fanout axis of the paper's effectiveness figures (1..20).
+inline std::vector<std::uint32_t> fullFanoutAxis() {
+  std::vector<std::uint32_t> fanouts;
+  for (std::uint32_t f = 1; f <= 20; ++f) fanouts.push_back(f);
+  return fanouts;
+}
+
+}  // namespace vs07::bench

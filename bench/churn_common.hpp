@@ -1,0 +1,46 @@
+// Shared churn-phase harness for the Fig. 11/12/13 benches: star
+// bootstrap, 100 warm-up cycles, then continuous artificial churn until
+// the entire initial population has been replaced (§7.3), with a safety
+// cap. Returns the frozen stack ready for snapshotting.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "analysis/stack.hpp"
+#include "bench_common.hpp"
+
+namespace vs07::bench {
+
+struct ChurnedStack {
+  std::unique_ptr<analysis::ProtocolStack> stack;
+  std::uint64_t churnCycles = 0;
+  std::uint64_t freezeCycle = 0;
+};
+
+/// Runs the paper's churn warm-up procedure. `rate` is the per-cycle
+/// replacement fraction (paper: 0.002).
+inline ChurnedStack buildChurnedStack(const Scale& scale, double rate,
+                                      std::uint64_t extraSeed,
+                                      std::uint64_t maxChurnCycles = 50'000) {
+  analysis::StackConfig config;
+  config.nodes = scale.nodes;
+  config.seed = scale.seed + extraSeed;
+
+  ChurnedStack result;
+  Stopwatch timer;
+  result.stack = std::make_unique<analysis::ProtocolStack>(config);
+  result.stack->warmup();
+  result.churnCycles =
+      result.stack->runChurnUntilFullTurnover(rate, maxChurnCycles);
+  result.freezeCycle = result.stack->engine().cycle();
+  std::printf(
+      "churn warm-up: %llu churn cycles at %.2f%%/cycle (initial population "
+      "fully replaced: %s) in %.2fs\n",
+      static_cast<unsigned long long>(result.churnCycles), rate * 100.0,
+      result.stack->network().initialSurvivors() == 0 ? "yes" : "NO (cap hit)",
+      timer.seconds());
+  return result;
+}
+
+}  // namespace vs07::bench

@@ -1,0 +1,76 @@
+// Regenerates Fig. 8 — total messages sent per dissemination, split into
+// messages reaching "virgin" (not-yet-notified) nodes and redundant
+// messages to already-notified nodes, as a function of the fanout.
+//
+// Expected shape (paper, 10k nodes): total ≈ F × N_hit, of which ≈ N_hit
+// are virgin and (F-1) × N_hit redundant. The two protocols' stacks are
+// practically identical except at low fanout, where RANDCAST does not
+// reach everyone (smaller N_hit).
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "analysis/stack.hpp"
+#include "bench_common.hpp"
+#include "cast/selector.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace vs07;
+
+void printProtocol(const char* name,
+                   const std::vector<analysis::EffectivenessPoint>& points,
+                   bool csv) {
+  std::printf("--- %s: messages per dissemination (averaged) ---\n", name);
+  Table table({"fanout", "total", "to_virgin", "to_notified", "virgin_share"});
+  for (const auto& p : points) {
+    const double share =
+        p.avgMessagesTotal > 0 ? p.avgVirgin / p.avgMessagesTotal : 0.0;
+    table.addRow({std::to_string(p.fanout), fmt(p.avgMessagesTotal, 0),
+                  fmt(p.avgVirgin, 0), fmt(p.avgRedundant, 0),
+                  fmt(share, 3)});
+  }
+  std::fputs((csv ? table.renderCsv() : table.render()).c_str(), stdout);
+  std::printf("\n");
+}
+
+int run(const bench::Scale& scale) {
+  bench::printHeader(
+      "Fig. 8: message overhead split (virgin vs redundant) vs fanout",
+      "total = F x N_hit; N_hit virgin + (F-1) x N_hit redundant; "
+      "protocols identical except at low F where RandCast reaches fewer "
+      "nodes",
+      scale);
+
+  analysis::StackConfig config;
+  config.nodes = scale.nodes;
+  config.seed = scale.seed;
+  analysis::ProtocolStack stack(config);
+  stack.warmup();
+
+  const auto fanouts = bench::fullFanoutAxis();
+  const cast::RandCastSelector randCast;
+  const cast::RingCastSelector ringCast;
+  const auto rand =
+      analysis::sweepEffectiveness(stack.snapshotRandom(), randCast, fanouts,
+                                   scale.runs, scale.seed + 1);
+  const auto ring =
+      analysis::sweepEffectiveness(stack.snapshotRing(), ringCast, fanouts,
+                                   scale.runs, scale.seed + 2);
+
+  printProtocol("RANDCAST", rand, scale.csv);
+  printProtocol("RINGCAST", ring, scale.csv);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parser = bench::makeParser(
+      "Fig. 8 of Voulgaris & van Steen (Middleware 2007): messages to "
+      "virgin vs already-notified nodes, per fanout, static network.");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
+                                 /*quickRuns=*/25));
+}

@@ -1,0 +1,67 @@
+// Regenerates Fig. 11 — dissemination effectiveness vs fanout under
+// continuous churn (0.2% of the population replaced per cycle; the rate
+// Saroiu et al. measured on Gnutella at a 10s gossip period).
+//
+// Expected shape (paper): RINGCAST's miss ratio is lower than RANDCAST's
+// for small fanouts (2..5) and slightly *worse* for F >= 6 (its misses
+// concentrate on fresh joiners, see Fig. 13); neither protocol achieves
+// complete disseminations except at extreme fanouts.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "bench_common.hpp"
+#include "cast/selector.hpp"
+#include "churn_common.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace vs07;
+
+int run(const bench::Scale& scale, double churnRate) {
+  bench::printHeader(
+      "Fig. 11: effectiveness vs fanout under continuous churn",
+      "RingCast better at F=2..5, slightly worse at F>=6 (misses are "
+      "concentrated on fresh joiners); almost no complete disseminations",
+      scale);
+
+  auto churned = bench::buildChurnedStack(scale, churnRate, /*extraSeed=*/0);
+  auto& stack = *churned.stack;
+
+  const auto fanouts = bench::fullFanoutAxis();
+  const cast::RandCastSelector randCast;
+  const cast::RingCastSelector ringCast;
+  const auto rand =
+      analysis::sweepEffectiveness(stack.snapshotRandom(), randCast, fanouts,
+                                   scale.runs, scale.seed + 1);
+  const auto ring =
+      analysis::sweepEffectiveness(stack.snapshotRing(), ringCast, fanouts,
+                                   scale.runs, scale.seed + 2);
+
+  std::printf("\n");
+  Table table({"fanout", "randcast_miss%", "ringcast_miss%",
+               "randcast_complete%", "ringcast_complete%"});
+  for (std::size_t i = 0; i < fanouts.size(); ++i)
+    table.addRow({std::to_string(fanouts[i]),
+                  fmtLog(rand[i].avgMissPercent),
+                  fmtLog(ring[i].avgMissPercent),
+                  fmt(rand[i].completePercent, 1),
+                  fmt(ring[i].completePercent, 1)});
+  std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parser = bench::makeParser(
+      "Fig. 11 of Voulgaris & van Steen (Middleware 2007): miss ratio and "
+      "complete disseminations vs fanout under 0.2%/cycle churn.");
+  parser.option("churn", "churn rate per cycle (default 0.002)");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
+                                         /*quickRuns=*/25);
+  return run(scale, args->getDouble("churn", 0.002));
+}

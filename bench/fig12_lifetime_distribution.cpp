@@ -1,0 +1,67 @@
+// Regenerates Fig. 12 — the distribution of node lifetimes at freeze
+// time, summed over several independent churn experiments (log-log in
+// the paper).
+//
+// Expected shape (paper, 10k nodes, 0.2%/cycle): counts per lifetime are
+// capped by the churn batch size (20 nodes/cycle at paper scale) for
+// young lifetimes and fall off geometrically for old ones — a plateau
+// followed by an exponential-looking tail on log-log axes.
+#include <cstdio>
+
+#include "analysis/experiment.hpp"
+#include "bench_common.hpp"
+#include "churn_common.hpp"
+#include "common/histogram.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace vs07;
+
+int run(const bench::Scale& scale, double churnRate,
+        std::uint32_t experiments) {
+  bench::printHeader(
+      "Fig. 12: distribution of node lifetimes under churn",
+      "counts plateau at the per-cycle churn batch size for young nodes "
+      "and decay geometrically for old ones (log-log)",
+      scale);
+
+  CountHistogram aggregate;
+  for (std::uint32_t e = 0; e < experiments; ++e) {
+    auto churned = bench::buildChurnedStack(scale, churnRate, 1000 + e);
+    aggregate.merge(analysis::lifetimeHistogram(churned.stack->network(),
+                                                churned.freezeCycle));
+  }
+
+  std::printf("\nlifetimes aggregated over %u experiment(s), %llu nodes\n\n",
+              experiments,
+              static_cast<unsigned long long>(aggregate.total()));
+  const auto bins = logBins(aggregate);
+  std::fputs("lifetime (cycles)    count (bar is log-scaled)\n", stdout);
+  std::fputs(renderLogBins(bins).c_str(), stdout);
+
+  if (scale.csv) {
+    Table table({"lifetime", "count"});
+    for (const auto& [lifetime, count] : aggregate.sorted())
+      table.addRow({std::to_string(lifetime), std::to_string(count)});
+    std::fputs(table.renderCsv().c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parser = bench::makeParser(
+      "Fig. 12 of Voulgaris & van Steen (Middleware 2007): node lifetime "
+      "distribution after churn warm-up.");
+  parser.option("churn", "churn rate per cycle (default 0.002)")
+      .option("experiments", "independent churn networks to aggregate "
+                             "(default 2; paper used 100)");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
+                                         /*quickRuns=*/1);
+  return run(scale, args->getDouble("churn", 0.002),
+             static_cast<std::uint32_t>(args->getUint("experiments", 2)));
+}

@@ -1,0 +1,117 @@
+// Verifies the paper's load-distribution claim (§2 metric 5, asserted in
+// §7: "both protocols distribute the dissemination load uniformly on all
+// participating nodes"): per-node messages forwarded and received over
+// many disseminations, with a Gini coefficient as the inequality summary
+// (0 = perfectly even). Contrast with the star overlay of §3, whose hub
+// carries everything.
+#include <cstdio>
+
+#include "analysis/stack.hpp"
+#include "bench_common.hpp"
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "overlay/graph.hpp"
+
+namespace {
+
+using namespace vs07;
+
+struct LoadTotals {
+  std::vector<double> forwards;
+  std::vector<double> received;
+};
+
+LoadTotals accumulateLoad(const cast::OverlaySnapshot& snapshot,
+                          const cast::TargetSelector& selector,
+                          std::uint32_t fanout, std::uint32_t runs,
+                          std::uint64_t seed) {
+  LoadTotals totals;
+  totals.forwards.assign(snapshot.totalIds(), 0.0);
+  totals.received.assign(snapshot.totalIds(), 0.0);
+  Rng rng(seed);
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    const NodeId origin =
+        snapshot.aliveIds()[rng.below(snapshot.aliveIds().size())];
+    cast::DisseminationParams params;
+    params.fanout = fanout;
+    params.seed = rng();
+    params.recordLoad = true;
+    const auto report = cast::disseminate(snapshot, selector, origin, params);
+    for (NodeId id = 0; id < snapshot.totalIds(); ++id) {
+      totals.forwards[id] += report.forwardsPerNode[id];
+      totals.received[id] += report.receivedPerNode[id];
+    }
+  }
+  // Restrict to alive nodes for the statistics.
+  LoadTotals alive;
+  for (const NodeId id : snapshot.aliveIds()) {
+    alive.forwards.push_back(totals.forwards[id]);
+    alive.received.push_back(totals.received[id]);
+  }
+  return alive;
+}
+
+void addRows(Table& table, const char* name, const LoadTotals& load) {
+  const auto f = summarize(load.forwards);
+  const auto r = summarize(load.received);
+  table.addRow({name, "forwarded", fmt(f.mean, 1), fmt(f.stddev, 1),
+                fmt(f.min, 0), fmt(f.p99, 0), fmt(f.max, 0),
+                fmt(giniCoefficient(load.forwards), 3)});
+  table.addRow({name, "received", fmt(r.mean, 1), fmt(r.stddev, 1),
+                fmt(r.min, 0), fmt(r.p99, 0), fmt(r.max, 0),
+                fmt(giniCoefficient(load.received), 3)});
+}
+
+int run(const bench::Scale& scale, std::uint32_t fanout) {
+  bench::printHeader(
+      "Load distribution (paper §2/§7 claim)",
+      "RandCast and RingCast spread forwarding load evenly (tiny Gini); a "
+      "star overlay concentrates everything on its hub (Gini -> 1)",
+      scale);
+
+  analysis::StackConfig config;
+  config.nodes = scale.nodes;
+  config.seed = scale.seed;
+  analysis::ProtocolStack stack(config);
+  stack.warmup();
+
+  const cast::RandCastSelector randCast;
+  const cast::RingCastSelector ringCast;
+  const cast::FloodSelector flood;
+
+  Table table({"protocol", "metric", "mean", "stddev", "min", "p99", "max",
+               "gini"});
+  addRows(table, "RandCast",
+          accumulateLoad(stack.snapshotRandom(), randCast, fanout, scale.runs,
+                         scale.seed + 1));
+  addRows(table, "RingCast",
+          accumulateLoad(stack.snapshotRing(), ringCast, fanout, scale.runs,
+                         scale.seed + 2));
+  // Baseline with known skew: flooding on a star overlay.
+  const auto star =
+      cast::snapshotGraph(overlay::makeStar(scale.nodes, /*hub=*/0));
+  addRows(table, "StarFlood",
+          accumulateLoad(star, flood, fanout, scale.runs, scale.seed + 3));
+
+  std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
+             stdout);
+  std::printf("\nfanout %u, %u disseminations per protocol\n", fanout,
+              scale.runs);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto parser = bench::makeParser(
+      "Load distribution across nodes (paper §2 metric 5): per-node "
+      "forwarded/received message counts and Gini coefficients.");
+  parser.option("fanout", "fanout to run at (default 5)");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  const auto scale = bench::resolveScale(*args, /*quickNodes=*/2'000,
+                                         /*quickRuns=*/50);
+  return run(scale, static_cast<std::uint32_t>(args->getUint("fanout", 5)));
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks (google-benchmark) of the protocol operations: CYCLON
+// shuffle cycles, VICINITY proximity cycles, target selection, overlay
+// snapshotting, and end-to-end disseminations. These quantify the cost of
+// the simulator itself — useful when scaling experiments up.
+#include <benchmark/benchmark.h>
+
+#include "analysis/stack.hpp"
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "common/rng.hpp"
+#include "net/codec.hpp"
+
+namespace {
+
+using namespace vs07;
+
+analysis::StackConfig config(std::uint32_t nodes) {
+  analysis::StackConfig c;
+  c.nodes = nodes;
+  c.seed = 7;
+  return c;
+}
+
+void BM_GossipCycle(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  analysis::ProtocolStack stack(config(nodes));
+  stack.warmup();
+  for (auto _ : state) stack.runCycles(1);
+  state.SetItemsProcessed(state.iterations() * nodes * 2);  // 2 protocols
+  state.counters["nodes"] = nodes;
+}
+BENCHMARK(BM_GossipCycle)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_RingCastDissemination(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto fanout = static_cast<std::uint32_t>(state.range(1));
+  analysis::ProtocolStack stack(config(nodes));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRing();
+  const cast::RingCastSelector selector;
+  Rng rng(3);
+  for (auto _ : state) {
+    cast::DisseminationParams params;
+    params.fanout = fanout;
+    params.seed = rng();
+    const auto report = cast::disseminate(
+        snapshot, selector,
+        snapshot.aliveIds()[rng.below(snapshot.aliveIds().size())], params);
+    benchmark::DoNotOptimize(report.notified);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+  state.counters["fanout"] = fanout;
+}
+BENCHMARK(BM_RingCastDissemination)
+    ->Args({10'000, 2})
+    ->Args({10'000, 5})
+    ->Args({10'000, 10})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandCastDissemination(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  analysis::ProtocolStack stack(config(nodes));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRandom();
+  const cast::RandCastSelector selector;
+  Rng rng(4);
+  for (auto _ : state) {
+    cast::DisseminationParams params;
+    params.fanout = 5;
+    params.seed = rng();
+    const auto report = cast::disseminate(
+        snapshot, selector,
+        snapshot.aliveIds()[rng.below(snapshot.aliveIds().size())], params);
+    benchmark::DoNotOptimize(report.notified);
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_RandCastDissemination)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotBuild(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  analysis::ProtocolStack stack(config(nodes));
+  stack.warmup();
+  for (auto _ : state) {
+    const auto snapshot = stack.snapshotRing();
+    benchmark::DoNotOptimize(snapshot.aliveCount());
+  }
+  state.SetItemsProcessed(state.iterations() * nodes);
+}
+BENCHMARK(BM_SnapshotBuild)->Arg(10'000)->Unit(benchmark::kMillisecond);
+
+void BM_TargetSelection(benchmark::State& state) {
+  analysis::ProtocolStack stack(config(1'000));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRing();
+  const cast::RingCastSelector selector;
+  Rng rng(5);
+  std::vector<NodeId> targets;
+  const auto& ids = snapshot.aliveIds();
+  for (auto _ : state) {
+    selector.selectTargets(snapshot, ids[rng.below(ids.size())], kNoNode, 5,
+                           rng, targets);
+    benchmark::DoNotOptimize(targets.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TargetSelection);
+
+void BM_MessageCodec(benchmark::State& state) {
+  net::Message msg;
+  msg.kind = net::MessageKind::CyclonRequest;
+  msg.from = 17;
+  Rng rng(6);
+  for (int i = 0; i < 8; ++i)
+    msg.entries.push_back({static_cast<NodeId>(rng()),
+                           static_cast<std::uint32_t>(rng.below(100)),
+                           rng()});
+  for (auto _ : state) {
+    const auto bytes = net::encode(msg);
+    const auto decoded = net::decode(bytes);
+    benchmark::DoNotOptimize(decoded.entries.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MessageCodec);
+
+}  // namespace
+
+BENCHMARK_MAIN();

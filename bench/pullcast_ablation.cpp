@@ -1,0 +1,167 @@
+// Quantifies the paper's §8 future work — pull-based recovery on top of
+// push dissemination:
+//
+//   "We expect it to significantly improve the efficiency of the protocol
+//    in terms of reliability. However, additional issues have to be taken
+//    into account, such as the pull frequency, the duration for which
+//    nodes maintain old messages, the size of buffers on nodes ..."
+//
+// Setup: RINGCAST push at a low fanout over a network that just lost a
+// fraction of its nodes (no overlay healing before the push, as in §7.2);
+// then anti-entropy pulls run for a few cycles. Reported: miss ratio
+// after the push wave and after each pull round, plus the pull traffic
+// paid — the reliability/overhead trade of the §8 knobs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "cast/live.hpp"
+#include "common/table.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/transport.hpp"
+#include "sim/bootstrap.hpp"
+#include "sim/engine.hpp"
+#include "sim/failures.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace {
+
+using namespace vs07;
+
+struct LiveStack {
+  LiveStack(std::uint32_t n, cast::LiveCast::Params params,
+            std::uint64_t seed)
+      : network(n, seed),
+        router(network),
+        transport([this](NodeId to, const net::Message& m) {
+          router.deliver(to, m);
+        }),
+        cyclon(network, transport, router, {20, 8}, seed + 1),
+        vicinity(network, transport, router, cyclon, {}, seed + 2),
+        live(network, transport, router, cyclon, &vicinity, params,
+             seed + 3),
+        engine(network, seed + 4) {
+    engine.addProtocol(cyclon);
+    engine.addProtocol(vicinity);
+    engine.addProtocol(live);
+    sim::bootstrapStar(network, cyclon);
+    engine.run(100);
+  }
+
+  sim::Network network;
+  sim::MessageRouter router;
+  net::ImmediateTransport transport;
+  gossip::Cyclon cyclon;
+  gossip::Vicinity vicinity;
+  cast::LiveCast live;
+  sim::Engine engine;
+};
+
+int run(const bench::Scale& scale) {
+  bench::printHeader(
+      "Push+pull ablation (paper §8 future work)",
+      "pull converts push misses into short delays; reliability rises "
+      "with pull rounds at the cost of digest traffic; tiny buffers cap "
+      "how far back pull can repair",
+      scale);
+
+  // Part 1: miss ratio vs pull rounds, for increasing failure volumes.
+  std::printf("--- miss%% after the push wave and after k pull rounds "
+              "(RingCast push, fanout 2, pull every cycle) ---\n");
+  Table progress({"kill%", "push_only", "1_round", "2_rounds", "4_rounds",
+                  "8_rounds", "pulls/node/round"});
+  for (const double kill : {0.05, 0.10, 0.20}) {
+    cast::LiveCast::Params params;
+    params.fanout = 2;
+    params.pullInterval = 1;
+    LiveStack stack(scale.nodes, params,
+                    scale.seed + static_cast<std::uint64_t>(kill * 100));
+    Rng killRng(scale.seed ^ 0xFA11ED);
+    sim::killRandomFraction(stack.network, kill, killRng);
+
+    const auto id = stack.live.publish(stack.network.aliveIds().front());
+    std::vector<std::string> row{fmt(kill * 100, 0),
+                                 fmtLog(stack.live.missRatioPercentNow(id))};
+    const auto pullsBefore = stack.live.pullRequestsSent();
+    std::uint64_t cyclesRun = 0;
+    for (const std::uint64_t upTo : {1u, 2u, 4u, 8u}) {
+      stack.engine.run(upTo - cyclesRun);
+      cyclesRun = upTo;
+      row.push_back(fmtLog(stack.live.missRatioPercentNow(id)));
+    }
+    const double pullsPerNodeRound =
+        static_cast<double>(stack.live.pullRequestsSent() - pullsBefore) /
+        (static_cast<double>(stack.network.aliveCount()) * cyclesRun);
+    row.push_back(fmt(pullsPerNodeRound, 2));
+    progress.addRow(std::move(row));
+  }
+  std::fputs((scale.csv ? progress.renderCsv() : progress.render()).c_str(),
+             stdout);
+
+  // Part 2: the §8 knobs — pull frequency and buffer capacity.
+  std::printf("\n--- pull frequency: miss%% after 8 cycles, 10%% dead, "
+              "fanout 2 ---\n");
+  Table frequency({"pull_every_k_cycles", "miss%_after_8_cycles",
+                   "pull_requests_total"});
+  for (const std::uint32_t interval : {0u, 1u, 2u, 4u, 8u}) {
+    cast::LiveCast::Params params;
+    params.fanout = 2;
+    params.pullInterval = interval;
+    LiveStack stack(scale.nodes, params, scale.seed + 77 + interval);
+    Rng killRng(scale.seed ^ 0xFA11EDu);
+    sim::killRandomFraction(stack.network, 0.10, killRng);
+    const auto id = stack.live.publish(stack.network.aliveIds().front());
+    stack.engine.run(8);
+    frequency.addRow({interval == 0 ? "never (push only)"
+                                    : std::to_string(interval),
+                      fmtLog(stack.live.missRatioPercentNow(id)),
+                      std::to_string(stack.live.pullRequestsSent())});
+  }
+  std::fputs((scale.csv ? frequency.renderCsv() : frequency.render()).c_str(),
+             stdout);
+
+  // Part 3: buffer capacity — how many subsequent publishes an old
+  // message survives before latecomers can no longer fetch it.
+  std::printf("\n--- buffer capacity: can a fresh joiner still pull message "
+              "#1 after k more publishes? ---\n");
+  Table buffers({"capacity", "publishes_after", "joiner_got_msg1"});
+  for (const std::uint32_t capacity : {2u, 4u, 8u}) {
+    for (const std::uint32_t extra : {1u, 3u, 7u}) {
+      cast::LiveCast::Params params;
+      params.fanout = 3;
+      params.pullInterval = 1;
+      params.bufferCapacity = capacity;
+      params.pullBudget = 16;
+      LiveStack stack(scale.nodes / 2, params,
+                      scale.seed + 200 + capacity * 10 + extra);
+      const auto first = stack.live.publish(0);
+      for (std::uint32_t i = 0; i < extra; ++i) stack.live.publish(0);
+      const NodeId joiner = stack.network.spawn(stack.engine.cycle());
+      Rng rng(scale.seed + 5);
+      NodeId introducer = joiner;
+      while (introducer == joiner)
+        introducer = stack.network.randomAlive(rng);
+      stack.cyclon.onJoin(joiner, introducer);
+      stack.vicinity.onJoin(joiner, introducer);
+      stack.engine.run(10);
+      buffers.addRow({std::to_string(capacity), std::to_string(extra),
+                      stack.live.hasDelivered(first, joiner) ? "yes" : "no"});
+    }
+  }
+  std::fputs((scale.csv ? buffers.renderCsv() : buffers.render()).c_str(),
+             stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto parser = bench::makeParser(
+      "Pull-based recovery ablation (paper §8 future work): reliability "
+      "vs pull rounds, pull frequency, and buffer capacity.");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  return run(bench::resolveScale(*args, /*quickNodes=*/1'500,
+                                 /*quickRuns=*/1));
+}

@@ -1,0 +1,135 @@
+// Domain-proximity ring — the §8 optimisation: nodes form their sequence
+// id by reversing their domain name and appending a random number, so the
+// VICINITY ring self-organises sorted by domain, and domains sorted by
+// country. Dissemination then mostly travels within a domain before
+// crossing borders, instead of bouncing Netherlands -> Australia ->
+// Switzerland -> Canada (the paper's example of a terrible path).
+//
+//   $ ./domain_ring [--nodes 300]
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/graph_analysis.hpp"
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "common/cli.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/domain_key.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/transport.hpp"
+#include "sim/bootstrap.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+using namespace vs07;
+
+int main(int argc, char** argv) {
+  CliParser parser("Domain-sorted RingCast ring (paper §8).");
+  parser.option("nodes", "population size (default 300)");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+  const auto nodes =
+      static_cast<std::uint32_t>(args->getUint("nodes", 300));
+
+  // Sub-domains of one organisation share their sequence-id prefix (the
+  // 40-bit key truncates past "country.org"), so the ring groups at the
+  // organisation level: that is the granularity we demonstrate.
+  const std::vector<std::string> domains{
+      "inf.ethz.ch", "ee.ethz.ch",   "cs.vu.nl",      "few.vu.nl",
+      "cs.berkeley.edu", "eecs.mit.edu", "cs.cornell.edu"};
+  auto orgOf = [](const std::string& domain) {
+    const auto lastDot = domain.rfind('.');
+    const auto secondDot = domain.rfind('.', lastDot - 1);
+    return secondDot == std::string::npos ? domain
+                                          : domain.substr(secondDot + 1);
+  };
+
+  // Wire the stack manually (instead of ProtocolStack) to override each
+  // node's sequence id with its domain key before gossip starts.
+  sim::Network network(nodes, 21);
+  Rng rng(22);
+  std::map<NodeId, std::string> domainOf;
+  for (NodeId id = 0; id < nodes; ++id) {
+    const auto& domain = domains[rng.below(domains.size())];
+    domainOf[id] = domain;
+    network.setSeqId(id, gossip::domainSequenceId(
+                             domain, static_cast<std::uint16_t>(rng())));
+  }
+
+  sim::MessageRouter router(network);
+  net::ImmediateTransport transport(
+      [&router](NodeId to, const net::Message& m) { router.deliver(to, m); });
+  gossip::Cyclon cyclon(network, transport, router, {20, 8}, 23);
+  gossip::Vicinity vicinity(network, transport, router, cyclon, {}, 24);
+  sim::Engine engine(network, 25);
+  engine.addProtocol(cyclon);
+  engine.addProtocol(vicinity);
+  sim::bootstrapStar(network, cyclon);
+  engine.run(100);
+
+  const auto convergence = analysis::ringConvergence(network, vicinity);
+  std::printf("ring converged: %.1f%% of nodes know both neighbours\n\n",
+              100.0 * convergence.bothAccuracy);
+
+  // Walk the ring in id order and show the domain grouping: the walk
+  // changes domains only at domain borders, not once per step.
+  std::vector<NodeId> ringOrder(nodes);
+  for (NodeId id = 0; id < nodes; ++id) ringOrder[id] = id;
+  std::sort(ringOrder.begin(), ringOrder.end(), [&](NodeId a, NodeId b) {
+    return network.seqId(a) < network.seqId(b);
+  });
+  std::printf("the ring, one line per contiguous organisation segment:\n");
+  std::string currentOrg;
+  std::uint32_t runLength = 0;
+  std::uint32_t changes = 0;
+  for (const NodeId id : ringOrder) {
+    const auto org = orgOf(domainOf[id]);
+    if (org != currentOrg) {
+      if (!currentOrg.empty()) {
+        std::printf("  %-16s x%u\n", currentOrg.c_str(), runLength);
+        ++changes;
+      }
+      currentOrg = org;
+      runLength = 0;
+    }
+    ++runLength;
+  }
+  std::printf("  %-16s x%u\n", currentOrg.c_str(), runLength);
+  std::printf(
+      "\n%u organisation borders along the full ring (%u nodes): each "
+      "organisation is one contiguous arc, and arcs sort by country "
+      "(ch < edu < nl in reversed-name order).\n",
+      changes, nodes);
+
+  // Locality of the protocol's actual d-links: fraction of successor
+  // links that stay inside the node's own organisation.
+  std::uint32_t localSucc = 0;
+  std::uint32_t resolved = 0;
+  for (NodeId id = 0; id < nodes; ++id) {
+    const NodeId succ = vicinity.ringNeighbors(id).successor;
+    if (succ == kNoNode) continue;
+    ++resolved;
+    localSucc += orgOf(domainOf[succ]) == orgOf(domainOf[id]);
+  }
+  std::printf(
+      "\n%.1f%% of protocol successor d-links stay within the node's own "
+      "organisation (crossings happen only at the %u borders).\n",
+      100.0 * localSucc / resolved, changes);
+
+  // Dissemination still completes over the domain-sorted ring.
+  const auto overlay = cast::snapshotRing(network, cyclon, vicinity);
+  const cast::RingCastSelector ringCast;
+  cast::DisseminationParams params;
+  params.fanout = 3;
+  params.seed = 3;
+  const auto report = cast::disseminate(overlay, ringCast, 0, params);
+  std::printf(
+      "\nRingCast at fanout 3 notified %llu/%u nodes in %u hops over the "
+      "domain-sorted ring.\n",
+      static_cast<unsigned long long>(report.notified), nodes,
+      report.lastHop);
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Worm-alert scenario — the paper's introduction motivates dissemination
+// with "world-wide worm alert notifications": an alert must reach every
+// node fast, even while the network itself is degrading.
+//
+// Here a worm knocks out a growing fraction of the population between
+// alert waves (gossip stalled — routers are melting, nobody is healing
+// views), and we compare how RANDCAST and RINGCAST keep delivering the
+// alert as damage mounts.
+//
+//   $ ./worm_alert [--nodes 2000] [--fanout 3]
+#include <cstdio>
+
+#include "analysis/stack.hpp"
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "common/cli.hpp"
+#include "sim/failures.hpp"
+
+using namespace vs07;
+
+namespace {
+
+double averageMissPercent(const cast::OverlaySnapshot& overlay,
+                          const cast::TargetSelector& selector,
+                          std::uint32_t fanout, Rng& rng) {
+  constexpr int kAlerts = 20;
+  double missSum = 0.0;
+  for (int alert = 0; alert < kAlerts; ++alert) {
+    const NodeId origin =
+        overlay.aliveIds()[rng.below(overlay.aliveIds().size())];
+    cast::DisseminationParams params;
+    params.fanout = fanout;
+    params.seed = rng();
+    missSum +=
+        cast::disseminate(overlay, selector, origin, params).missRatioPercent();
+  }
+  return missSum / kAlerts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliParser parser(
+      "Worm-alert scenario: alert dissemination while the network "
+      "degrades, no time to self-heal.");
+  parser.option("nodes", "population size (default 2000)")
+      .option("fanout", "alert fanout (default 3)");
+  const auto args = parser.parse(argc, argv);
+  if (!args) return 0;
+
+  analysis::StackConfig config;
+  config.nodes = static_cast<std::uint32_t>(args->getUint("nodes", 2000));
+  config.seed = 1337;
+  const auto fanout =
+      static_cast<std::uint32_t>(args->getUint("fanout", 3));
+
+  std::printf("deploying %u sensor nodes...\n", config.nodes);
+  analysis::ProtocolStack stack(config);
+  stack.warmup();
+
+  const cast::RandCastSelector randCast;
+  const cast::RingCastSelector ringCast;
+  Rng rng(99);
+
+  std::printf(
+      "\nworm spreading; alert waves at increasing damage (fanout %u):\n\n"
+      "%-12s %-10s %-22s %-22s\n",
+      fanout, "dead nodes", "alive", "RandCast avg miss %",
+      "RingCast avg miss %");
+
+  double cumulativeKill = 0.0;
+  for (const double killStep : {0.0, 0.01, 0.02, 0.02, 0.05, 0.10}) {
+    if (killStep > 0.0) {
+      Rng killRng(rng());
+      sim::killRandomFraction(stack.network(), killStep, killRng);
+      cumulativeKill += killStep;
+    }
+    // Freeze the damaged overlay: the worm outpaces view repair.
+    const auto randMiss = averageMissPercent(stack.snapshotRandom(), randCast,
+                                             fanout, rng);
+    const auto ringMiss = averageMissPercent(stack.snapshotRing(), ringCast,
+                                             fanout, rng);
+    std::printf("%-12.0f %-10u %-22.4f %-22.4f\n", cumulativeKill * 100.0,
+                stack.network().aliveCount(), randMiss, ringMiss);
+  }
+
+  std::printf(
+      "\nRingCast's deterministic ring links keep the alert flowing "
+      "around the damage; RandCast's random forwards leave islands "
+      "unwarned.\n"
+      "Once the worm is contained, gossip resumes and the ring self-heals "
+      "(see tests/gossip/vicinity_test.cpp, SelfHealsAfterCatastrophicFailure).\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+#include "analysis/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace vs07::analysis {
+
+namespace {
+
+/// Accumulates reports into an EffectivenessPoint; `finish` divides.
+class EffectivenessAccumulator {
+ public:
+  explicit EffectivenessAccumulator(std::uint32_t fanout) {
+    point_.fanout = fanout;
+  }
+
+  void add(const cast::DisseminationReport& report) {
+    ++point_.runs;
+    missSum_ += report.missRatioPercent();
+    completeRuns_ += report.complete() ? 1 : 0;
+    totalSum_ += static_cast<double>(report.messagesTotal);
+    virginSum_ += static_cast<double>(report.messagesVirgin);
+    redundantSum_ += static_cast<double>(report.messagesRedundant);
+    toDeadSum_ += static_cast<double>(report.messagesToDead);
+    lastHopSum_ += static_cast<double>(report.lastHop);
+    point_.totalMisses += report.missed.size();
+  }
+
+  EffectivenessPoint finish() {
+    VS07_EXPECT(point_.runs > 0);
+    const auto runs = static_cast<double>(point_.runs);
+    point_.avgMissPercent = missSum_ / runs;
+    point_.completePercent = 100.0 * completeRuns_ / runs;
+    point_.avgMessagesTotal = totalSum_ / runs;
+    point_.avgVirgin = virginSum_ / runs;
+    point_.avgRedundant = redundantSum_ / runs;
+    point_.avgToDead = toDeadSum_ / runs;
+    point_.avgLastHop = lastHopSum_ / runs;
+    return point_;
+  }
+
+ private:
+  EffectivenessPoint point_;
+  double missSum_ = 0.0;
+  double completeRuns_ = 0.0;
+  double totalSum_ = 0.0;
+  double virginSum_ = 0.0;
+  double redundantSum_ = 0.0;
+  double toDeadSum_ = 0.0;
+  double lastHopSum_ = 0.0;
+};
+
+cast::DisseminationReport runOnce(const cast::OverlaySnapshot& overlay,
+                                  const cast::TargetSelector& selector,
+                                  std::uint32_t fanout, Rng& rng) {
+  const NodeId origin =
+      overlay.aliveIds()[rng.below(overlay.aliveIds().size())];
+  cast::DisseminationParams params;
+  params.fanout = fanout;
+  params.seed = rng();
+  return cast::disseminate(overlay, selector, origin, params);
+}
+
+}  // namespace
+
+EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
+                                        const cast::TargetSelector& selector,
+                                        std::uint32_t fanout,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed) {
+  VS07_EXPECT(runs > 0);
+  VS07_EXPECT(overlay.aliveCount() > 0);
+  Rng rng(seed);
+  EffectivenessAccumulator acc(fanout);
+  for (std::uint32_t r = 0; r < runs; ++r)
+    acc.add(runOnce(overlay, selector, fanout, rng));
+  return acc.finish();
+}
+
+std::vector<EffectivenessPoint> sweepEffectiveness(
+    const cast::OverlaySnapshot& overlay, const cast::TargetSelector& selector,
+    const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
+    std::uint64_t seed) {
+  std::vector<EffectivenessPoint> points;
+  points.reserve(fanouts.size());
+  Rng seeder(seed);
+  for (const std::uint32_t fanout : fanouts)
+    points.push_back(
+        measureEffectiveness(overlay, selector, fanout, runs, seeder()));
+  return points;
+}
+
+ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
+                              const cast::TargetSelector& selector,
+                              std::uint32_t fanout, std::uint32_t runs,
+                              std::uint64_t seed) {
+  VS07_EXPECT(runs > 0);
+  ProgressStats stats;
+  stats.fanout = fanout;
+  stats.runs = runs;
+  Rng rng(seed);
+
+  std::vector<cast::DisseminationReport> reports;
+  reports.reserve(runs);
+  std::size_t maxHops = 0;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    reports.push_back(runOnce(overlay, selector, fanout, rng));
+    maxHops = std::max(maxHops, reports.back().newlyNotifiedPerHop.size());
+  }
+
+  stats.meanPctRemaining.assign(maxHops, 0.0);
+  stats.minPctRemaining.assign(maxHops, 100.0);
+  stats.maxPctRemaining.assign(maxHops, 0.0);
+  for (const auto& report : reports) {
+    for (std::size_t hop = 0; hop < maxHops; ++hop) {
+      const double pct =
+          report.percentNotReachedAfterHop(static_cast<std::uint32_t>(hop));
+      stats.meanPctRemaining[hop] += pct / runs;
+      stats.minPctRemaining[hop] = std::min(stats.minPctRemaining[hop], pct);
+      stats.maxPctRemaining[hop] = std::max(stats.maxPctRemaining[hop], pct);
+    }
+  }
+  return stats;
+}
+
+CountHistogram lifetimeHistogram(const sim::Network& network,
+                                 std::uint64_t nowCycle) {
+  CountHistogram histogram;
+  for (const NodeId id : network.aliveIds())
+    histogram.add(network.lifetime(id, nowCycle));
+  return histogram;
+}
+
+MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
+                                       const cast::TargetSelector& selector,
+                                       const sim::Network& network,
+                                       std::uint64_t nowCycle,
+                                       std::uint32_t fanout,
+                                       std::uint32_t runs,
+                                       std::uint64_t seed) {
+  VS07_EXPECT(runs > 0);
+  Rng rng(seed);
+  EffectivenessAccumulator acc(fanout);
+  MissLifetimeStudy study;
+  for (std::uint32_t r = 0; r < runs; ++r) {
+    const auto report = runOnce(overlay, selector, fanout, rng);
+    for (const NodeId missedNode : report.missed)
+      study.missedLifetimes.add(network.lifetime(missedNode, nowCycle));
+    acc.add(report);
+  }
+  study.effectiveness = acc.finish();
+  return study;
+}
+
+}  // namespace vs07::analysis

@@ -1,0 +1,86 @@
+// Experiment runners shared by the figure benches and the integration
+// tests: fanout sweeps of dissemination effectiveness (Figs. 6/9/11),
+// per-hop progress aggregation (Figs. 7/10), message-overhead accounting
+// (Fig. 8), and lifetime bookkeeping for the churn study (Figs. 12/13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "cast/snapshot.hpp"
+#include "common/histogram.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::analysis {
+
+/// Aggregate outcome of `runs` disseminations at one fanout.
+struct EffectivenessPoint {
+  std::uint32_t fanout = 0;
+  std::uint32_t runs = 0;
+  /// Mean miss ratio (percent) — Fig. 6(a)/9-left/11-left bars.
+  double avgMissPercent = 0.0;
+  /// Percentage of runs reaching every alive node — Fig. 6(b)/9-right/
+  /// 11-right bars.
+  double completePercent = 0.0;
+  /// Mean message-overhead split (Fig. 8 stacks).
+  double avgMessagesTotal = 0.0;
+  double avgVirgin = 0.0;
+  double avgRedundant = 0.0;
+  double avgToDead = 0.0;
+  /// Mean hop at which the last notified node was reached.
+  double avgLastHop = 0.0;
+  /// All misses summed over runs (numerator for lifetime studies).
+  std::uint64_t totalMisses = 0;
+};
+
+/// Runs `runs` disseminations from uniformly random alive origins and
+/// aggregates them. Deterministic in `seed`.
+EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
+                                        const cast::TargetSelector& selector,
+                                        std::uint32_t fanout,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed);
+
+/// measureEffectiveness over a list of fanouts (one seed stream).
+std::vector<EffectivenessPoint> sweepEffectiveness(
+    const cast::OverlaySnapshot& overlay, const cast::TargetSelector& selector,
+    const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
+    std::uint64_t seed);
+
+/// Per-hop dissemination progress aggregated over runs (Figs. 7/10):
+/// for each hop, the mean/min/max percentage of nodes not yet reached.
+struct ProgressStats {
+  std::uint32_t fanout = 0;
+  std::uint32_t runs = 0;
+  std::vector<double> meanPctRemaining;  ///< index = hop
+  std::vector<double> minPctRemaining;
+  std::vector<double> maxPctRemaining;
+};
+
+ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
+                              const cast::TargetSelector& selector,
+                              std::uint32_t fanout, std::uint32_t runs,
+                              std::uint64_t seed);
+
+/// Lifetime (in cycles) of every alive node at `nowCycle` — Fig. 12.
+CountHistogram lifetimeHistogram(const sim::Network& network,
+                                 std::uint64_t nowCycle);
+
+/// Runs `runs` disseminations and histograms the lifetimes of the nodes
+/// that were *not* notified — Fig. 13. Also returns the effectiveness
+/// aggregate so callers get Fig. 11's numbers from the same runs.
+struct MissLifetimeStudy {
+  EffectivenessPoint effectiveness;
+  CountHistogram missedLifetimes;
+};
+
+MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
+                                       const cast::TargetSelector& selector,
+                                       const sim::Network& network,
+                                       std::uint64_t nowCycle,
+                                       std::uint32_t fanout,
+                                       std::uint32_t runs, std::uint64_t seed);
+
+}  // namespace vs07::analysis

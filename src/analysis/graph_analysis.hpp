@@ -1,0 +1,65 @@
+// Structural analysis of frozen overlays: connectivity (the §3/§5
+// requirement for deterministic dissemination), degree distributions
+// (CYCLON's indegree dynamics drive the churn results of §7.3), and ring
+// convergence (how close VICINITY's d-links are to the true ring).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cast/snapshot.hpp"
+#include "gossip/vicinity.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::analysis {
+
+/// Which link sets of a snapshot to analyse.
+struct LinkSelection {
+  bool rlinks = true;
+  bool dlinks = true;
+};
+
+/// Directed adjacency over the snapshot's *alive* nodes (links to dead
+/// nodes dropped), with nodes reindexed densely. Index i corresponds to
+/// snapshot.aliveIds()[i].
+std::vector<std::vector<std::uint32_t>> aliveAdjacency(
+    const cast::OverlaySnapshot& snapshot, LinkSelection links = {});
+
+/// Sizes of all strongly connected components (iterative Tarjan),
+/// unordered. Under churn the youngest joiners are momentarily sources
+/// (no incoming links), so a healthy overlay is "one giant SCC plus a few
+/// singletons" rather than exactly one component.
+std::vector<std::uint32_t> stronglyConnectedComponentSizes(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+/// Number of strongly connected components.
+/// 1 means the §5 d-link requirement — strong connectivity — holds.
+std::uint32_t stronglyConnectedComponentCount(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+/// Size of the largest strongly connected component (0 for empty graphs).
+std::uint32_t largestStronglyConnectedComponent(
+    const std::vector<std::vector<std::uint32_t>>& adjacency);
+
+/// In-degree of every alive node under the selected links (aligned with
+/// snapshot.aliveIds()). A fresh joiner's r-link indegree growing by ~1
+/// per cycle is the effect behind Fig. 13.
+std::vector<std::uint32_t> aliveIndegrees(
+    const cast::OverlaySnapshot& snapshot, LinkSelection links = {});
+
+/// Result of comparing VICINITY's d-links against the true ring.
+struct RingConvergence {
+  /// Fraction of alive nodes whose successor d-link is the true alive
+  /// successor by sequence id, and likewise for predecessors.
+  double successorAccuracy = 0.0;
+  double predecessorAccuracy = 0.0;
+  /// Fraction of alive nodes with both d-links exactly right.
+  double bothAccuracy = 0.0;
+};
+
+/// Measures how converged a VICINITY ring is w.r.t. the ground-truth ring
+/// over the currently alive population.
+RingConvergence ringConvergence(const sim::Network& network,
+                                const gossip::Vicinity& vicinity);
+
+}  // namespace vs07::analysis

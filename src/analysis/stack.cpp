@@ -1,0 +1,55 @@
+#include "analysis/stack.hpp"
+
+#include "sim/bootstrap.hpp"
+
+namespace vs07::analysis {
+
+ProtocolStack::ProtocolStack(const StackConfig& config)
+    : config_(config),
+      network_(config.nodes, mix64(config.seed ^ 0x6E6F646573ULL)),
+      router_(network_),
+      transport_([this](NodeId to, const net::Message& m) {
+        router_.deliver(to, m);
+      }),
+      cyclon_(network_, transport_, router_, config.cyclon,
+              mix64(config.seed ^ 0x6379636CULL)),
+      rings_(network_, transport_, router_, cyclon_, config.vicinity,
+             config.rings, mix64(config.seed ^ 0x72696E67ULL)),
+      engine_(network_, mix64(config.seed ^ 0x656E67ULL)) {
+  engine_.addProtocol(cyclon_);
+  engine_.addProtocol(rings_);
+}
+
+void ProtocolStack::warmup() {
+  sim::bootstrapStar(network_, cyclon_, /*hub=*/0);
+  engine_.run(config_.warmupCycles);
+}
+
+std::uint64_t ProtocolStack::runChurnUntilFullTurnover(
+    double rate, std::uint64_t maxCycles) {
+  if (!churn_) {
+    churn_ = std::make_unique<sim::ChurnControl>(
+        network_, rate, mix64(config_.seed ^ 0x636875726EULL));
+    churn_->addJoinHandler(cyclon_);
+    churn_->addJoinHandler(rings_);
+    engine_.addControl(*churn_);
+  }
+  return engine_.runUntil(
+      [this] { return network_.initialSurvivors() == 0; }, maxCycles);
+}
+
+void ProtocolStack::runCycles(std::uint64_t cycles) { engine_.run(cycles); }
+
+cast::OverlaySnapshot ProtocolStack::snapshotRandom() const {
+  return cast::snapshotRandom(network_, cyclon_);
+}
+
+cast::OverlaySnapshot ProtocolStack::snapshotRing() const {
+  return cast::snapshotRing(network_, cyclon_, rings_.ring(0));
+}
+
+cast::OverlaySnapshot ProtocolStack::snapshotMultiRing() const {
+  return cast::snapshotMultiRing(network_, cyclon_, rings_);
+}
+
+}  // namespace vs07::analysis

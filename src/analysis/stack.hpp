@@ -1,0 +1,91 @@
+// ProtocolStack — one fully wired simulated system: network, transport,
+// router, CYCLON, and one-or-more VICINITY rings, with the paper's
+// bootstrap and warm-up procedures. Every experiment and example builds
+// on this instead of re-wiring the plumbing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "cast/snapshot.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/multiring.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/transport.hpp"
+#include "sim/churn.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace vs07::analysis {
+
+/// Configuration of a ProtocolStack (defaults = the paper's settings,
+/// except the population size which each caller chooses).
+struct StackConfig {
+  std::uint32_t nodes = 10'000;
+  gossip::Cyclon::Params cyclon{};      ///< view 20 (the paper's cyc)
+  gossip::Vicinity::Params vicinity{};  ///< view 20 (the paper's vic)
+  /// Cycles of self-organisation from the star topology (§7: 100).
+  std::uint32_t warmupCycles = 100;
+  /// Number of VICINITY rings (1 = plain RINGCAST; >1 = §8 extension).
+  std::uint32_t rings = 1;
+  std::uint64_t seed = 42;
+};
+
+/// Owns and wires the whole simulated system.
+class ProtocolStack {
+ public:
+  explicit ProtocolStack(const StackConfig& config);
+
+  ProtocolStack(const ProtocolStack&) = delete;
+  ProtocolStack& operator=(const ProtocolStack&) = delete;
+
+  // -- the paper's §7 procedures ---------------------------------------
+
+  /// Star bootstrap + `warmupCycles` cycles of self-organisation.
+  void warmup();
+
+  /// Continues gossiping under churn (per-cycle replacement `rate`) until
+  /// the entire initial population has been replaced at least once (§7.3)
+  /// or `maxCycles` elapse. Returns cycles run in this phase.
+  std::uint64_t runChurnUntilFullTurnover(double rate,
+                                          std::uint64_t maxCycles);
+
+  /// Runs additional churn-free gossip cycles.
+  void runCycles(std::uint64_t cycles);
+
+  // -- access -----------------------------------------------------------
+
+  sim::Network& network() noexcept { return network_; }
+  const sim::Network& network() const noexcept { return network_; }
+  sim::Engine& engine() noexcept { return engine_; }
+  gossip::Cyclon& cyclon() noexcept { return cyclon_; }
+  const gossip::Cyclon& cyclon() const noexcept { return cyclon_; }
+  /// Ring 0's VICINITY instance (the RINGCAST ring).
+  const gossip::Vicinity& vicinity() const { return rings_.ring(0); }
+  gossip::MultiRing& rings() noexcept { return rings_; }
+  const gossip::MultiRing& rings() const noexcept { return rings_; }
+  const StackConfig& config() const noexcept { return config_; }
+
+  // -- snapshots ----------------------------------------------------------
+
+  /// r-links only (RANDCAST's overlay).
+  cast::OverlaySnapshot snapshotRandom() const;
+  /// r-links + single-ring d-links (RINGCAST's overlay).
+  cast::OverlaySnapshot snapshotRing() const;
+  /// r-links + all rings' d-links (multi-ring RINGCAST).
+  cast::OverlaySnapshot snapshotMultiRing() const;
+
+ private:
+  StackConfig config_;
+  sim::Network network_;
+  sim::MessageRouter router_;
+  net::ImmediateTransport transport_;
+  gossip::Cyclon cyclon_;
+  gossip::MultiRing rings_;
+  sim::Engine engine_;
+  std::unique_ptr<sim::ChurnControl> churn_;
+};
+
+}  // namespace vs07::analysis

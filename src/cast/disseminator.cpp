@@ -1,0 +1,97 @@
+#include "cast/disseminator.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace vs07::cast {
+
+double DisseminationReport::percentNotReachedAfterHop(
+    std::uint32_t hop) const noexcept {
+  if (aliveTotal == 0) return 0.0;
+  std::uint64_t reached = 0;
+  for (std::uint32_t h = 0;
+       h < newlyNotifiedPerHop.size() && h <= hop; ++h)
+    reached += newlyNotifiedPerHop[h];
+  return 100.0 * static_cast<double>(aliveTotal - reached) /
+         static_cast<double>(aliveTotal);
+}
+
+DisseminationReport disseminate(const OverlaySnapshot& overlay,
+                                const TargetSelector& selector, NodeId origin,
+                                const DisseminationParams& params) {
+  VS07_EXPECT(origin < overlay.totalIds());
+  VS07_EXPECT(overlay.isAlive(origin));
+  VS07_EXPECT(params.fanout >= 1);
+
+  DisseminationReport report;
+  report.fanout = params.fanout;
+  report.origin = origin;
+  report.aliveTotal = overlay.aliveCount();
+  if (params.recordLoad) {
+    report.forwardsPerNode.assign(overlay.totalIds(), 0);
+    report.receivedPerNode.assign(overlay.totalIds(), 0);
+  }
+
+  Rng rng(params.seed);
+  std::vector<std::uint8_t> notified(overlay.totalIds(), 0);
+
+  // Frontier entries: (node first notified last hop, who sent to it).
+  struct Hop {
+    NodeId node;
+    NodeId from;
+  };
+  std::vector<Hop> frontier{{origin, kNoNode}};
+  std::vector<Hop> next;
+  std::vector<NodeId> targets;
+
+  notified[origin] = 1;
+  report.notified = 1;
+  report.newlyNotifiedPerHop.push_back(1);  // hop 0: the origin
+
+  std::uint32_t hop = 0;
+  while (!frontier.empty()) {
+    next.clear();
+    std::uint64_t newlyNotified = 0;
+    for (const auto& [node, from] : frontier) {
+      selector.selectTargets(overlay, node, from, params.fanout, rng,
+                             targets);
+      if (params.recordLoad)
+        report.forwardsPerNode[node] +=
+            static_cast<std::uint32_t>(targets.size());
+      for (const NodeId target : targets) {
+        ++report.messagesTotal;
+        if (!overlay.isAlive(target)) {
+          ++report.messagesToDead;
+          continue;
+        }
+        if (params.recordLoad) ++report.receivedPerNode[target];
+        if (notified[target]) {
+          ++report.messagesRedundant;
+          continue;
+        }
+        notified[target] = 1;
+        ++report.messagesVirgin;
+        ++report.notified;
+        ++newlyNotified;
+        next.push_back({target, node});
+      }
+    }
+    ++hop;
+    if (newlyNotified > 0) {  // newlyNotified == 0 implies next is empty
+      report.newlyNotifiedPerHop.push_back(newlyNotified);
+      report.lastHop = hop;
+    }
+    frontier.swap(next);
+  }
+
+  for (const NodeId id : overlay.aliveIds())
+    if (!notified[id]) report.missed.push_back(id);
+  VS07_ENSURE(report.notified + report.missed.size() == report.aliveTotal);
+  VS07_ENSURE(report.messagesTotal == report.messagesVirgin +
+                                          report.messagesRedundant +
+                                          report.messagesToDead);
+  return report;
+}
+
+}  // namespace vs07::cast

@@ -1,0 +1,235 @@
+#include "cast/live.hpp"
+
+#include <algorithm>
+
+#include "cast/selector.hpp"
+#include "common/expect.hpp"
+
+namespace vs07::cast {
+
+MessageStore::MessageStore(std::uint32_t capacity) : capacity_(capacity) {
+  VS07_EXPECT(capacity > 0);
+}
+
+bool MessageStore::hasSeen(std::uint64_t dataId) const {
+  return seen_.contains(dataId);
+}
+
+void MessageStore::remember(std::uint64_t dataId) {
+  if (hasSeen(dataId)) return;
+  buffer_.push_back(dataId);
+  seen_.emplace(dataId, 1);
+  if (buffer_.size() > capacity_) {
+    seen_.erase(buffer_.front());
+    buffer_.pop_front();
+  }
+}
+
+std::vector<std::uint64_t> MessageStore::digest(std::size_t limit) const {
+  const std::size_t take = std::min(limit, buffer_.size());
+  return {buffer_.end() - static_cast<std::ptrdiff_t>(take), buffer_.end()};
+}
+
+void MessageStore::clear() {
+  buffer_.clear();
+  seen_.clear();
+}
+
+LiveCast::LiveCast(sim::Network& network, net::Transport& transport,
+                   sim::MessageRouter& router, const gossip::Cyclon& cyclon,
+                   const gossip::Vicinity* vicinity, Params params,
+                   std::uint64_t seed)
+    : network_(network),
+      transport_(transport),
+      cyclon_(cyclon),
+      vicinity_(vicinity),
+      params_(params),
+      rng_(seed) {
+  VS07_EXPECT(params_.fanout >= 1);
+  VS07_EXPECT(params_.digestLength >= 1);
+  VS07_EXPECT(params_.bufferCapacity >= 1);
+  VS07_EXPECT(params_.pullBudget >= 1);
+  router.route(net::MessageKind::Data,
+               [this](NodeId to, const net::Message& m) {
+                 handleData(to, m);
+               });
+  router.route(net::MessageKind::PullRequest,
+               [this](NodeId to, const net::Message& m) {
+                 handlePullRequest(to, m);
+               });
+  network.addObserver(*this);
+}
+
+void LiveCast::onSpawn(NodeId node) {
+  if (node >= stores_.size()) {
+    stores_.resize(node + 1, MessageStore(params_.bufferCapacity));
+    stepCount_.resize(node + 1, 0);
+  }
+  stores_[node] = MessageStore(params_.bufferCapacity);
+  stepCount_[node] = 0;
+}
+
+void LiveCast::onKill(NodeId node) { stores_[node].clear(); }
+
+std::uint64_t LiveCast::publish(NodeId origin) {
+  VS07_EXPECT(network_.isAlive(origin));
+  const std::uint64_t dataId = nextDataId_++;
+  stats_[dataId] = LiveMessageStats{dataId, origin, 0, 0, 0};
+  deliveredTo_[dataId].assign(network_.totalCreated(), 0);
+  deliverLocally(origin, dataId, /*viaPull=*/false);
+  forward(origin, kNoNode, dataId, /*hop=*/0);
+  drainOutbox();
+  return dataId;
+}
+
+void LiveCast::step(NodeId self) {
+  ++stepCount_[self];
+  if (params_.pullInterval == 0) return;
+  if (stepCount_[self] % params_.pullInterval != 0) return;
+
+  const auto& view = cyclon_.view(self);
+  if (view.empty()) return;
+  const NodeId target = view.at(rng_.below(view.size())).node;
+
+  net::Message request;
+  request.kind = net::MessageKind::PullRequest;
+  request.from = self;
+  request.ids = stores_[self].digest(params_.digestLength);
+  ++pullsSent_;
+  transport_.send(target, std::move(request));
+  drainOutbox();  // pull answers may have queued forwards
+}
+
+void LiveCast::handleData(NodeId self, const net::Message& msg) {
+  const bool viaPull = (msg.flags & net::kFlagPullAnswer) != 0;
+  auto& store = stores_[self];
+  if (store.hasSeen(msg.dataId)) {
+    auto it = stats_.find(msg.dataId);
+    if (it != stats_.end()) ++it->second.redundantDeliveries;
+    return;
+  }
+  store.remember(msg.dataId);
+  deliverLocally(self, msg.dataId, viaPull);
+  forward(self, msg.from, msg.dataId, msg.hop);
+}
+
+void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
+                              bool viaPull) {
+  stores_[self].remember(dataId);
+  auto statsIt = stats_.find(dataId);
+  if (statsIt == stats_.end()) return;  // unknown id: nothing to account
+  auto& bitmap = deliveredTo_[dataId];
+  if (bitmap.size() < network_.totalCreated())
+    bitmap.resize(network_.totalCreated(), 0);
+  if (bitmap[self]) {
+    // Re-delivery after buffer eviction: the node already counted.
+    ++statsIt->second.redundantDeliveries;
+    return;
+  }
+  bitmap[self] = 1;
+  if (viaPull)
+    ++statsIt->second.pullDelivered;
+  else
+    ++statsIt->second.pushDelivered;
+}
+
+void LiveCast::forward(NodeId self, NodeId receivedFrom,
+                       std::uint64_t dataId, std::uint32_t hop) {
+  // Targets come from the node's *current* views: r-links from CYCLON,
+  // d-links from the ring when a VICINITY layer is attached (Fig. 5),
+  // otherwise pure RANDCAST (Fig. 2).
+  std::vector<NodeId> rlinks;
+  rlinks.reserve(cyclon_.view(self).size());
+  for (const auto& e : cyclon_.view(self).entries())
+    rlinks.push_back(e.node);
+
+  std::vector<NodeId> targets;
+  if (vicinity_ != nullptr) {
+    const auto ring = vicinity_->ringNeighbors(self);
+    std::vector<NodeId> dlinks;
+    if (ring.successor != kNoNode) dlinks.push_back(ring.successor);
+    if (ring.predecessor != kNoNode && ring.predecessor != ring.successor)
+      dlinks.push_back(ring.predecessor);
+    selectHybridTargets(rlinks, dlinks, self, receivedFrom, params_.fanout,
+                        rng_, targets);
+  } else {
+    selectRandomTargets(rlinks, self, receivedFrom, params_.fanout, rng_,
+                        targets);
+  }
+  for (const NodeId target : targets)
+    enqueueData(target, self, dataId, hop + 1, /*viaPull=*/false);
+}
+
+void LiveCast::enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
+                           std::uint32_t hop, bool viaPull) {
+  net::Message msg;
+  msg.kind = net::MessageKind::Data;
+  msg.from = from;
+  msg.dataId = dataId;
+  msg.hop = hop;
+  if (viaPull) {
+    msg.flags |= net::kFlagPullAnswer;
+    ++pullAnswers_;
+  } else {
+    ++pushSent_;
+  }
+  outbox_.push_back({to, std::move(msg), viaPull});
+  if (!draining_) drainOutbox();
+}
+
+void LiveCast::drainOutbox() {
+  if (draining_) return;
+  draining_ = true;
+  while (!outbox_.empty()) {
+    Outgoing next = std::move(outbox_.front());
+    outbox_.pop_front();
+    // Synchronous transports re-enter handleData -> enqueueData here;
+    // those sends land on the queue instead of the call stack, so even a
+    // node-by-node crawl along the whole ring stays at depth one.
+    transport_.send(next.to, std::move(next.msg));
+  }
+  draining_ = false;
+}
+
+void LiveCast::handlePullRequest(NodeId self, const net::Message& msg) {
+  const auto& have = stores_[self].buffered();
+  std::uint32_t sent = 0;
+  // Newest first: fresh messages are the likeliest gaps worth filling.
+  for (auto it = have.rbegin();
+       it != have.rend() && sent < params_.pullBudget; ++it) {
+    const std::uint64_t dataId = *it;
+    if (std::find(msg.ids.begin(), msg.ids.end(), dataId) != msg.ids.end())
+      continue;
+    enqueueData(msg.from, self, dataId, /*hop=*/0, /*viaPull=*/true);
+    ++sent;
+  }
+}
+
+const LiveMessageStats& LiveCast::stats(std::uint64_t dataId) const {
+  const auto it = stats_.find(dataId);
+  VS07_EXPECT(it != stats_.end());
+  return it->second;
+}
+
+bool LiveCast::hasDelivered(std::uint64_t dataId, NodeId node) const {
+  const auto it = deliveredTo_.find(dataId);
+  if (it == deliveredTo_.end()) return false;
+  return node < it->second.size() && it->second[node] != 0;
+}
+
+double LiveCast::missRatioPercentNow(std::uint64_t dataId) const {
+  const auto it = deliveredTo_.find(dataId);
+  VS07_EXPECT(it != deliveredTo_.end());
+  const auto& bitmap = it->second;
+  std::uint64_t deliveredAlive = 0;
+  std::uint64_t alive = 0;
+  for (const NodeId id : network_.aliveIds()) {
+    ++alive;
+    deliveredAlive += id < bitmap.size() && bitmap[id] ? 1 : 0;
+  }
+  if (alive == 0) return 0.0;
+  return 100.0 * static_cast<double>(alive - deliveredAlive) /
+         static_cast<double>(alive);
+}
+
+}  // namespace vs07::cast

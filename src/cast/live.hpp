@@ -1,0 +1,182 @@
+// Live push + pull dissemination — the paper's §8 future work:
+//
+//   "We have explicitly not considered pull-based dissemination. We
+//    expect it to significantly improve the efficiency of the protocol in
+//    terms of reliability. However, additional issues have to be taken
+//    into account, such as the pull frequency, the duration for which
+//    nodes maintain old messages, the size of buffers on nodes, ..."
+//
+// LiveCast runs dissemination through the transport against the *current*
+// protocol views (not a frozen snapshot): publish() pushes a message with
+// RINGCAST/RANDCAST forwarding, and each gossip cycle nodes optionally
+// send an anti-entropy PullRequest — a digest of recently seen message
+// ids — to a random peer, which pushes back whatever the requester is
+// missing. Pull converts push misses (dead forwarding paths, §7.2/§7.3)
+// into short delivery delays, bounded by the very §8 knobs this module
+// exposes: pull frequency, buffer capacity, and digest length.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace vs07::cast {
+
+/// Bounded per-node buffer of messages seen, in arrival order. Eviction
+/// is FIFO: once capacity is exceeded the oldest message is forgotten and
+/// can no longer be served to pulling peers (§8's "duration for which
+/// nodes maintain old messages").
+class MessageStore {
+ public:
+  explicit MessageStore(std::uint32_t capacity = 64);
+
+  bool hasSeen(std::uint64_t dataId) const;
+
+  /// Records a message; evicts the oldest beyond capacity. No-op if seen.
+  void remember(std::uint64_t dataId);
+
+  /// The most recent ids, newest last, at most `limit`.
+  std::vector<std::uint64_t> digest(std::size_t limit) const;
+
+  /// Ids currently buffered (oldest first).
+  const std::deque<std::uint64_t>& buffered() const noexcept {
+    return buffer_;
+  }
+
+  void clear();
+
+ private:
+  std::uint32_t capacity_;
+  std::deque<std::uint64_t> buffer_;
+  std::unordered_map<std::uint64_t, std::uint8_t> seen_;
+};
+
+/// Delivery bookkeeping for one published message.
+struct LiveMessageStats {
+  std::uint64_t dataId = 0;
+  NodeId origin = kNoNode;
+  /// Nodes holding the message right after the synchronous push wave.
+  std::uint64_t pushDelivered = 0;
+  /// Nodes that got it later through pull.
+  std::uint64_t pullDelivered = 0;
+  std::uint64_t redundantDeliveries = 0;
+
+  std::uint64_t delivered() const noexcept {
+    return pushDelivered + pullDelivered;
+  }
+};
+
+/// Live dissemination service. Register with Engine::addProtocol to give
+/// the pull phase a heartbeat.
+class LiveCast final : public sim::CycleProtocol,
+                       public sim::MembershipObserver {
+ public:
+  struct Params {
+    /// Push fanout F.
+    std::uint32_t fanout = 3;
+    /// A node issues one PullRequest every `pullInterval` of its own
+    /// steps; 0 disables pulling (pure push, the paper's main setting).
+    std::uint32_t pullInterval = 1;
+    /// Ids per pull digest.
+    std::uint32_t digestLength = 16;
+    /// Per-node message buffer capacity.
+    std::uint32_t bufferCapacity = 64;
+    /// Max messages pushed back per pull answer.
+    std::uint32_t pullBudget = 8;
+  };
+
+  /// `vicinity` may be null: then forwarding is pure RANDCAST; otherwise
+  /// the hybrid Fig. 5 rule over the current ring neighbours is used.
+  LiveCast(sim::Network& network, net::Transport& transport,
+           sim::MessageRouter& router, const gossip::Cyclon& cyclon,
+           const gossip::Vicinity* vicinity, Params params,
+           std::uint64_t seed);
+
+  LiveCast(const LiveCast&) = delete;
+  LiveCast& operator=(const LiveCast&) = delete;
+
+  /// Publishes a new message from `origin` (must be alive). The push wave
+  /// completes synchronously (immediate transport) or as the transport
+  /// delivers. Returns the new message id.
+  std::uint64_t publish(NodeId origin);
+
+  // sim::CycleProtocol — the pull heartbeat.
+  void step(NodeId self) override;
+
+  // sim::MembershipObserver — joiners start with empty buffers.
+  void onSpawn(NodeId node) override;
+  void onKill(NodeId node) override;
+
+  /// Stats of a published message.
+  const LiveMessageStats& stats(std::uint64_t dataId) const;
+
+  /// A node's message buffer (inspection/tests).
+  const MessageStore& store(NodeId node) const {
+    VS07_EXPECT(node < stores_.size());
+    return stores_[node];
+  }
+
+  /// Has `node` received message `dataId`?
+  bool hasDelivered(std::uint64_t dataId, NodeId node) const;
+
+  /// Miss ratio (percent) of `dataId` over the *currently alive* nodes.
+  double missRatioPercentNow(std::uint64_t dataId) const;
+
+  /// Total PullRequests sent (pull overhead numerator).
+  std::uint64_t pullRequestsSent() const noexcept { return pullsSent_; }
+  /// Total Data messages sent in answer to pulls.
+  std::uint64_t pullAnswersSent() const noexcept { return pullAnswers_; }
+  /// Total Data messages sent by push forwarding.
+  std::uint64_t pushMessagesSent() const noexcept { return pushSent_; }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  void handleData(NodeId self, const net::Message& msg);
+  void handlePullRequest(NodeId self, const net::Message& msg);
+  void deliverLocally(NodeId self, std::uint64_t dataId, bool viaPull);
+  void forward(NodeId self, NodeId receivedFrom, std::uint64_t dataId,
+               std::uint32_t hop);
+  void enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
+                   std::uint32_t hop, bool viaPull);
+  /// Trampoline: drains queued sends iteratively so that long forwarding
+  /// chains (e.g. ring-only propagation) cannot overflow the call stack.
+  void drainOutbox();
+
+  sim::Network& network_;
+  net::Transport& transport_;
+  const gossip::Cyclon& cyclon_;
+  const gossip::Vicinity* vicinity_;
+  Params params_;
+  Rng rng_;
+
+  std::vector<MessageStore> stores_;
+  std::vector<std::uint64_t> stepCount_;
+  /// Per message: bitmap of nodes that have it (index = dataId order).
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> deliveredTo_;
+  std::unordered_map<std::uint64_t, LiveMessageStats> stats_;
+  std::uint64_t nextDataId_ = 1;
+  /// Marks deliveries as pull-sourced while a pull answer is in flight.
+  struct Outgoing {
+    NodeId to;
+    net::Message msg;
+    bool viaPull;
+  };
+  std::deque<Outgoing> outbox_;
+  bool draining_ = false;
+  std::uint64_t pullsSent_ = 0;
+  std::uint64_t pullAnswers_ = 0;
+  std::uint64_t pushSent_ = 0;
+};
+
+}  // namespace vs07::cast

@@ -1,0 +1,86 @@
+#include "cast/selector.hpp"
+
+#include <algorithm>
+
+namespace vs07::cast {
+
+namespace {
+
+bool alreadyChosen(const std::vector<NodeId>& out, NodeId candidate) {
+  return std::find(out.begin(), out.end(), candidate) != out.end();
+}
+
+}  // namespace
+
+void appendRandomTargets(std::span<const NodeId> pool, NodeId self,
+                         NodeId exclude, std::size_t want, Rng& rng,
+                         std::vector<NodeId>& out) {
+  if (want == 0) return;
+  // The pool is a node's view (≤ ~20 entries), so a copy + partial
+  // shuffle is cheap and exact (every eligible subset equally likely).
+  std::vector<NodeId> eligible;
+  eligible.reserve(pool.size());
+  for (const NodeId candidate : pool) {
+    if (candidate == exclude || candidate == self) continue;
+    if (alreadyChosen(out, candidate)) continue;
+    eligible.push_back(candidate);
+  }
+  const std::size_t take = std::min(want, eligible.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.below(eligible.size() - i);
+    std::swap(eligible[i], eligible[j]);
+    out.push_back(eligible[i]);
+  }
+}
+
+void selectRandomTargets(std::span<const NodeId> rlinks, NodeId self,
+                         NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                         std::vector<NodeId>& out) {
+  out.clear();
+  appendRandomTargets(rlinks, self, receivedFrom, fanout, rng, out);
+}
+
+void selectHybridTargets(std::span<const NodeId> rlinks,
+                         std::span<const NodeId> dlinks, NodeId self,
+                         NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                         std::vector<NodeId>& out) {
+  out.clear();
+  // Deterministic component: all outgoing d-links, never back to sender.
+  for (const NodeId link : dlinks)
+    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
+      out.push_back(link);
+  // Probabilistic component: top up to the fanout with random r-links.
+  if (out.size() < fanout)
+    appendRandomTargets(rlinks, self, receivedFrom, fanout - out.size(), rng,
+                        out);
+}
+
+void FloodSelector::selectTargets(const OverlaySnapshot& overlay, NodeId self,
+                                  NodeId receivedFrom,
+                                  std::uint32_t /*fanout*/, Rng& /*rng*/,
+                                  std::vector<NodeId>& out) const {
+  out.clear();
+  for (const NodeId link : overlay.dlinks(self))
+    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
+      out.push_back(link);
+  for (const NodeId link : overlay.rlinks(self))
+    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
+      out.push_back(link);
+}
+
+void RandCastSelector::selectTargets(const OverlaySnapshot& overlay,
+                                     NodeId self, NodeId receivedFrom,
+                                     std::uint32_t fanout, Rng& rng,
+                                     std::vector<NodeId>& out) const {
+  selectRandomTargets(overlay.rlinks(self), self, receivedFrom, fanout, rng,
+                      out);
+}
+
+void HybridSelector::selectTargets(const OverlaySnapshot& overlay, NodeId self,
+                                   NodeId receivedFrom, std::uint32_t fanout,
+                                   Rng& rng, std::vector<NodeId>& out) const {
+  selectHybridTargets(overlay.rlinks(self), overlay.dlinks(self), self,
+                      receivedFrom, fanout, rng, out);
+}
+
+}  // namespace vs07::cast

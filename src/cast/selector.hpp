@@ -1,0 +1,113 @@
+// Gossip-target selection — the one function that distinguishes the
+// dissemination algorithms of the paper:
+//
+//   Fig. 1(b)  flooding:  every link except the sender        (deterministic)
+//   Fig. 2     RANDCAST:  F random r-links except the sender  (probabilistic)
+//   Fig. 5     RINGCAST:  both ring d-links except the sender,
+//              topped up to F with random r-links             (hybrid)
+//
+// The HybridSelector implements the general hybrid rule of §5 — forward
+// across *all* outgoing d-links plus random r-links — so the same code
+// drives RINGCAST (two d-links) and multi-ring RINGCAST (2k d-links).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cast/snapshot.hpp"
+#include "common/rng.hpp"
+#include "net/node_id.hpp"
+
+namespace vs07::cast {
+
+/// Strategy interface: choose where `self` forwards a freshly received
+/// message. `receivedFrom` is kNoNode when `self` is the origin.
+class TargetSelector {
+ public:
+  virtual ~TargetSelector() = default;
+
+  /// Fills `out` (cleared first) with distinct targets; never includes
+  /// `receivedFrom` or `self`. May exceed `fanout` only when the
+  /// algorithm's deterministic links alone do (RINGCAST with F < 2,
+  /// exactly as the paper's Fig. 5 pseudocode behaves).
+  virtual void selectTargets(const OverlaySnapshot& overlay, NodeId self,
+                             NodeId receivedFrom, std::uint32_t fanout,
+                             Rng& rng, std::vector<NodeId>& out) const = 0;
+
+  /// Display name for reports and tables.
+  virtual std::string_view name() const = 0;
+};
+
+/// Deterministic flooding (Fig. 1): forward across every outgoing link
+/// (d-links and r-links) except back to the sender. Fanout is ignored.
+class FloodSelector final : public TargetSelector {
+ public:
+  void selectTargets(const OverlaySnapshot& overlay, NodeId self,
+                     NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                     std::vector<NodeId>& out) const override;
+  std::string_view name() const override { return "Flood"; }
+};
+
+/// RANDCAST (Fig. 2): up to F distinct random r-links, never the sender.
+class RandCastSelector final : public TargetSelector {
+ public:
+  void selectTargets(const OverlaySnapshot& overlay, NodeId self,
+                     NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                     std::vector<NodeId>& out) const override;
+  std::string_view name() const override { return "RandCast"; }
+};
+
+/// Hybrid rule of §5 / Fig. 5: all d-links except the sender, then
+/// max(0, F - |targets|) distinct random r-links (excluding sender,
+/// self and already-chosen targets). With single-ring d-links this *is*
+/// RINGCAST.
+class HybridSelector : public TargetSelector {
+ public:
+  void selectTargets(const OverlaySnapshot& overlay, NodeId self,
+                     NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                     std::vector<NodeId>& out) const override;
+  std::string_view name() const override { return "Hybrid"; }
+};
+
+/// RINGCAST — the paper's protocol: HybridSelector over a snapshot whose
+/// d-links are the bidirectional ring neighbours.
+class RingCastSelector final : public HybridSelector {
+ public:
+  std::string_view name() const override { return "RingCast"; }
+};
+
+/// Multi-ring RINGCAST (§8 extension): HybridSelector over a snapshot
+/// whose d-links union several rings.
+class MultiRingCastSelector final : public HybridSelector {
+ public:
+  std::string_view name() const override { return "MultiRingCast"; }
+};
+
+// -- span-based primitives ---------------------------------------------
+//
+// The selector classes above work on frozen snapshots; live dissemination
+// (cast/live.hpp) picks targets from a node's *current* views. Both share
+// these primitives, so Fig. 2 / Fig. 5 semantics exist in exactly one
+// place.
+
+/// Appends up to `want` distinct random picks from `pool` to `out`,
+/// skipping `exclude`, `self`, and anything already in `out`.
+void appendRandomTargets(std::span<const NodeId> pool, NodeId self,
+                         NodeId exclude, std::size_t want, Rng& rng,
+                         std::vector<NodeId>& out);
+
+/// The RANDCAST rule (Fig. 2) over explicit link sets.
+void selectRandomTargets(std::span<const NodeId> rlinks, NodeId self,
+                         NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                         std::vector<NodeId>& out);
+
+/// The hybrid rule (§5 / Fig. 5) over explicit link sets: all d-links
+/// except the sender, topped up to `fanout` with random r-links.
+void selectHybridTargets(std::span<const NodeId> rlinks,
+                         std::span<const NodeId> dlinks, NodeId self,
+                         NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
+                         std::vector<NodeId>& out);
+
+}  // namespace vs07::cast

@@ -1,0 +1,102 @@
+#include "cast/snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vs07::cast {
+
+OverlaySnapshot::OverlaySnapshot(std::vector<NodeLinks> links,
+                                 std::vector<std::uint8_t> alive)
+    : links_(std::move(links)), alive_(std::move(alive)) {
+  VS07_EXPECT(links_.size() == alive_.size());
+  for (NodeId id = 0; id < alive_.size(); ++id)
+    if (alive_[id]) {
+      aliveIds_.push_back(id);
+      ++aliveCount_;
+    }
+}
+
+namespace {
+
+std::vector<std::uint8_t> aliveMask(const sim::Network& network) {
+  std::vector<std::uint8_t> alive(network.totalCreated(), 0);
+  for (const NodeId id : network.aliveIds()) alive[id] = 1;
+  return alive;
+}
+
+std::vector<NodeId> viewIds(const gossip::View& view) {
+  std::vector<NodeId> ids;
+  ids.reserve(view.size());
+  for (const auto& e : view.entries()) ids.push_back(e.node);
+  return ids;
+}
+
+void addUniqueDlink(std::vector<NodeId>& dlinks, NodeId link) {
+  if (link == kNoNode) return;
+  if (std::find(dlinks.begin(), dlinks.end(), link) != dlinks.end()) return;
+  dlinks.push_back(link);
+}
+
+}  // namespace
+
+OverlaySnapshot snapshotRandom(const sim::Network& network,
+                               const gossip::Cyclon& cyclon) {
+  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
+  for (const NodeId id : network.aliveIds())
+    links[id].rlinks = viewIds(cyclon.view(id));
+  return {std::move(links), aliveMask(network)};
+}
+
+OverlaySnapshot snapshotRing(const sim::Network& network,
+                             const gossip::Cyclon& cyclon,
+                             const gossip::Vicinity& vicinity) {
+  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
+  for (const NodeId id : network.aliveIds()) {
+    links[id].rlinks = viewIds(cyclon.view(id));
+    const auto ring = vicinity.ringNeighbors(id);
+    addUniqueDlink(links[id].dlinks, ring.successor);
+    addUniqueDlink(links[id].dlinks, ring.predecessor);
+  }
+  return {std::move(links), aliveMask(network)};
+}
+
+OverlaySnapshot snapshotMultiRing(const sim::Network& network,
+                                  const gossip::Cyclon& cyclon,
+                                  const gossip::MultiRing& rings) {
+  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
+  for (const NodeId id : network.aliveIds()) {
+    links[id].rlinks = viewIds(cyclon.view(id));
+    for (const auto& ring : rings.allRingNeighbors(id)) {
+      addUniqueDlink(links[id].dlinks, ring.successor);
+      addUniqueDlink(links[id].dlinks, ring.predecessor);
+    }
+  }
+  return {std::move(links), aliveMask(network)};
+}
+
+OverlaySnapshot snapshotBand(const sim::Network& network,
+                             const gossip::Cyclon& cyclon,
+                             const gossip::Vicinity& vicinity,
+                             std::uint32_t bandWidth) {
+  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
+  for (const NodeId id : network.aliveIds()) {
+    links[id].rlinks = viewIds(cyclon.view(id));
+    links[id].dlinks = vicinity.ringBand(id, bandWidth);
+  }
+  return {std::move(links), aliveMask(network)};
+}
+
+OverlaySnapshot snapshotGraph(const overlay::Graph& graph) {
+  return snapshotGraph(graph, std::vector<std::uint8_t>(graph.size(), 1));
+}
+
+OverlaySnapshot snapshotGraph(const overlay::Graph& graph,
+                              std::vector<std::uint8_t> alive) {
+  VS07_EXPECT(alive.size() == graph.size());
+  std::vector<OverlaySnapshot::NodeLinks> links(graph.size());
+  for (NodeId id = 0; id < graph.size(); ++id)
+    links[id].dlinks = graph.neighbors(id);
+  return {std::move(links), std::move(alive)};
+}
+
+}  // namespace vs07::cast

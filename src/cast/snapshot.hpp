@@ -1,0 +1,99 @@
+// Frozen overlay snapshots — what disseminations run over.
+//
+// §7.1 establishes that gossiping speed has no macroscopic effect on
+// dissemination, so the paper freezes the overlay before posting messages;
+// we snapshot each node's current r-links (CYCLON view) and d-links
+// (VICINITY ring neighbours) into a compact immutable structure. Snapshots
+// deliberately keep links pointing at dead nodes: a message forwarded to a
+// dead node is lost, which is the §7.2/§7.3 worst-case semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/multiring.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/node_id.hpp"
+#include "overlay/graph.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::cast {
+
+/// Immutable per-node link sets captured at freeze time.
+class OverlaySnapshot {
+ public:
+  /// Links of one node. d-links are listed in forwarding order; for a
+  /// single ring that is {successor, predecessor}.
+  struct NodeLinks {
+    std::vector<NodeId> rlinks;
+    std::vector<NodeId> dlinks;
+  };
+
+  OverlaySnapshot(std::vector<NodeLinks> links, std::vector<std::uint8_t> alive);
+
+  /// Number of node ids (dense id space, dead included).
+  std::uint32_t totalIds() const noexcept {
+    return static_cast<std::uint32_t>(links_.size());
+  }
+  bool isAlive(NodeId node) const {
+    VS07_EXPECT(node < alive_.size());
+    return alive_[node] != 0;
+  }
+  std::uint32_t aliveCount() const noexcept { return aliveCount_; }
+  const std::vector<NodeId>& aliveIds() const noexcept { return aliveIds_; }
+
+  const std::vector<NodeId>& rlinks(NodeId node) const {
+    VS07_EXPECT(node < links_.size());
+    return links_[node].rlinks;
+  }
+  const std::vector<NodeId>& dlinks(NodeId node) const {
+    VS07_EXPECT(node < links_.size());
+    return links_[node].dlinks;
+  }
+
+ private:
+  std::vector<NodeLinks> links_;
+  std::vector<std::uint8_t> alive_;
+  std::vector<NodeId> aliveIds_;
+  std::uint32_t aliveCount_ = 0;
+};
+
+/// Captures r-links from CYCLON only (RANDCAST's overlay).
+OverlaySnapshot snapshotRandom(const sim::Network& network,
+                               const gossip::Cyclon& cyclon);
+
+/// Captures r-links from CYCLON and d-links {successor, predecessor} from
+/// one VICINITY ring (RINGCAST's overlay).
+OverlaySnapshot snapshotRing(const sim::Network& network,
+                             const gossip::Cyclon& cyclon,
+                             const gossip::Vicinity& vicinity);
+
+/// Captures r-links from CYCLON and the union of ring neighbours over all
+/// rings of a MultiRing (multi-ring RINGCAST, §8).
+OverlaySnapshot snapshotMultiRing(const sim::Network& network,
+                                  const gossip::Cyclon& cyclon,
+                                  const gossip::MultiRing& rings);
+
+/// Captures r-links from CYCLON and a Harary band as d-links: each node's
+/// `bandWidth` nearest successors and predecessors on the VICINITY ring.
+/// At convergence the d-link graph is H(2·bandWidth, n) — the paper's §8
+/// higher-connectivity alternative to multiple rings. bandWidth = 1 is
+/// exactly snapshotRing.
+OverlaySnapshot snapshotBand(const sim::Network& network,
+                             const gossip::Cyclon& cyclon,
+                             const gossip::Vicinity& vicinity,
+                             std::uint32_t bandWidth);
+
+/// Wraps a static deterministic overlay (§3): the graph's adjacency
+/// becomes d-links (flooding forwards across all of them); no r-links.
+/// All nodes alive.
+OverlaySnapshot snapshotGraph(const overlay::Graph& graph);
+
+/// As snapshotGraph, but with the given alive mask (failure studies on
+/// static overlays).
+OverlaySnapshot snapshotGraph(const overlay::Graph& graph,
+                              std::vector<std::uint8_t> alive);
+
+}  // namespace vs07::cast

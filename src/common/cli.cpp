@@ -1,0 +1,112 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace vs07 {
+
+bool CliArgs::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t CliArgs::getUint(const std::string& name,
+                               std::uint64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stoull(*v);
+}
+
+std::int64_t CliArgs::getInt(const std::string& name,
+                             std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double CliArgs::getDouble(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool CliArgs::getBool(const std::string& name, bool fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
+  if (*v == "0" || *v == "false" || *v == "no") return false;
+  throw std::invalid_argument("bad boolean for --" + name + ": " + *v);
+}
+
+CliParser::CliParser(std::string programDescription)
+    : description_(std::move(programDescription)) {}
+
+CliParser& CliParser::option(std::string name, std::string help,
+                             bool takesValue) {
+  options_.push_back({std::move(name), std::move(help), takesValue});
+  return *this;
+}
+
+std::string CliParser::usage(const std::string& program) const {
+  std::ostringstream out;
+  out << description_ << "\n\nUsage: " << program << " [options]\n";
+  for (const auto& opt : options_) {
+    out << "  --" << opt.name;
+    if (opt.takesValue) out << " <value>";
+    out << "\n      " << opt.help << '\n';
+  }
+  out << "  --help\n      Show this message.\n";
+  return out.str();
+}
+
+std::optional<CliArgs> CliParser::parse(int argc,
+                                        const char* const* argv) const {
+  CliArgs args;
+  auto findOption = [&](const std::string& name) -> const Option* {
+    for (const auto& opt : options_)
+      if (opt.name == name) return &opt;
+    return nullptr;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::fputs(usage(argv[0]).c_str(), stdout);
+      return std::nullopt;
+    }
+    if (token.rfind("--", 0) != 0)
+      throw std::invalid_argument("unexpected argument: " + token);
+    token.erase(0, 2);
+
+    std::string name = token;
+    std::optional<std::string> inlineValue;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      name = token.substr(0, eq);
+      inlineValue = token.substr(eq + 1);
+    }
+    const Option* opt = findOption(name);
+    if (!opt) throw std::invalid_argument("unknown option: --" + name);
+
+    if (!opt->takesValue) {
+      if (inlineValue)
+        args.values_[name] = *inlineValue;  // allow --flag=true
+      else
+        args.values_[name] = "";
+    } else if (inlineValue) {
+      args.values_[name] = *inlineValue;
+    } else {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for --" + name);
+      args.values_[name] = argv[++i];
+    }
+  }
+  return args;
+}
+
+}  // namespace vs07

@@ -1,0 +1,59 @@
+// Minimal command-line option parsing for the bench/example binaries.
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms.
+// Unknown options are an error so typos do not silently run the default
+// experiment scale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vs07 {
+
+/// Parsed command line. Construct via CliParser.
+class CliArgs {
+ public:
+  bool has(const std::string& name) const;
+  /// Returns the raw string value (empty string for bare flags).
+  std::optional<std::string> get(const std::string& name) const;
+  std::uint64_t getUint(const std::string& name, std::uint64_t fallback) const;
+  std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
+  double getDouble(const std::string& name, double fallback) const;
+  bool getBool(const std::string& name, bool fallback = false) const;
+
+ private:
+  friend class CliParser;
+  std::map<std::string, std::string> values_;
+};
+
+/// Declarative option registry + parser. Declares the accepted options up
+/// front so `--help` output is generated and unknown options rejected.
+class CliParser {
+ public:
+  explicit CliParser(std::string programDescription);
+
+  /// Registers an option. `takesValue` distinguishes `--n 100` from
+  /// boolean `--paper`.
+  CliParser& option(std::string name, std::string help,
+                    bool takesValue = true);
+
+  /// Parses argv. On `--help`, prints usage and returns std::nullopt
+  /// (caller should exit 0). Throws std::invalid_argument on bad input.
+  std::optional<CliArgs> parse(int argc, const char* const* argv) const;
+
+  /// The generated usage text.
+  std::string usage(const std::string& program) const;
+
+ private:
+  struct Option {
+    std::string name;
+    std::string help;
+    bool takesValue = true;
+  };
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace vs07

@@ -1,0 +1,41 @@
+// Lightweight contract checking, in the spirit of the C++ Core Guidelines'
+// Expects()/Ensures() (I.6, I.8). Violations throw, so tests can assert on
+// them and simulations never silently continue from a broken invariant.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vs07 {
+
+/// Thrown when a precondition or invariant check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contractFail(const char* kind, const char* expr,
+                                      const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace vs07
+
+/// Precondition check: argument/state requirements at function entry.
+#define VS07_EXPECT(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::vs07::detail::contractFail("precondition", #cond, __FILE__,      \
+                                   __LINE__);                            \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define VS07_ENSURE(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::vs07::detail::contractFail("postcondition", #cond, __FILE__,     \
+                                   __LINE__);                            \
+  } while (false)

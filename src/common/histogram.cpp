@@ -1,0 +1,99 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+void CountHistogram::add(std::uint64_t value, std::uint64_t weight) {
+  if (weight == 0) return;
+  counts_[value] += weight;
+  total_ += weight;
+}
+
+void CountHistogram::merge(const CountHistogram& other) {
+  for (const auto& [value, count] : other.counts_) add(value, count);
+}
+
+std::uint64_t CountHistogram::count(std::uint64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t CountHistogram::maxValue() const {
+  return counts_.empty() ? 0 : counts_.rbegin()->first;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> CountHistogram::sorted()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::vector<LogBin> logBins(const CountHistogram& h, double factor) {
+  VS07_EXPECT(factor > 1.0);
+  std::vector<LogBin> bins;
+  if (h.empty()) return bins;
+
+  const auto pairs = h.sorted();
+  // Dedicated zero bin, if present.
+  std::size_t firstIndex = 0;
+  if (pairs.front().first == 0) {
+    bins.push_back({0, 0, pairs.front().second});
+    firstIndex = 1;
+  }
+  if (firstIndex >= pairs.size()) return bins;
+
+  std::uint64_t lo = 1;
+  auto width = 1.0;
+  std::size_t i = firstIndex;
+  const std::uint64_t maxValue = pairs.back().first;
+  while (lo <= maxValue) {
+    const auto hi =
+        lo + static_cast<std::uint64_t>(std::ceil(width)) - 1;
+    LogBin bin{lo, hi, 0};
+    while (i < pairs.size() && pairs[i].first <= hi) {
+      bin.count += pairs[i].second;
+      ++i;
+    }
+    bins.push_back(bin);
+    lo = hi + 1;
+    width *= factor;
+  }
+  // Trim trailing empty bins.
+  while (!bins.empty() && bins.back().count == 0) bins.pop_back();
+  return bins;
+}
+
+std::string renderLogBins(const std::vector<LogBin>& bins, int barWidth) {
+  VS07_EXPECT(barWidth > 0);
+  std::uint64_t peak = 0;
+  for (const auto& bin : bins) peak = std::max(peak, bin.count);
+  if (peak == 0) peak = 1;
+
+  std::ostringstream out;
+  for (const auto& bin : bins) {
+    // Bar length proportional to log(count+1): matches the log-scale
+    // vertical axis of the paper's figures.
+    const double frac =
+        std::log2(static_cast<double>(bin.count) + 1.0) /
+        std::log2(static_cast<double>(peak) + 1.0);
+    const int len = static_cast<int>(frac * barWidth + 0.5);
+    char range[64];
+    if (bin.lo == bin.hi)
+      std::snprintf(range, sizeof range, "%10llu      ",
+                    static_cast<unsigned long long>(bin.lo));
+    else
+      std::snprintf(range, sizeof range, "%6llu-%-8llu",
+                    static_cast<unsigned long long>(bin.lo),
+                    static_cast<unsigned long long>(bin.hi));
+    out << range << ' ';
+    for (int k = 0; k < len; ++k) out << '#';
+    out << ' ' << bin.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace vs07

@@ -1,0 +1,58 @@
+// Histograms used to regenerate the paper's distribution figures:
+// Fig. 12 / Fig. 13 plot exact counts per integer lifetime on log-log axes,
+// so we provide both an exact integer-count histogram and a log-binned view
+// for compact textual rendering.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vs07 {
+
+/// Exact counts keyed by non-negative integer value (sparse).
+class CountHistogram {
+ public:
+  /// Adds `weight` observations of `value`.
+  void add(std::uint64_t value, std::uint64_t weight = 1);
+
+  /// Merges another histogram into this one.
+  void merge(const CountHistogram& other);
+
+  /// Count recorded for exactly `value` (0 if absent).
+  std::uint64_t count(std::uint64_t value) const;
+
+  /// Total number of observations.
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Largest value observed (0 if empty).
+  std::uint64_t maxValue() const;
+
+  /// All (value, count) pairs in increasing value order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted() const;
+
+  bool empty() const noexcept { return counts_.empty(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// One bin of a logarithmically-binned histogram.
+struct LogBin {
+  std::uint64_t lo = 0;  ///< inclusive lower bound
+  std::uint64_t hi = 0;  ///< inclusive upper bound
+  std::uint64_t count = 0;
+};
+
+/// Groups a CountHistogram into multiplicative bins (default ×2 per bin,
+/// i.e. [1,1], [2,3], [4,7], ... with a dedicated bin for value 0).
+/// This is how the log-log figures are rendered as text.
+std::vector<LogBin> logBins(const CountHistogram& h, double factor = 2.0);
+
+/// Renders log bins as an aligned text block, one line per bin, with a
+/// proportional bar. Used by the figure benches for terminal output.
+std::string renderLogBins(const std::vector<LogBin>& bins, int barWidth = 40);
+
+}  // namespace vs07

@@ -1,0 +1,30 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace vs07 {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "[debug] ";
+    case LogLevel::Info:  return "[info ] ";
+    case LogLevel::Warn:  return "[warn ] ";
+    case LogLevel::Error: return "[error] ";
+    case LogLevel::Off:   return "";
+  }
+  return "";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) noexcept { g_level = level; }
+LogLevel logLevel() noexcept { return g_level; }
+
+void logLine(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "%s%s\n", prefix(level), message.c_str());
+}
+
+}  // namespace vs07

@@ -1,0 +1,26 @@
+// Tiny leveled logger. Benches and examples narrate progress at Info;
+// the simulation core logs nothing in hot paths (Per.1) — diagnostics go
+// through reports instead.
+#pragma once
+
+#include <string>
+
+namespace vs07 {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void setLogLevel(LogLevel level) noexcept;
+LogLevel logLevel() noexcept;
+
+/// Writes one line to stderr with a level prefix if `level` passes the
+/// threshold. Thread-compatible: callers serialize externally if needed
+/// (the simulator is single-threaded by design).
+void logLine(LogLevel level, const std::string& message);
+
+inline void logDebug(const std::string& m) { logLine(LogLevel::Debug, m); }
+inline void logInfo(const std::string& m) { logLine(LogLevel::Info, m); }
+inline void logWarn(const std::string& m) { logLine(LogLevel::Warn, m); }
+inline void logError(const std::string& m) { logLine(LogLevel::Error, m); }
+
+}  // namespace vs07

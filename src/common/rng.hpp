@@ -1,0 +1,140 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// All randomness in the library flows through Rng so that every experiment
+// is reproducible from a single 64-bit seed. The generator is xoshiro256**
+// (Blackman & Vigna), seeded via splitmix64; both are tiny, fast, and have
+// no shared global state, unlike std::mt19937 whose seeding is easy to get
+// wrong and whose state is large.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+/// splitmix64 step: used for seeding and for hashing ids into profiles.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mixing of a 64-bit value (one splitmix64 round).
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** pseudo-random generator.
+///
+/// Satisfies std::uniform_random_bit_generator, so it composes with
+/// standard <random> distributions, but the member helpers below are the
+/// intended API: they are faster and bias-free.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator deterministically from one 64-bit value.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL) noexcept {
+    reseed(seed);
+  }
+
+  /// Re-seeds in place (equivalent to constructing a fresh Rng).
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (no modulo bias).
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Contract kept as a cheap branch: bound==0 would loop forever.
+    if (bound == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi]. Requires lo <= hi.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Fisher–Yates shuffle of a whole container.
+  template <typename Container>
+  void shuffle(Container& c) noexcept {
+    const std::size_t n = c.size();
+    for (std::size_t i = n; i > 1; --i) {
+      const std::size_t j = below(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Selects k distinct indices uniformly from [0, n). If k >= n, returns
+  /// all of [0, n) in random order. Uses a partial Fisher–Yates over an
+  /// index vector: O(n) setup, fine for the small n used in views.
+  std::vector<std::size_t> sampleIndices(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    const std::size_t take = k < n ? k : n;
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j = i + below(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(take);
+    return idx;
+  }
+
+  /// Forks an independent child stream; children of distinct draws are
+  /// statistically independent of the parent and of each other.
+  Rng fork() noexcept { return Rng((*this)() ^ 0x9E3779B97F4A7C15ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace vs07

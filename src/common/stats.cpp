@@ -1,0 +1,94 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  VS07_EXPECT(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  const auto n = static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto rank = [&](double p) {
+    const auto n = static_cast<double>(sorted.size());
+    const auto r = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    return sorted[std::min(sorted.size() - 1, r == 0 ? 0 : r - 1)];
+  };
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = sorted.front();
+  s.p50 = rank(50.0);
+  s.p90 = rank(90.0);
+  s.p99 = rank(99.0);
+  s.max = sorted.back();
+  return s;
+}
+
+double giniCoefficient(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  double cumulativeWeighted = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    VS07_EXPECT(sorted[i] >= 0.0);
+    cumulativeWeighted += static_cast<double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total == 0.0) return 0.0;
+  const auto n = static_cast<double>(sorted.size());
+  return (2.0 * cumulativeWeighted) / (n * total) - (n + 1.0) / n;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+std::vector<double> toDoubles(std::span<const std::uint64_t> xs) {
+  return {xs.begin(), xs.end()};
+}
+
+std::vector<double> toDoubles(std::span<const std::uint32_t> xs) {
+  return {xs.begin(), xs.end()};
+}
+
+}  // namespace vs07

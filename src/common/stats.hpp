@@ -1,0 +1,78 @@
+// Small statistics toolkit used by the analysis layer and the benches:
+// streaming moments (Welford), order statistics, and inequality measures
+// for the paper's load-distribution claim.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vs07 {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+/// Numerically stable for long runs; O(1) per observation.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number-style summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises a sample (copies + sorts internally; fine for bench sizes).
+Summary summarize(std::span<const double> xs);
+
+/// Nearest-rank percentile of a sample, p in [0, 100].
+/// The input need not be sorted. Returns 0 for an empty sample.
+double percentile(std::span<const double> xs, double p);
+
+/// Gini coefficient of non-negative values in [0, 1]: 0 = perfectly even
+/// load, 1 = one node carries everything. Used for the load-distribution
+/// claim of the paper (§2, §7).
+double giniCoefficient(std::span<const double> xs);
+
+/// Mean of a sample (0 for empty).
+double mean(std::span<const double> xs);
+
+/// Converts any integer-valued container to double for the helpers above.
+std::vector<double> toDoubles(std::span<const std::uint64_t> xs);
+std::vector<double> toDoubles(std::span<const std::uint32_t> xs);
+
+}  // namespace vs07

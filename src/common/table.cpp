@@ -1,0 +1,77 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  VS07_EXPECT(!header_.empty());
+}
+
+void Table::addRow(std::vector<std::string> cells) {
+  VS07_EXPECT(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      out << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad)
+        out << ' ';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t lineWidth = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    lineWidth += widths[c] + (c ? 2 : 0);
+  out << std::string(lineWidth, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string Table::renderCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmtLog(double value) {
+  char buf[64];
+  if (value == 0.0) return "0";
+  if (value >= 0.01)
+    std::snprintf(buf, sizeof buf, "%.4f", value);
+  else
+    std::snprintf(buf, sizeof buf, "%.3e", value);
+  return buf;
+}
+
+}  // namespace vs07

@@ -1,0 +1,47 @@
+// Aligned text tables and CSV emission for the figure benches.
+// Each bench prints the same rows/series the corresponding paper figure
+// plots; Table keeps that output readable in a terminal, and the CSV twin
+// makes it trivially plottable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vs07 {
+
+/// Column-aligned text table with a header row.
+///
+/// Usage:
+///   Table t({"fanout", "miss%", "complete%"});
+///   t.addRow({"2", "10.81", "0"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void addRow(std::vector<std::string> cells);
+
+  /// Number of data rows.
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with padded columns and a separator under the header.
+  std::string render() const;
+
+  /// Renders as comma-separated values (header + rows).
+  std::string renderCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for building rows).
+std::string fmt(double value, int precision = 3);
+
+/// Formats a double in scientific-ish compact form for log-scale figures
+/// (e.g. miss ratios of 1e-4 .. 100 as the paper plots them).
+std::string fmtLog(double value);
+
+}  // namespace vs07

@@ -1,0 +1,135 @@
+#include "gossip/cyclon.hpp"
+
+#include <utility>
+
+namespace vs07::gossip {
+
+Cyclon::Cyclon(sim::Network& network, net::Transport& transport,
+               sim::MessageRouter& router, Params params, std::uint64_t seed)
+    : network_(network),
+      transport_(transport),
+      params_(params),
+      rng_(seed) {
+  VS07_EXPECT(params_.viewLength > 0);
+  VS07_EXPECT(params_.shuffleLength > 0);
+  VS07_EXPECT(params_.shuffleLength <= params_.viewLength);
+  router.route(net::MessageKind::CyclonRequest,
+               [this](NodeId to, const net::Message& m) {
+                 handleRequest(to, m);
+               });
+  router.route(net::MessageKind::CyclonReply,
+               [this](NodeId to, const net::Message& m) {
+                 handleReply(to, m);
+               });
+  network.addObserver(*this);  // sizes views_ via onSpawn callbacks
+}
+
+PeerDescriptor Cyclon::selfDescriptor(NodeId node) const {
+  return PeerDescriptor{node, 0, network_.seqId(node)};
+}
+
+void Cyclon::onSpawn(NodeId node) {
+  if (node >= views_.size()) {
+    views_.resize(node + 1);
+    pendingSent_.resize(node + 1);
+  }
+  views_[node] = View(node, params_.viewLength);
+}
+
+void Cyclon::onKill(NodeId node) {
+  // Keep the dead node's view allocated but inert; other nodes' links to
+  // it stay dangling on purpose (the paper's dead-link semantics).
+  views_[node].clear();
+  pendingSent_[node].clear();
+}
+
+void Cyclon::onJoin(NodeId node, NodeId introducer) {
+  VS07_EXPECT(node != introducer);
+  View& v = views_[node];
+  v.clear();
+  v.add(selfDescriptor(introducer));
+}
+
+const View& Cyclon::view(NodeId node) const {
+  VS07_EXPECT(node < views_.size());
+  return views_[node];
+}
+
+void Cyclon::step(NodeId self) {
+  View& v = views_[self];
+  v.incrementAges();
+  if (v.empty()) return;  // isolated node: nothing to shuffle with
+
+  // 2. Oldest neighbour becomes the exchange partner and leaves the view.
+  const std::size_t qIndex = v.oldestIndex();
+  const NodeId q = v.at(qIndex).node;
+  v.removeAt(qIndex);
+
+  // 3. Random subset of g-1 other entries, plus a fresh self-descriptor.
+  auto subset =
+      v.randomEntries(params_.shuffleLength - 1, /*exclude=*/q, rng_);
+  auto& sent = pendingSent_[self];
+  sent.clear();
+  for (const auto& e : subset) sent.push_back(e.node);
+  subset.push_back(selfDescriptor(self));
+
+  net::Message request;
+  request.kind = net::MessageKind::CyclonRequest;
+  request.from = self;
+  request.entries = std::move(subset);
+  ++shuffles_;
+  transport_.send(q, std::move(request));
+  // If q is dead or the message is lost, no reply ever comes back:
+  // the oldest entry is already gone and pendingSent_ is simply
+  // overwritten by the next shuffle. That *is* CYCLON's failure handling.
+}
+
+void Cyclon::handleRequest(NodeId self, const net::Message& msg) {
+  View& v = views_[self];
+  // Reply with up to g random entries (excluding any entry for the
+  // initiator: it would be discarded at the other end anyway).
+  auto replyEntries =
+      v.randomEntries(params_.shuffleLength, /*exclude=*/msg.from, rng_);
+  std::vector<NodeId> sentIds;
+  sentIds.reserve(replyEntries.size());
+  for (const auto& e : replyEntries) sentIds.push_back(e.node);
+
+  net::Message reply;
+  reply.kind = net::MessageKind::CyclonReply;
+  reply.from = self;
+  reply.entries = std::move(replyEntries);
+  transport_.send(msg.from, std::move(reply));
+
+  merge(self, msg.entries, sentIds);
+}
+
+void Cyclon::handleReply(NodeId self, const net::Message& msg) {
+  merge(self, msg.entries, pendingSent_[self]);
+  pendingSent_[self].clear();
+}
+
+void Cyclon::merge(NodeId self, std::span<const PeerDescriptor> received,
+                   std::vector<NodeId>& sentIds) {
+  View& v = views_[self];
+  for (const auto& entry : received) {
+    if (entry.node == self) continue;        // descriptor of ourselves
+    if (v.contains(entry.node)) continue;    // duplicate: keep existing
+    if (!v.full()) {
+      v.add(entry);
+      continue;
+    }
+    // Replace one of the entries we sent out, if any is still present.
+    bool placed = false;
+    while (!sentIds.empty() && !placed) {
+      const NodeId victim = sentIds.back();
+      sentIds.pop_back();
+      if (v.removeNode(victim)) {
+        v.add(entry);
+        placed = true;
+      }
+    }
+    // View full and nothing left to sacrifice: drop the entry.
+  }
+}
+
+}  // namespace vs07::gossip

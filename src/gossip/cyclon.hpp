@@ -1,0 +1,97 @@
+// CYCLON — inexpensive membership management for unstructured P2P overlays
+// (Voulgaris, Gavidia, van Steen; JNSM 2005). The paper's r-link substrate.
+//
+// Enhanced shuffle, one active exchange per node per cycle:
+//   1. increment the age of every view entry;
+//   2. pick the *oldest* neighbour Q and remove it from the view;
+//   3. send Q a random subset of g-1 other entries plus a fresh
+//      descriptor of ourselves (age 0);
+//   4. Q replies with up to g random entries of its own view and merges
+//      our entries, preferring empty slots, then slots of entries it just
+//      sent us;
+//   5. we merge Q's reply the same way (the slot freed by removing Q
+//      counts as empty).
+//
+// Dead peers are forgotten for free: the oldest entry is removed before
+// contacting it, and a dead Q never replies, so its slot is simply
+// reused — CYCLON's implicit failure detection, which the churn
+// experiments (§7.3) rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gossip/peer_sampling.hpp"
+#include "gossip/view.hpp"
+#include "net/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace vs07::gossip {
+
+/// CYCLON protocol instance managing the views of all simulated nodes.
+class Cyclon final : public sim::CycleProtocol,
+                     public sim::MembershipObserver,
+                     public sim::JoinHandler,
+                     public PeerSamplingService {
+ public:
+  struct Params {
+    /// View length ℓ (the paper's cyc = 20).
+    std::uint32_t viewLength = 20;
+    /// Shuffle length g: entries exchanged per gossip (CYCLON default 8).
+    std::uint32_t shuffleLength = 8;
+  };
+
+  /// Registers message handlers on `router` and sizes per-node state for
+  /// all current nodes of `network` (observer registration). All objects
+  /// are borrowed and must outlive the protocol.
+  Cyclon(sim::Network& network, net::Transport& transport,
+         sim::MessageRouter& router, Params params, std::uint64_t seed);
+
+  Cyclon(const Cyclon&) = delete;
+  Cyclon& operator=(const Cyclon&) = delete;
+
+  // sim::CycleProtocol — one active shuffle.
+  void step(NodeId self) override;
+
+  // sim::JoinHandler — fresh node starts with just the introducer.
+  void onJoin(NodeId node, NodeId introducer) override;
+
+  // sim::MembershipObserver
+  void onSpawn(NodeId node) override;
+  void onKill(NodeId node) override;
+
+  // PeerSamplingService
+  const View& view(NodeId node) const override;
+
+  const Params& params() const noexcept { return params_; }
+
+  /// Total shuffles initiated (diagnostics).
+  std::uint64_t shufflesInitiated() const noexcept { return shuffles_; }
+
+ private:
+  void handleRequest(NodeId self, const net::Message& msg);
+  void handleReply(NodeId self, const net::Message& msg);
+
+  /// CYCLON merge: insert `received` into `self`'s view, skipping self-
+  /// descriptors and duplicates, filling free slots first and then
+  /// replacing entries listed in `sentIds` (consumed left to right).
+  void merge(NodeId self, std::span<const PeerDescriptor> received,
+             std::vector<NodeId>& sentIds);
+
+  PeerDescriptor selfDescriptor(NodeId node) const;
+
+  sim::Network& network_;
+  net::Transport& transport_;
+  Params params_;
+  Rng rng_;
+  std::vector<View> views_;
+  /// Ids sent in the outstanding shuffle request of each node (consumed by
+  /// the merge when the reply arrives).
+  std::vector<std::vector<NodeId>> pendingSent_;
+  std::uint64_t shuffles_ = 0;
+};
+
+}  // namespace vs07::gossip

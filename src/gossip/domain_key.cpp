@@ -1,0 +1,49 @@
+#include "gossip/domain_key.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace vs07::gossip {
+
+std::string reverseDomain(std::string_view domain) {
+  std::vector<std::string_view> labels;
+  std::size_t start = 0;
+  while (start <= domain.size()) {
+    const auto dot = domain.find('.', start);
+    const auto end = dot == std::string_view::npos ? domain.size() : dot;
+    if (end > start) labels.push_back(domain.substr(start, end - start));
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  std::string out;
+  out.reserve(domain.size());
+  for (auto it = labels.rbegin(); it != labels.rend(); ++it) {
+    if (!out.empty()) out.push_back('.');
+    out.append(*it);
+  }
+  return out;
+}
+
+SequenceId domainSequenceId(std::string_view domain, std::uint32_t random) {
+  const std::string reversed = reverseDomain(domain);
+  std::uint64_t key = 0;
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::uint8_t ch =
+        i < reversed.size() ? static_cast<std::uint8_t>(reversed[i]) : 0;
+    key = (key << 8) | ch;
+  }
+  return (key << 24) | (random & 0xFFFFFF);
+}
+
+std::string domainPrefixOf(SequenceId id) {
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    const auto ch =
+        static_cast<char>((id >> (24 + 8 * (4 - i))) & 0xFF);
+    if (ch == 0) break;
+    out.push_back(ch);
+  }
+  return out;
+}
+
+}  // namespace vs07::gossip

@@ -1,0 +1,37 @@
+// Domain-proximity sequence ids — the §8 optimisation:
+//
+//   "a node forms its ID by reversing its domain name (country domain
+//    first) and appending a randomly chosen number. [...] nodes naturally
+//    self-organize in a ring sorted by domain name, and domains sorted by
+//    country."
+//
+// We encode the reversed domain into the high bits of the 64-bit sequence
+// id and randomness into the low bits, so plain ring-distance VICINITY
+// clusters same-domain nodes without any protocol change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/node_id.hpp"
+
+namespace vs07::gossip {
+
+/// "inf.ethz.ch" -> "ch.ethz.inf" (country label first).
+std::string reverseDomain(std::string_view domain);
+
+/// Builds a sequence id whose high 40 bits order lexicographically by the
+/// *reversed* domain (5 characters of precision — country plus the start
+/// of the organisation label) and whose low 24 bits are the given random
+/// value (24 bits keep same-domain collisions negligible at realistic
+/// domain sizes). Nodes of the same domain are therefore contiguous on
+/// the ring.
+SequenceId domainSequenceId(std::string_view domain, std::uint32_t random);
+
+/// Extracts the 5-character reversed-domain prefix encoded in a sequence
+/// id built by domainSequenceId (trailing padding stripped). For tests and
+/// display only — real nodes compare ids numerically.
+std::string domainPrefixOf(SequenceId id);
+
+}  // namespace vs07::gossip

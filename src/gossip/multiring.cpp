@@ -1,0 +1,53 @@
+#include "gossip/multiring.hpp"
+
+#include "common/expect.hpp"
+
+namespace vs07::gossip {
+
+MultiRing::MultiRing(sim::Network& network, net::Transport& transport,
+                     sim::MessageRouter& router, const Cyclon& cyclon,
+                     Vicinity::Params baseParams, std::uint32_t ringCount,
+                     std::uint64_t seed) {
+  VS07_EXPECT(ringCount >= 1);
+  VS07_EXPECT(ringCount <= net::kMaxChannel + 1);
+  Rng seeder(seed);
+  rings_.reserve(ringCount);
+  for (std::uint32_t r = 0; r < ringCount; ++r) {
+    Vicinity::Params params = baseParams;
+    params.channel = static_cast<std::uint8_t>(r);
+    // Ring 0 keeps the plain sequence-id order so single-ring behaviour is
+    // a strict subset; further rings get independent salted orders.
+    ProfileFn profile;
+    if (r > 0) {
+      const std::uint64_t salt = mix64(0x52494E47ULL + r);  // "RING" + r
+      profile = [&network, salt](NodeId n) {
+        return mix64(network.seqId(n) ^ salt);
+      };
+    }
+    rings_.push_back(std::make_unique<Vicinity>(network, transport, router,
+                                                cyclon, params, seeder(),
+                                                std::move(profile)));
+  }
+}
+
+const Vicinity& MultiRing::ring(std::uint32_t r) const {
+  VS07_EXPECT(r < rings_.size());
+  return *rings_[r];
+}
+
+std::vector<RingNeighbors> MultiRing::allRingNeighbors(NodeId node) const {
+  std::vector<RingNeighbors> result;
+  result.reserve(rings_.size());
+  for (const auto& ring : rings_) result.push_back(ring->ringNeighbors(node));
+  return result;
+}
+
+void MultiRing::step(NodeId self) {
+  for (auto& ring : rings_) ring->step(self);
+}
+
+void MultiRing::onJoin(NodeId node, NodeId introducer) {
+  for (auto& ring : rings_) ring->onJoin(node, introducer);
+}
+
+}  // namespace vs07::gossip

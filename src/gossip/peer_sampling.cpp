@@ -1,0 +1,11 @@
+#include "gossip/peer_sampling.hpp"
+
+namespace vs07::gossip {
+
+NodeId PeerSamplingService::samplePeer(NodeId node, Rng& rng) const {
+  const View& v = view(node);
+  if (v.empty()) return kNoNode;
+  return v.at(rng.below(v.size())).node;
+}
+
+}  // namespace vs07::gossip

@@ -1,0 +1,26 @@
+// The PEER SAMPLING SERVICE interface (Jelasity et al., Middleware 2004)
+// as the paper uses it: a per-node, small, continuously refreshed random
+// partial view. CYCLON is the instance RINGCAST/RANDCAST build on; tests
+// also use a StaticSampler that serves a fixed view.
+#pragma once
+
+#include "gossip/view.hpp"
+#include "net/node_id.hpp"
+
+namespace vs07::gossip {
+
+/// Read-side of a peer sampling protocol: the current partial view of any
+/// node. (The write side — gossiping — is driven by the sim engine.)
+class PeerSamplingService {
+ public:
+  virtual ~PeerSamplingService() = default;
+
+  /// The node's current partial view of random peers.
+  virtual const View& view(NodeId node) const = 0;
+
+  /// One uniformly random peer from the node's view, or kNoNode if the
+  /// view is empty.
+  virtual NodeId samplePeer(NodeId node, Rng& rng) const;
+};
+
+}  // namespace vs07::gossip

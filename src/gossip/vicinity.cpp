@@ -1,0 +1,274 @@
+#include "gossip/vicinity.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace vs07::gossip {
+
+namespace {
+
+/// Appends `entry` to `pool` unless an entry for the same node exists, in
+/// which case the *fresher* (lower age) of the two is kept.
+void poolInsert(std::vector<PeerDescriptor>& pool,
+                const PeerDescriptor& entry) {
+  for (auto& existing : pool) {
+    if (existing.node == entry.node) {
+      if (entry.age < existing.age) existing = entry;
+      return;
+    }
+  }
+  pool.push_back(entry);
+}
+
+/// Reduces `pool` to at most `budget` entries forming a balanced band
+/// around `anchor` on the id ring: the closest ⌈budget/2⌉ in clockwise
+/// (successor) direction plus the closest ⌊budget/2⌋ counter-clockwise.
+///
+/// This is the paper's §6 view content — "peers with gradually higher and
+/// lower sequence IDs" — and, unlike a symmetric nearest-k selection, it
+/// keeps both ring directions represented even when sequence ids are
+/// clustered (e.g. the §8 domain-sorted ring, where a node's whole
+/// cluster is nearer than its true cross-cluster successor).
+void selectRingBand(SequenceId anchor, std::vector<PeerDescriptor>& pool,
+                    std::size_t budget) {
+  if (pool.size() <= budget) return;
+  // Sort by clockwise distance from the anchor (ties by node id for
+  // determinism). The first entries are the nearest successors; the last
+  // are the nearest predecessors.
+  std::sort(pool.begin(), pool.end(),
+            [anchor](const PeerDescriptor& a, const PeerDescriptor& b) {
+              const auto da = clockwiseDistance(anchor, a.profile);
+              const auto db = clockwiseDistance(anchor, b.profile);
+              if (da != db) return da < db;
+              return a.node < b.node;
+            });
+  const std::size_t succCount = (budget + 1) / 2;
+  const std::size_t predCount = budget - succCount;
+  // [0, succCount) stays; move the predecessor tail up behind it.
+  for (std::size_t i = 0; i < predCount; ++i)
+    pool[succCount + i] = pool[pool.size() - predCount + i];
+  pool.resize(budget);
+}
+
+}  // namespace
+
+Vicinity::Vicinity(sim::Network& network, net::Transport& transport,
+                   sim::MessageRouter& router, const Cyclon& cyclon,
+                   Params params, std::uint64_t seed, ProfileFn profile)
+    : network_(network),
+      transport_(transport),
+      cyclon_(cyclon),
+      params_(params),
+      rng_(seed),
+      profile_(std::move(profile)) {
+  VS07_EXPECT(params_.viewLength > 0);
+  VS07_EXPECT(params_.exchangeLength > 0);
+  if (!profile_)
+    profile_ = [&network](NodeId n) { return network.seqId(n); };
+  router.route(
+      net::MessageKind::VicinityRequest,
+      [this](NodeId to, const net::Message& m) { handleRequest(to, m); },
+      params_.channel);
+  router.route(
+      net::MessageKind::VicinityReply,
+      [this](NodeId to, const net::Message& m) { handleReply(to, m); },
+      params_.channel);
+  network.addObserver(*this);
+}
+
+PeerDescriptor Vicinity::selfDescriptor(NodeId node) const {
+  return PeerDescriptor{node, 0, profile_(node)};
+}
+
+void Vicinity::onSpawn(NodeId node) {
+  if (node >= views_.size()) {
+    views_.resize(node + 1);
+    pendingTarget_.resize(node + 1, kNoNode);
+    bans_.resize(node + 1);
+    stepCount_.resize(node + 1, 0);
+  }
+  views_[node] = View(node, params_.viewLength);
+  pendingTarget_[node] = kNoNode;
+  bans_[node].clear();
+}
+
+void Vicinity::onKill(NodeId node) {
+  views_[node].clear();
+  pendingTarget_[node] = kNoNode;
+  bans_[node].clear();
+}
+
+void Vicinity::onJoin(NodeId node, NodeId /*introducer*/) {
+  // Joiners start cold: the proximity view fills from CYCLON candidates
+  // over the next cycles (the warm-up the paper discusses for Fig. 13).
+  views_[node].clear();
+  pendingTarget_[node] = kNoNode;
+  bans_[node].clear();
+}
+
+bool Vicinity::isBanned(NodeId self, NodeId peer) const {
+  for (const auto& b : bans_[self])
+    if (b.node == peer && b.expiresAtStep > stepCount_[self]) return true;
+  return false;
+}
+
+void Vicinity::ban(NodeId self, NodeId peer) {
+  auto& list = bans_[self];
+  // Drop expired entries while we are here; the list stays tiny.
+  std::erase_if(list, [this, self](const Ban& b) {
+    return b.expiresAtStep <= stepCount_[self];
+  });
+  list.push_back({peer, stepCount_[self] + params_.failureBanSteps});
+}
+
+const View& Vicinity::view(NodeId node) const {
+  VS07_EXPECT(node < views_.size());
+  return views_[node];
+}
+
+RingNeighbors Vicinity::ringNeighbors(NodeId node) const {
+  const View& v = view(node);
+  const SequenceId self = profile_(node);
+  RingNeighbors result;
+  std::uint64_t bestSucc = 0;
+  std::uint64_t bestPred = 0;
+  for (const auto& e : v.entries()) {
+    const auto cw = clockwiseDistance(self, e.profile);
+    const auto ccw = clockwiseDistance(e.profile, self);
+    if (result.successor == kNoNode || cw < bestSucc) {
+      bestSucc = cw;
+      result.successor = e.node;
+    }
+    if (result.predecessor == kNoNode || ccw < bestPred) {
+      bestPred = ccw;
+      result.predecessor = e.node;
+    }
+  }
+  return result;
+}
+
+std::vector<NodeId> Vicinity::ringBand(NodeId node,
+                                       std::uint32_t width) const {
+  VS07_EXPECT(width >= 1);
+  const View& v = view(node);
+  const SequenceId self = profile_(node);
+
+  std::vector<PeerDescriptor> sorted(v.entries().begin(), v.entries().end());
+  std::sort(sorted.begin(), sorted.end(),
+            [self](const PeerDescriptor& a, const PeerDescriptor& b) {
+              const auto da = clockwiseDistance(self, a.profile);
+              const auto db = clockwiseDistance(self, b.profile);
+              if (da != db) return da < db;
+              return a.node < b.node;
+            });
+
+  std::vector<NodeId> band;
+  band.reserve(2 * width);
+  const std::size_t succ = std::min<std::size_t>(width, sorted.size());
+  for (std::size_t i = 0; i < succ; ++i) band.push_back(sorted[i].node);
+  // Predecessors: nearest counter-clockwise = largest clockwise distance.
+  for (std::size_t i = 0; i < width && i < sorted.size(); ++i) {
+    const NodeId candidate = sorted[sorted.size() - 1 - i].node;
+    if (std::find(band.begin(), band.end(), candidate) == band.end())
+      band.push_back(candidate);
+  }
+  return band;
+}
+
+void Vicinity::step(NodeId self) {
+  View& v = views_[self];
+  ++stepCount_[self];
+
+  // Timeout-based failure detection: if the previous exchange never got a
+  // reply, the target is unreachable — drop it (and refuse re-admission
+  // for a while) so the ring can re-close around failures once gossip
+  // resumes (§7.2's "self-healing").
+  if (pendingTarget_[self] != kNoNode) {
+    v.removeNode(pendingTarget_[self]);
+    ban(self, pendingTarget_[self]);
+    pendingTarget_[self] = kNoNode;
+  }
+
+  v.incrementAges();
+
+  // Partner selection: alternate between exploiting the proximity view
+  // (oldest entry, keeps close neighbourhoods fresh) and exploring via a
+  // random CYCLON peer (feeds fresh candidates; lets joiners bootstrap).
+  NodeId q = kNoNode;
+  const View& randomLayer = cyclon_.view(self);
+  const bool exploit = !v.empty() && (randomLayer.empty() || rng_.chance(0.5));
+  if (exploit) {
+    q = v.at(v.oldestIndex()).node;
+  } else if (!randomLayer.empty()) {
+    q = randomLayer.at(rng_.below(randomLayer.size())).node;
+  }
+  if (q == kNoNode) return;  // no peers at all
+
+  net::Message request;
+  request.kind = net::MessageKind::VicinityRequest;
+  request.channel = params_.channel;
+  request.from = self;
+  request.entries = offerFor(self, q, profile_(q));
+  pendingTarget_[self] = q;
+  transport_.send(q, std::move(request));
+}
+
+std::vector<PeerDescriptor> Vicinity::offerFor(NodeId self, NodeId target,
+                                               SequenceId targetProfile) const {
+  std::vector<PeerDescriptor> pool;
+  pool.reserve(views_[self].size() + cyclon_.view(self).size() + 1);
+  for (const auto& e : views_[self].entries())
+    if (e.node != target) poolInsert(pool, e);
+  for (const auto& e : cyclon_.view(self).entries()) {
+    if (e.node == target) continue;
+    // Translate the random-layer descriptor into this ring's profile
+    // space (identity for the default ring; salted for multi-ring).
+    poolInsert(pool, PeerDescriptor{e.node, e.age, profile_(e.node)});
+  }
+  selectRingBand(targetProfile, pool, params_.exchangeLength - 1);
+  // Our own fresh descriptor always travels along: the target must learn
+  // about us to ever point a d-link our way.
+  pool.push_back(selfDescriptor(self));
+  return pool;
+}
+
+void Vicinity::handleRequest(NodeId self, const net::Message& msg) {
+  // The initiator's descriptor is always in the offer (see offerFor).
+  SequenceId initiatorProfile = profile_(msg.from);
+  for (const auto& e : msg.entries)
+    if (e.node == msg.from) {
+      initiatorProfile = e.profile;
+      break;
+    }
+
+  net::Message reply;
+  reply.kind = net::MessageKind::VicinityReply;
+  reply.channel = params_.channel;
+  reply.from = self;
+  reply.entries = offerFor(self, msg.from, initiatorProfile);
+  transport_.send(msg.from, std::move(reply));
+
+  mergeByProximity(self, msg.entries);
+}
+
+void Vicinity::handleReply(NodeId self, const net::Message& msg) {
+  pendingTarget_[self] = kNoNode;  // partner is alive
+  mergeByProximity(self, msg.entries);
+}
+
+void Vicinity::mergeByProximity(NodeId self,
+                                std::span<const PeerDescriptor> incoming) {
+  View& v = views_[self];
+  std::vector<PeerDescriptor> pool;
+  pool.reserve(v.size() + incoming.size());
+  for (const auto& e : v.entries()) poolInsert(pool, e);
+  for (const auto& e : incoming)
+    if (e.node != self && !isBanned(self, e.node)) poolInsert(pool, e);
+
+  selectRingBand(profile_(self), pool, params_.viewLength);
+
+  v.clear();
+  for (const auto& e : pool) v.add(e);
+}
+
+}  // namespace vs07::gossip

@@ -1,0 +1,137 @@
+// VICINITY — proactive gossip-based construction of semantic/proximity
+// overlays (Voulgaris & van Steen). The paper's d-link substrate: with the
+// ring-distance proximity over random sequence ids, each node's view
+// converges to the peers closest to it on the id ring, from which the two
+// ring neighbours (successor, predecessor) — the d-links — are read.
+//
+// Two-layer design as in the original protocol: VICINITY exchanges draw
+// candidates from both the vicinity view and the underlying CYCLON view,
+// so fresh random peers keep feeding the proximity selection and the ring
+// can form from any bootstrap topology.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/view.hpp"
+#include "net/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace vs07::gossip {
+
+/// Maps a node to its position on the ring this VICINITY instance builds.
+/// The default uses Network::seqId; the multi-ring extension (§8) derives
+/// per-ring positions by salting the advertised sequence id, and the
+/// domain-ring extension encodes a domain prefix into the high bits.
+using ProfileFn = std::function<SequenceId(NodeId)>;
+
+/// The resolved deterministic links of one node (its ring neighbours).
+struct RingNeighbors {
+  NodeId successor = kNoNode;    ///< closest peer clockwise (higher id)
+  NodeId predecessor = kNoNode;  ///< closest peer counter-clockwise
+};
+
+/// VICINITY protocol instance managing the proximity views of all nodes.
+class Vicinity final : public sim::CycleProtocol,
+                       public sim::MembershipObserver,
+                       public sim::JoinHandler {
+ public:
+  struct Params {
+    /// View length (the paper's vic = 20).
+    std::uint32_t viewLength = 20;
+    /// Entries offered per exchange.
+    std::uint32_t exchangeLength = 10;
+    /// Message channel: give each VICINITY instance (each ring) its own.
+    std::uint8_t channel = 0;
+    /// After a request timeout the failed peer is refused re-admission
+    /// for this many of the node's own steps (negative caching; prevents
+    /// neighbours from endlessly resurrecting a dead close peer).
+    std::uint32_t failureBanSteps = 20;
+  };
+
+  /// `cyclon` provides the random-peer layer candidates. `profile` may be
+  /// empty, defaulting to Network::seqId. Borrowed references must outlive
+  /// the protocol. Handler registration uses the Vicinity* message kinds.
+  Vicinity(sim::Network& network, net::Transport& transport,
+           sim::MessageRouter& router, const Cyclon& cyclon, Params params,
+           std::uint64_t seed, ProfileFn profile = {});
+
+  Vicinity(const Vicinity&) = delete;
+  Vicinity& operator=(const Vicinity&) = delete;
+
+  // sim::CycleProtocol — one active proximity exchange.
+  void step(NodeId self) override;
+
+  // sim::JoinHandler — joiners start with an empty vicinity view and rely
+  // on the CYCLON layer to meet candidates (the behaviour behind the
+  // paper's Fig. 13 warm-up discussion).
+  void onJoin(NodeId node, NodeId introducer) override;
+
+  // sim::MembershipObserver
+  void onSpawn(NodeId node) override;
+  void onKill(NodeId node) override;
+
+  /// The node's proximity view (closest known peers by ring distance).
+  const View& view(NodeId node) const;
+
+  /// The node's current d-links, resolved from its view: the known peers
+  /// with the smallest clockwise / counter-clockwise distance. kNoNode
+  /// when the view is empty.
+  RingNeighbors ringNeighbors(NodeId node) const;
+
+  /// The node's `width` nearest known successors plus `width` nearest
+  /// known predecessors (deduplicated, nearest first per direction). At
+  /// convergence this is the circulant band C(1..width) — forwarding
+  /// across it realises the §8 "Harary graphs of higher connectivity"
+  /// extension: the d-link graph becomes H(2·width, n).
+  std::vector<NodeId> ringBand(NodeId node, std::uint32_t width) const;
+
+  /// Ring position of a node under this instance's profile function.
+  SequenceId profileOf(NodeId node) const { return profile_(node); }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  void handleRequest(NodeId self, const net::Message& msg);
+  void handleReply(NodeId self, const net::Message& msg);
+
+  /// Candidates = own vicinity view ∪ own cyclon view ∪ self descriptor,
+  /// deduplicated, excluding `target`; the best `exchangeLength` for the
+  /// *target's* profile are returned (best-for-target selection).
+  std::vector<PeerDescriptor> offerFor(NodeId self, NodeId target,
+                                       SequenceId targetProfile) const;
+
+  /// Keeps the `viewLength` closest candidates to self among view ∪ incoming.
+  void mergeByProximity(NodeId self, std::span<const PeerDescriptor> incoming);
+
+  PeerDescriptor selfDescriptor(NodeId node) const;
+
+  sim::Network& network_;
+  net::Transport& transport_;
+  const Cyclon& cyclon_;
+  Params params_;
+  Rng rng_;
+  ProfileFn profile_;
+  std::vector<View> views_;
+  /// Target of each node's outstanding request; a target that never
+  /// replies by the next step is treated as failed and dropped from the
+  /// view (timeout failure detection, enabling ring self-healing).
+  std::vector<NodeId> pendingTarget_;
+
+  /// Negative cache of recently failed peers (see Params::failureBanSteps).
+  struct Ban {
+    NodeId node;
+    std::uint64_t expiresAtStep;
+  };
+  bool isBanned(NodeId self, NodeId peer) const;
+  void ban(NodeId self, NodeId peer);
+  std::vector<std::vector<Ban>> bans_;
+  std::vector<std::uint64_t> stepCount_;
+};
+
+}  // namespace vs07::gossip

@@ -1,0 +1,61 @@
+#include "gossip/view.hpp"
+
+namespace vs07::gossip {
+
+std::size_t View::indexOf(NodeId node) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (entries_[i].node == node) return i;
+  return npos;
+}
+
+std::size_t View::oldestIndex() const {
+  VS07_EXPECT(!entries_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i)
+    if (entries_[i].age > entries_[best].age) best = i;
+  return best;
+}
+
+void View::add(const PeerDescriptor& entry) {
+  VS07_EXPECT(!full());
+  VS07_EXPECT(entry.node != owner_);
+  VS07_EXPECT(!contains(entry.node));
+  entries_.push_back(entry);
+}
+
+void View::removeAt(std::size_t i) {
+  VS07_EXPECT(i < entries_.size());
+  entries_[i] = entries_.back();
+  entries_.pop_back();
+}
+
+bool View::removeNode(NodeId node) {
+  const auto i = indexOf(node);
+  if (i == npos) return false;
+  removeAt(i);
+  return true;
+}
+
+void View::incrementAges() noexcept {
+  for (auto& e : entries_) ++e.age;
+}
+
+std::vector<PeerDescriptor> View::randomEntries(std::size_t count,
+                                                NodeId exclude,
+                                                Rng& rng) const {
+  std::vector<PeerDescriptor> pool;
+  pool.reserve(entries_.size());
+  for (const auto& e : entries_)
+    if (e.node != exclude) pool.push_back(e);
+  if (count < pool.size()) {
+    // Partial Fisher-Yates: the first `count` slots become the sample.
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + rng.below(pool.size() - i);
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(count);
+  }
+  return pool;
+}
+
+}  // namespace vs07::gossip

@@ -1,0 +1,86 @@
+// Bounded partial view of the network — the core data structure of both
+// CYCLON (random neighbours, r-links) and VICINITY (closest neighbours,
+// d-link candidates).
+//
+// Invariants (checked in mutators):
+//   * at most `capacity` entries,
+//   * no entry for the owner itself,
+//   * no duplicate node ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace vs07::gossip {
+
+using net::PeerDescriptor;
+
+/// Fixed-capacity set of PeerDescriptors owned by one node.
+class View {
+ public:
+  View() = default;
+
+  /// Creates an empty view owned by `owner` with the given capacity.
+  View(NodeId owner, std::uint32_t capacity) : owner_(owner) {
+    VS07_EXPECT(capacity > 0);
+    capacity_ = capacity;
+    entries_.reserve(capacity);
+  }
+
+  NodeId owner() const noexcept { return owner_; }
+  std::uint32_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  bool full() const noexcept { return entries_.size() >= capacity_; }
+
+  std::span<const PeerDescriptor> entries() const noexcept {
+    return entries_;
+  }
+  const PeerDescriptor& at(std::size_t i) const {
+    VS07_EXPECT(i < entries_.size());
+    return entries_[i];
+  }
+
+  /// Index of the entry for `node`, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t indexOf(NodeId node) const noexcept;
+  bool contains(NodeId node) const noexcept {
+    return indexOf(node) != npos;
+  }
+
+  /// Index of the entry with the highest age (CYCLON's exchange partner
+  /// choice). Requires non-empty.
+  std::size_t oldestIndex() const;
+
+  /// Adds an entry. Requires: not full, not self, not a duplicate.
+  void add(const PeerDescriptor& entry);
+
+  /// Removes the entry at `i` (order not preserved — O(1)).
+  void removeAt(std::size_t i);
+
+  /// Removes the entry for `node` if present; returns whether it was.
+  bool removeNode(NodeId node);
+
+  /// Increments every entry's age by one (start of an active gossip step).
+  void incrementAges() noexcept;
+
+  /// Copies of `count` distinct random entries, excluding `exclude`
+  /// (pass kNoNode for no exclusion). Returns fewer if the view is small.
+  std::vector<PeerDescriptor> randomEntries(std::size_t count, NodeId exclude,
+                                            Rng& rng) const;
+
+  /// Removes everything (node death / reset).
+  void clear() noexcept { entries_.clear(); }
+
+ private:
+  NodeId owner_ = kNoNode;
+  std::uint32_t capacity_ = 0;
+  std::vector<PeerDescriptor> entries_;
+};
+
+}  // namespace vs07::gossip

@@ -1,0 +1,109 @@
+#include "net/codec.hpp"
+
+namespace vs07::net {
+
+namespace {
+// Sanity cap: a view exchange carries at most a few dozen entries; anything
+// claiming more is corrupt input, not a big view.
+constexpr std::uint32_t kMaxWireEntries = 1u << 16;
+constexpr std::uint8_t kWireVersion = 1;
+}  // namespace
+
+void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw CodecError("truncated message");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint16_t ByteReader::u16() {
+  const auto lo = u8();
+  const auto hi = u8();
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t ByteReader::u32() {
+  const std::uint32_t lo = u16();
+  const std::uint32_t hi = u16();
+  return lo | (hi << 16);
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  ByteWriter w;
+  w.u8(kWireVersion);
+  w.u8(static_cast<std::uint8_t>(msg.kind));
+  w.u8(msg.channel);
+  w.u32(msg.from);
+  w.u64(msg.dataId);
+  w.u32(msg.hop);
+  w.u8(msg.flags);
+  w.u32(static_cast<std::uint32_t>(msg.entries.size()));
+  for (const auto& e : msg.entries) {
+    w.u32(e.node);
+    w.u32(e.age);
+    w.u64(e.profile);
+  }
+  w.u32(static_cast<std::uint32_t>(msg.ids.size()));
+  for (const std::uint64_t id : msg.ids) w.u64(id);
+  return w.take();
+}
+
+Message decode(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  if (r.u8() != kWireVersion) throw CodecError("unsupported wire version");
+  Message msg;
+  const auto kind = r.u8();
+  if (kind < static_cast<std::uint8_t>(MessageKind::CyclonRequest) ||
+      kind > kMessageKinds)
+    throw CodecError("unknown message kind");
+  msg.kind = static_cast<MessageKind>(kind);
+  msg.channel = r.u8();
+  if (msg.channel > kMaxChannel) throw CodecError("channel out of range");
+  msg.from = r.u32();
+  msg.dataId = r.u64();
+  msg.hop = r.u32();
+  msg.flags = r.u8();
+  const std::uint32_t count = r.u32();
+  if (count > kMaxWireEntries) throw CodecError("entry count out of range");
+  msg.entries.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    PeerDescriptor e;
+    e.node = r.u32();
+    e.age = r.u32();
+    e.profile = r.u64();
+    msg.entries.push_back(e);
+  }
+  const std::uint32_t idCount = r.u32();
+  if (idCount > kMaxWireEntries) throw CodecError("id count out of range");
+  msg.ids.reserve(idCount);
+  for (std::uint32_t i = 0; i < idCount; ++i) msg.ids.push_back(r.u64());
+  if (!r.exhausted()) throw CodecError("trailing bytes after message");
+  return msg;
+}
+
+}  // namespace vs07::net

@@ -1,0 +1,65 @@
+// Binary serialisation of protocol messages (little-endian, length-prefixed).
+//
+// The simulator delivers Message values in-process, but the wire format is
+// implemented and tested so that the protocols have a concrete, documented
+// encoding — the piece a real deployment would put on UDP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace vs07::net {
+
+/// Thrown on malformed input to decode functions.
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only little-endian byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) noexcept
+      : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Encodes a message into self-contained bytes.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decodes bytes produced by encode(). Throws CodecError on malformed or
+/// trailing input.
+Message decode(std::span<const std::uint8_t> bytes);
+
+}  // namespace vs07::net

@@ -1,0 +1,71 @@
+// Wire-level message vocabulary of the protocol suite.
+//
+// Everything the protocols exchange fits three shapes: a gossip view
+// exchange request, its reply, and a disseminated datagram. Messages are
+// value types; the transports move them, never share them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+
+namespace vs07::net {
+
+/// One entry of a partial view as it travels on the wire.
+struct PeerDescriptor {
+  NodeId node = kNoNode;
+  /// Gossip age in cycles (CYCLON freshness).
+  std::uint32_t age = 0;
+  /// Application profile; for RINGCAST this is the peer's SequenceId.
+  SequenceId profile = 0;
+
+  friend bool operator==(const PeerDescriptor&,
+                         const PeerDescriptor&) = default;
+};
+
+/// Which protocol/phase a message belongs to.
+enum class MessageKind : std::uint8_t {
+  CyclonRequest = 1,
+  CyclonReply = 2,
+  VicinityRequest = 3,
+  VicinityReply = 4,
+  Data = 5,
+  /// Anti-entropy digest (§8 pull extension): "here is what I have
+  /// recently seen"; the receiver pushes back whatever is missing.
+  PullRequest = 6,
+};
+
+/// Number of distinct MessageKind values (dense, starting at 1).
+inline constexpr std::uint8_t kMessageKinds = 6;
+
+/// Highest protocol channel supported (see Message::channel).
+inline constexpr std::uint8_t kMaxChannel = 15;
+
+/// A protocol message. Flat struct rather than a variant: the three shapes
+/// share almost all fields and the simulator moves millions of these.
+struct Message {
+  MessageKind kind = MessageKind::Data;
+  /// Protocol instance channel: distinguishes multiple instances of the
+  /// same protocol (e.g. one VICINITY per ring in multi-ring RINGCAST).
+  std::uint8_t channel = 0;
+  NodeId from = kNoNode;
+  /// View entries for gossip exchanges; empty for Data.
+  std::vector<PeerDescriptor> entries;
+  /// Dissemination id (unique per multicast) for Data; 0 otherwise.
+  std::uint64_t dataId = 0;
+  /// Hop count of a Data message (0 at the origin's send).
+  std::uint32_t hop = 0;
+  /// Bit flags (kFlagPullAnswer, ...).
+  std::uint8_t flags = 0;
+  /// Digest of recently-seen dissemination ids (PullRequest only).
+  std::vector<std::uint64_t> ids;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Message::flags bit: this Data message answers a PullRequest (it is a
+/// retransmission, not part of the original push wave).
+inline constexpr std::uint8_t kFlagPullAnswer = 0x01;
+
+}  // namespace vs07::net

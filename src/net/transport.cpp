@@ -1,0 +1,77 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace vs07::net {
+
+ImmediateTransport::ImmediateTransport(DeliverFn deliver)
+    : deliver_(std::move(deliver)) {
+  VS07_EXPECT(deliver_ != nullptr);
+}
+
+void ImmediateTransport::send(NodeId to, Message msg) {
+  countSend();
+  deliver_(to, msg);
+}
+
+DelayedTransport::DelayedTransport(DeliverFn deliver,
+                                   std::uint32_t minLatencyTicks,
+                                   std::uint32_t maxLatencyTicks,
+                                   std::uint64_t seed)
+    : deliver_(std::move(deliver)),
+      minLatency_(minLatencyTicks),
+      maxLatency_(maxLatencyTicks),
+      rng_(seed) {
+  VS07_EXPECT(deliver_ != nullptr);
+  VS07_EXPECT(minLatency_ <= maxLatency_);
+}
+
+void DelayedTransport::send(NodeId to, Message msg) {
+  countSend();
+  const std::uint32_t latency =
+      minLatency_ == maxLatency_
+          ? minLatency_
+          : minLatency_ + static_cast<std::uint32_t>(rng_.below(
+                              maxLatency_ - minLatency_ + 1));
+  queue_.push_back({now_ + latency, to, std::move(msg)});
+}
+
+void DelayedTransport::tick() {
+  ++now_;
+  // Swap the queue out before delivering: handlers may send() from inside
+  // deliver_ (forwarding chains), and those new messages must land on the
+  // live queue_, not be lost or invalidate our iteration. Processing the
+  // snapshot in order keeps FIFO among messages due the same tick.
+  std::deque<Pending> current;
+  current.swap(queue_);
+  for (auto& pending : current) {
+    if (pending.dueTick <= now_)
+      deliver_(pending.to, pending.msg);
+    else
+      queue_.push_back(std::move(pending));
+  }
+}
+
+void DelayedTransport::drain() {
+  while (!queue_.empty()) tick();
+}
+
+LossyTransport::LossyTransport(Transport& inner, double dropProbability,
+                               std::uint64_t seed)
+    : inner_(inner), dropProbability_(dropProbability), rng_(seed) {
+  VS07_EXPECT(dropProbability_ >= 0.0 && dropProbability_ <= 1.0);
+}
+
+void LossyTransport::send(NodeId to, Message msg) {
+  countSend();
+  if (rng_.chance(dropProbability_)) {
+    ++dropped_;
+    return;
+  }
+  inner_.send(to, std::move(msg));
+}
+
+}  // namespace vs07::net

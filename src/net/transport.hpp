@@ -1,0 +1,106 @@
+// Message transports.
+//
+// Protocols talk only to the Transport interface; the simulator wires a
+// delivery sink underneath. Three implementations:
+//   * ImmediateTransport — synchronous in-process delivery (the cycle-driven
+//     model of the paper: an exchange completes within a cycle).
+//   * DelayedTransport — queues with integer tick latency; tick() drains.
+//   * LossyTransport — decorator dropping each message with probability p.
+// The paper's evaluation is hop-based and latency-free (§7: uniform delay
+// does not change macroscopic behaviour); the delayed/lossy variants exist
+// for tests and for the failure-injection experiments.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/message.hpp"
+
+namespace vs07::net {
+
+/// Receives a message addressed to `to`. Installed by the simulator.
+using DeliverFn = std::function<void(NodeId to, const Message& msg)>;
+
+/// Abstract one-way message channel between simulated nodes.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Attempts delivery of msg to `to`. May drop or delay depending on the
+  /// implementation. `msg.from` must already be set by the caller.
+  virtual void send(NodeId to, Message msg) = 0;
+
+  /// Messages handed to send() so far (including ones later dropped).
+  std::uint64_t sent() const noexcept { return sent_; }
+
+ protected:
+  void countSend() noexcept { ++sent_; }
+
+ private:
+  std::uint64_t sent_ = 0;
+};
+
+/// Delivers synchronously, inside send(). Matches the paper's cycle model.
+class ImmediateTransport final : public Transport {
+ public:
+  explicit ImmediateTransport(DeliverFn deliver);
+  void send(NodeId to, Message msg) override;
+
+ private:
+  DeliverFn deliver_;
+};
+
+/// Queues messages and delivers them `latencyTicks` calls to tick() later.
+/// Per-message latency can also be randomised within [min,max] ticks.
+class DelayedTransport final : public Transport {
+ public:
+  DelayedTransport(DeliverFn deliver, std::uint32_t minLatencyTicks,
+                   std::uint32_t maxLatencyTicks, std::uint64_t seed = 1);
+
+  void send(NodeId to, Message msg) override;
+
+  /// Advances time one tick, delivering everything that is due.
+  void tick();
+
+  /// Delivers everything still queued (used at test teardown).
+  void drain();
+
+  std::size_t inFlight() const noexcept { return queue_.size(); }
+
+ private:
+  struct Pending {
+    std::uint64_t dueTick;
+    NodeId to;
+    Message msg;
+  };
+  DeliverFn deliver_;
+  std::deque<Pending> queue_;  // kept sorted by insertion; due checked on tick
+  std::uint64_t now_ = 0;
+  std::uint32_t minLatency_;
+  std::uint32_t maxLatency_;
+  Rng rng_;
+};
+
+/// Drops each message with probability `dropProbability`, otherwise
+/// forwards to the wrapped transport. Non-owning: the inner transport must
+/// outlive this decorator.
+class LossyTransport final : public Transport {
+ public:
+  LossyTransport(Transport& inner, double dropProbability,
+                 std::uint64_t seed = 1);
+
+  void send(NodeId to, Message msg) override;
+
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  Transport& inner_;
+  double dropProbability_;
+  Rng rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace vs07::net

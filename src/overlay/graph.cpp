@@ -1,0 +1,127 @@
+#include "overlay/graph.hpp"
+
+#include <algorithm>
+
+namespace vs07::overlay {
+
+void Graph::addEdge(NodeId a, NodeId b) {
+  VS07_EXPECT(a < adj_.size() && b < adj_.size());
+  VS07_EXPECT(a != b);
+  VS07_EXPECT(!hasEdge(a, b));
+  adj_[a].push_back(b);
+}
+
+bool Graph::hasEdge(NodeId a, NodeId b) const {
+  VS07_EXPECT(a < adj_.size());
+  const auto& nbrs = adj_[a];
+  return std::find(nbrs.begin(), nbrs.end(), b) != nbrs.end();
+}
+
+std::uint64_t Graph::edgeCount() const noexcept {
+  std::uint64_t count = 0;
+  for (const auto& nbrs : adj_) count += nbrs.size();
+  return count;
+}
+
+std::vector<std::uint32_t> Graph::outDegrees() const {
+  std::vector<std::uint32_t> degrees(adj_.size());
+  for (std::size_t i = 0; i < adj_.size(); ++i)
+    degrees[i] = static_cast<std::uint32_t>(adj_[i].size());
+  return degrees;
+}
+
+Graph makeRandomTree(std::uint32_t n, Rng& rng) {
+  VS07_EXPECT(n >= 1);
+  Graph g(n);
+  for (NodeId i = 1; i < n; ++i)
+    g.addUndirected(i, static_cast<NodeId>(rng.below(i)));
+  return g;
+}
+
+Graph makeStar(std::uint32_t n, NodeId hub) {
+  VS07_EXPECT(n >= 1 && hub < n);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    if (i != hub) g.addUndirected(i, hub);
+  return g;
+}
+
+Graph makeRing(std::uint32_t n) {
+  VS07_EXPECT(n >= 3);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i) g.addUndirected(i, (i + 1) % n);
+  return g;
+}
+
+Graph makeClique(std::uint32_t n) {
+  VS07_EXPECT(n >= 2);
+  Graph g(n);
+  for (NodeId i = 0; i < n; ++i)
+    for (NodeId j = i + 1; j < n; ++j) g.addUndirected(i, j);
+  return g;
+}
+
+Graph makeHarary(std::uint32_t t, std::uint32_t n) {
+  VS07_EXPECT(t >= 2 && t < n);
+  Graph g(n);
+  const std::uint32_t m = t / 2;
+  // Circulant chords 1..m give connectivity 2m.
+  for (NodeId i = 0; i < n; ++i)
+    for (std::uint32_t k = 1; k <= m; ++k) {
+      const NodeId j = (i + k) % n;
+      if (!g.hasEdge(i, j)) g.addUndirected(i, j);
+    }
+  if (t % 2 == 1) {
+    // Odd connectivity: add diameters. For even n pair i with i + n/2;
+    // for odd n, Harary's construction joins node i to i + (n-1)/2 and
+    // i + (n+1)/2 for the first node, approximated here by flooring —
+    // connectivity is still >= t.
+    const std::uint32_t half = n / 2;
+    for (NodeId i = 0; i < (n + 1) / 2; ++i) {
+      const NodeId j = (i + half) % n;
+      if (!g.hasEdge(i, j)) g.addUndirected(i, j);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+/// Marks every node reachable from `start` following `forward` edges
+/// (or reversed edges when `forward` is false).
+std::uint32_t reachableCount(const Graph& g, NodeId start, bool forward) {
+  const std::uint32_t n = g.size();
+  // Transpose adjacency built on demand for the reverse pass.
+  std::vector<std::vector<NodeId>> reverse;
+  if (!forward) {
+    reverse.resize(n);
+    for (NodeId a = 0; a < n; ++a)
+      for (const NodeId b : g.neighbors(a)) reverse[b].push_back(a);
+  }
+  std::vector<std::uint8_t> seen(n, 0);
+  std::vector<NodeId> stack{start};
+  seen[start] = 1;
+  std::uint32_t count = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    const auto& nbrs = forward ? g.neighbors(u) : reverse[u];
+    for (const NodeId v : nbrs)
+      if (!seen[v]) {
+        seen[v] = 1;
+        ++count;
+        stack.push_back(v);
+      }
+  }
+  return count;
+}
+
+}  // namespace
+
+bool isStronglyConnected(const Graph& g) {
+  if (g.size() == 0) return true;
+  return reachableCount(g, 0, true) == g.size() &&
+         reachableCount(g, 0, false) == g.size();
+}
+
+}  // namespace vs07::overlay

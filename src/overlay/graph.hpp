@@ -1,0 +1,82 @@
+// Static directed graphs and the deterministic overlay families of §3.
+//
+// The paper's taxonomy of flooding overlays: spanning trees (minimal
+// messages, fragile), stars (server bottleneck), cliques (maximal cost and
+// reliability), and Harary graphs H(t, n) — minimal-link graphs that stay
+// connected under any t-1 failures, of which RINGCAST's bidirectional ring
+// is the t = 2 member. These builders feed the §3 ablation bench and the
+// flooding tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+#include "net/node_id.hpp"
+
+namespace vs07::overlay {
+
+/// Adjacency-list directed graph over dense node ids [0, n).
+class Graph {
+ public:
+  explicit Graph(std::uint32_t n) : adj_(n) {}
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(adj_.size());
+  }
+
+  /// Adds the directed edge a -> b (parallel edges are a caller bug).
+  void addEdge(NodeId a, NodeId b);
+
+  /// Adds both a -> b and b -> a.
+  void addUndirected(NodeId a, NodeId b) {
+    addEdge(a, b);
+    addEdge(b, a);
+  }
+
+  bool hasEdge(NodeId a, NodeId b) const;
+
+  const std::vector<NodeId>& neighbors(NodeId a) const {
+    VS07_EXPECT(a < adj_.size());
+    return adj_[a];
+  }
+
+  /// Total directed edges.
+  std::uint64_t edgeCount() const noexcept;
+
+  /// Out-degree of every node.
+  std::vector<std::uint32_t> outDegrees() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+/// Random spanning tree: each node i>0 links to a uniform parent in [0,i).
+/// N-1 undirected edges — the message-optimal §3 overlay.
+Graph makeRandomTree(std::uint32_t n, Rng& rng);
+
+/// Star: every node bidirectionally linked to `hub` — §3's server-based
+/// overlay with its single point of failure and worst load skew.
+Graph makeStar(std::uint32_t n, NodeId hub = 0);
+
+/// Bidirectional ring in id order — Harary connectivity 2, RINGCAST's
+/// d-link structure.
+Graph makeRing(std::uint32_t n);
+
+/// Complete graph — §3's clique: maximal reliability, impractical cost.
+Graph makeClique(std::uint32_t n);
+
+/// Harary graph H(t, n): minimal graph with connectivity t (Harary 1962).
+/// For t = 2m: circulant C_n(1..m). For odd t: C_n(1..m) plus diameters
+/// (requires even n for the classic construction; we pair i with
+/// i + n/2 rounding as Harary does for odd n on the (n-1)/2 chords).
+/// Requires 2 <= t < n.
+Graph makeHarary(std::uint32_t t, std::uint32_t n);
+
+/// True iff there is a directed path between every ordered pair — the §3
+/// requirement for complete dissemination by flooding. BFS from node 0 in
+/// the graph and its transpose (Kosaraju-style reachability check).
+bool isStronglyConnected(const Graph& g);
+
+}  // namespace vs07::overlay

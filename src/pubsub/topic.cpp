@@ -1,0 +1,139 @@
+#include "pubsub/topic.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace vs07::pubsub {
+
+TopicOverlay::TopicOverlay(sim::Network& network, std::string name,
+                           Params params, std::uint64_t seed)
+    : network_(network),
+      name_(std::move(name)),
+      rng_(seed),
+      router_(network),
+      transport_([this](NodeId to, const net::Message& m) {
+        // Unsubscribed nodes are outside this overlay: traffic to them is
+        // dropped exactly like traffic to dead nodes.
+        if (!subscribed_.contains(to)) return;
+        router_.deliver(to, m);
+      }),
+      cyclon_(network, transport_, router_, params.cyclon, mix64(seed ^ 1)),
+      vicinity_(network, transport_, router_, cyclon_, params.vicinity,
+                mix64(seed ^ 2)) {}
+
+void TopicOverlay::subscribe(NodeId node) {
+  VS07_EXPECT(network_.isAlive(node));
+  if (subscribed_.contains(node)) return;
+
+  // Introducer: a random alive existing subscriber, if any.
+  NodeId introducer = kNoNode;
+  if (!subscriberList_.empty()) {
+    // Rejection-sample; the list only contains subscribed nodes, but some
+    // may have died at the network level.
+    for (std::uint32_t attempt = 0;
+         attempt < 8 * subscriberList_.size() && introducer == kNoNode;
+         ++attempt) {
+      const NodeId candidate =
+          subscriberList_[rng_.below(subscriberList_.size())];
+      if (network_.isAlive(candidate)) introducer = candidate;
+    }
+  }
+
+  subscribed_.insert(node);
+  subscriberList_.push_back(node);
+  if (introducer != kNoNode) {
+    cyclon_.onJoin(node, introducer);
+    vicinity_.onJoin(node, introducer);
+  }
+}
+
+void TopicOverlay::unsubscribe(NodeId node) {
+  const auto it = subscribed_.find(node);
+  if (it == subscribed_.end()) return;
+  subscribed_.erase(it);
+  const auto pos =
+      std::find(subscriberList_.begin(), subscriberList_.end(), node);
+  VS07_ENSURE(pos != subscriberList_.end());
+  *pos = subscriberList_.back();
+  subscriberList_.pop_back();
+  // Leave no trace: the node's topic views are gone; peers' links to it
+  // decay through normal gossip aging.
+  cyclon_.onKill(node);
+  vicinity_.onKill(node);
+}
+
+void TopicOverlay::step(NodeId self) {
+  if (!subscribed_.contains(self)) return;
+  cyclon_.step(self);
+  vicinity_.step(self);
+}
+
+void TopicOverlay::runCycles(std::uint64_t cycles) {
+  std::vector<NodeId> order;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    order = subscriberList_;
+    rng_.shuffle(order);
+    for (const NodeId node : order)
+      if (network_.isAlive(node)) step(node);
+  }
+}
+
+cast::OverlaySnapshot TopicOverlay::snapshot() const {
+  std::vector<cast::OverlaySnapshot::NodeLinks> links(
+      network_.totalCreated());
+  std::vector<std::uint8_t> alive(network_.totalCreated(), 0);
+  for (const NodeId id : subscriberList_) {
+    if (!network_.isAlive(id)) continue;
+    alive[id] = 1;
+    auto& nodeLinks = links[id];
+    for (const auto& e : cyclon_.view(id).entries())
+      nodeLinks.rlinks.push_back(e.node);
+    const auto ring = vicinity_.ringNeighbors(id);
+    auto addDlink = [&nodeLinks](NodeId link) {
+      if (link == kNoNode) return;
+      if (std::find(nodeLinks.dlinks.begin(), nodeLinks.dlinks.end(),
+                    link) != nodeLinks.dlinks.end())
+        return;
+      nodeLinks.dlinks.push_back(link);
+    };
+    addDlink(ring.successor);
+    addDlink(ring.predecessor);
+  }
+  return {std::move(links), std::move(alive)};
+}
+
+cast::DisseminationReport TopicOverlay::publish(
+    NodeId origin, const cast::TargetSelector& selector, std::uint32_t fanout,
+    std::uint64_t seed) {
+  VS07_EXPECT(isSubscribed(origin));
+  VS07_EXPECT(network_.isAlive(origin));
+  cast::DisseminationParams params;
+  params.fanout = fanout;
+  params.seed = seed;
+  return cast::disseminate(snapshot(), selector, origin, params);
+}
+
+PubSub::PubSub(sim::Network& network, std::uint64_t seed)
+    : network_(network), seeder_(seed) {}
+
+TopicOverlay& PubSub::topic(const std::string& name) {
+  for (const auto& t : topics_)
+    if (t->name() == name) return *t;
+  topics_.push_back(std::make_unique<TopicOverlay>(
+      network_, name, defaultParams_, seeder_()));
+  return *topics_.back();
+}
+
+std::vector<std::string> PubSub::topicNames() const {
+  std::vector<std::string> names;
+  names.reserve(topics_.size());
+  for (const auto& t : topics_) names.push_back(t->name());
+  return names;
+}
+
+void PubSub::step(NodeId self) {
+  for (auto& t : topics_) t->step(self);
+}
+
+}  // namespace vs07::pubsub

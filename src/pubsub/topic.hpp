@@ -1,0 +1,115 @@
+// Topic-based publish/subscribe — the §8 application of the dissemination
+// protocols:
+//
+//   "Each topic forms its own, separate dissemination overlay. Subscribers
+//    join the overlay(s) of the topics of their interest. Events are
+//    multicast by disseminating them in the appropriate overlay."
+//
+// A TopicOverlay is a private CYCLON + VICINITY stack over the subset of
+// nodes subscribed to the topic. Unsubscribed nodes stop receiving topic
+// traffic immediately (their gossip is dropped), and their stale view
+// entries age out of the remaining subscribers' views through the normal
+// CYCLON/VICINITY failure handling.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "cast/snapshot.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+
+namespace vs07::pubsub {
+
+/// One topic's private dissemination overlay.
+class TopicOverlay final : public sim::CycleProtocol {
+ public:
+  struct Params {
+    gossip::Cyclon::Params cyclon{8, 4};      ///< small per-topic views
+    gossip::Vicinity::Params vicinity{8, 4};  ///< channel is set internally
+  };
+
+  /// Creates the overlay over the host `network`'s id space. The topic
+  /// only ever touches subscribed nodes.
+  TopicOverlay(sim::Network& network, std::string name, Params params,
+               std::uint64_t seed);
+
+  TopicOverlay(const TopicOverlay&) = delete;
+  TopicOverlay& operator=(const TopicOverlay&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Subscribes a node; it is introduced to one random existing
+  /// subscriber (no-op if already subscribed).
+  void subscribe(NodeId node);
+
+  /// Unsubscribes a node: its topic views are cleared and other
+  /// subscribers' messages to it are dropped from now on.
+  void unsubscribe(NodeId node);
+
+  bool isSubscribed(NodeId node) const {
+    return subscribed_.contains(node);
+  }
+  std::uint32_t subscriberCount() const noexcept {
+    return static_cast<std::uint32_t>(subscribed_.size());
+  }
+
+  // sim::CycleProtocol — steps the topic's protocols for subscribers only;
+  // register on the host engine, or use runCycles() for standalone use.
+  void step(NodeId self) override;
+
+  /// Convenience: run `cycles` gossip cycles for this topic only.
+  void runCycles(std::uint64_t cycles);
+
+  /// Frozen overlay over the *alive subscribers* (r-links + ring d-links).
+  cast::OverlaySnapshot snapshot() const;
+
+  /// Publishes an event from `origin` (must be an alive subscriber) with
+  /// the given selector semantics; returns the dissemination report.
+  cast::DisseminationReport publish(NodeId origin,
+                                    const cast::TargetSelector& selector,
+                                    std::uint32_t fanout, std::uint64_t seed);
+
+ private:
+  sim::Network& network_;
+  std::string name_;
+  Rng rng_;
+  sim::MessageRouter router_;
+  net::ImmediateTransport transport_;
+  gossip::Cyclon cyclon_;
+  gossip::Vicinity vicinity_;
+  std::unordered_set<NodeId> subscribed_;
+  std::vector<NodeId> subscriberList_;  // for random introducer selection
+};
+
+/// Registry of topics over one host network; step() drives all of them.
+class PubSub final : public sim::CycleProtocol {
+ public:
+  PubSub(sim::Network& network, std::uint64_t seed);
+
+  /// Returns the topic, creating its overlay on first use.
+  TopicOverlay& topic(const std::string& name);
+
+  /// Topics created so far.
+  std::vector<std::string> topicNames() const;
+
+  // sim::CycleProtocol — steps every topic's protocols.
+  void step(NodeId self) override;
+
+ private:
+  sim::Network& network_;
+  Rng seeder_;
+  TopicOverlay::Params defaultParams_;
+  std::vector<std::unique_ptr<TopicOverlay>> topics_;
+};
+
+}  // namespace vs07::pubsub

@@ -1,0 +1,22 @@
+#include "sim/bootstrap.hpp"
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+
+void bootstrapStar(const Network& network, JoinHandler& join, NodeId hub) {
+  VS07_EXPECT(network.isAlive(hub));
+  for (const NodeId node : network.aliveIds())
+    if (node != hub) join.onJoin(node, hub);
+}
+
+void bootstrapRandom(const Network& network, JoinHandler& join, Rng& rng) {
+  VS07_EXPECT(network.aliveCount() > 1);
+  for (const NodeId node : network.aliveIds()) {
+    NodeId contact = node;
+    while (contact == node) contact = network.randomAlive(rng);
+    join.onJoin(node, contact);
+  }
+}
+
+}  // namespace vs07::sim

@@ -1,0 +1,22 @@
+// Initial-topology helpers. The paper bootstraps every experiment from a
+// star: all nodes know one contact node, everything else empty, then lets
+// CYCLON/VICINITY self-organise for 100 cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+
+/// Introduces every node except `hub` to `hub` (the paper's star topology).
+/// `join` is the protocol join hook (same one churn uses).
+void bootstrapStar(const Network& network, JoinHandler& join, NodeId hub = 0);
+
+/// Introduces each node to one uniformly random other node (connected
+/// with high probability; used by tests to skip star warm-up effects).
+void bootstrapRandom(const Network& network, JoinHandler& join, Rng& rng);
+
+}  // namespace vs07::sim

@@ -1,0 +1,40 @@
+#include "sim/churn.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+
+ChurnControl::ChurnControl(Network& network, double rate, std::uint64_t seed)
+    : network_(network), rate_(rate), rng_(seed) {
+  VS07_EXPECT(rate >= 0.0 && rate < 1.0);
+}
+
+void ChurnControl::addJoinHandler(JoinHandler& handler) {
+  joinHandlers_.push_back(&handler);
+}
+
+void ChurnControl::execute(std::uint64_t cycle) {
+  const auto alive = network_.aliveCount();
+  const auto replacements = static_cast<std::uint32_t>(
+      std::llround(rate_ * static_cast<double>(alive)));
+  if (replacements == 0) return;
+
+  // Remove first, then join: a joiner can never pick a node that dies in
+  // the same cycle as its introducer.
+  for (std::uint32_t i = 0; i < replacements; ++i) {
+    network_.kill(network_.randomAlive(rng_));
+    ++removed_;
+  }
+  for (std::uint32_t i = 0; i < replacements; ++i) {
+    const NodeId joiner = network_.spawn(cycle);
+    // A joiner introduced by itself would be isolated forever; redraw.
+    NodeId introducer = joiner;
+    while (introducer == joiner) introducer = network_.randomAlive(rng_);
+    for (auto* handler : joinHandlers_) handler->onJoin(joiner, introducer);
+    ++joined_;
+  }
+}
+
+}  // namespace vs07::sim

@@ -1,0 +1,41 @@
+// Artificial churn model of §7.3: each cycle a fixed fraction of randomly
+// selected nodes is removed and the same number of fresh nodes joins.
+// Removed nodes never return; joiners bootstrap from one random alive
+// introducer (the worst case the paper evaluates).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+
+/// Per-cycle churn control. Register with Engine::addControl.
+class ChurnControl final : public Control {
+ public:
+  /// `rate` is the fraction of the population replaced per cycle
+  /// (0.002 reproduces the paper's 0.2 %). The number of replacements is
+  /// round(rate * aliveCount), evaluated each cycle.
+  ChurnControl(Network& network, double rate, std::uint64_t seed);
+
+  /// Protocols that must learn about joiners (e.g. Cyclon) register here.
+  void addJoinHandler(JoinHandler& handler);
+
+  void execute(std::uint64_t cycle) override;
+
+  std::uint64_t totalRemoved() const noexcept { return removed_; }
+  std::uint64_t totalJoined() const noexcept { return joined_; }
+
+ private:
+  Network& network_;
+  double rate_;
+  Rng rng_;
+  std::vector<JoinHandler*> joinHandlers_;
+  std::uint64_t removed_ = 0;
+  std::uint64_t joined_ = 0;
+};
+
+}  // namespace vs07::sim

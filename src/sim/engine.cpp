@@ -1,0 +1,42 @@
+#include "sim/engine.hpp"
+
+namespace vs07::sim {
+
+Engine::Engine(Network& network, std::uint64_t seed)
+    : network_(network), rng_(seed) {}
+
+void Engine::addProtocol(CycleProtocol& protocol) {
+  protocols_.push_back(&protocol);
+}
+
+void Engine::addControl(Control& control) { controls_.push_back(&control); }
+
+void Engine::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) runOneCycle();
+}
+
+void Engine::runOneCycle() {
+  // Snapshot and shuffle the alive set: nodes joining mid-cycle (via a
+  // control) start stepping next cycle; nodes killed mid-cycle are skipped
+  // by the alive check.
+  order_ = network_.aliveIds();
+  rng_.shuffle(order_);
+  for (const NodeId node : order_) {
+    if (!network_.isAlive(node)) continue;
+    const std::uint32_t steps =
+        boost_ ? std::max<std::uint32_t>(1, boost_(node, cycle_)) : 1;
+    for (std::uint32_t s = 0; s < steps; ++s)
+      for (auto* protocol : protocols_) protocol->step(node);
+  }
+  ++cycle_;
+  for (auto* control : controls_) control->execute(cycle_);
+}
+
+Engine::StepBoostFn joinerBoost(const Network& network, std::uint32_t factor,
+                                std::uint32_t warmupCycles) {
+  return [&network, factor, warmupCycles](NodeId node, std::uint64_t cycle) {
+    return network.lifetime(node, cycle) < warmupCycles ? factor : 1u;
+  };
+}
+
+}  // namespace vs07::sim

@@ -1,0 +1,100 @@
+// Cycle-driven simulation engine, modelled after PeerSim's cycle mode,
+// which is what the paper's evaluation runs on.
+//
+// Each cycle: every alive node, in fresh random order, takes one active
+// step per registered protocol ("nodes have independent, non-synchronized
+// timers" approximated by random ordering, the standard PeerSim approach);
+// then each Control runs once (churn, observers, convergence probes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/node_id.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+
+/// A gossip protocol instance driven by the engine. One object manages the
+/// state of *all* nodes (dense arrays), like a PeerSim protocol array.
+class CycleProtocol {
+ public:
+  virtual ~CycleProtocol() = default;
+  /// One active gossip step of `self` (initiate an exchange).
+  virtual void step(NodeId self) = 0;
+};
+
+/// Hook run once per cycle after all protocol steps.
+class Control {
+ public:
+  virtual ~Control() = default;
+  virtual void execute(std::uint64_t cycle) = 0;
+};
+
+/// Receives join events with an introducer (bootstrap contact); the churn
+/// control uses this to connect fresh nodes. Implemented by protocols.
+class JoinHandler {
+ public:
+  virtual ~JoinHandler() = default;
+  virtual void onJoin(NodeId node, NodeId introducer) = 0;
+};
+
+/// The engine. Non-owning over protocols/controls: caller keeps them alive.
+class Engine {
+ public:
+  Engine(Network& network, std::uint64_t seed);
+
+  /// Registers a protocol; steps run in registration order per node.
+  void addProtocol(CycleProtocol& protocol);
+
+  /// Registers a control; runs in registration order each cycle.
+  void addControl(Control& control);
+
+  /// Per-node step multiplier: a node for which this returns k takes k
+  /// active steps in a cycle ("gossip at an arbitrarily higher rate", the
+  /// §7.3 join-acceleration optimisation). Pass {} to clear; values of 0
+  /// are treated as 1.
+  using StepBoostFn = std::function<std::uint32_t(NodeId, std::uint64_t)>;
+  void setStepBoost(StepBoostFn boost) { boost_ = std::move(boost); }
+
+  /// Runs `cycles` full cycles.
+  void run(std::uint64_t cycles);
+
+  /// Runs until `predicate()` is true, checking after each cycle, or until
+  /// `maxCycles` have elapsed. Returns cycles actually run.
+  template <typename Pred>
+  std::uint64_t runUntil(Pred predicate, std::uint64_t maxCycles) {
+    std::uint64_t ran = 0;
+    while (ran < maxCycles && !predicate()) {
+      runOneCycle();
+      ++ran;
+    }
+    return ran;
+  }
+
+  /// Current cycle number (count of completed cycles).
+  std::uint64_t cycle() const noexcept { return cycle_; }
+
+  Network& network() noexcept { return network_; }
+
+ private:
+  void runOneCycle();
+
+  Network& network_;
+  Rng rng_;
+  std::vector<CycleProtocol*> protocols_;
+  std::vector<Control*> controls_;
+  StepBoostFn boost_;
+  std::uint64_t cycle_ = 0;
+  std::vector<NodeId> order_;  // scratch, reused every cycle
+};
+
+/// Boost function for Engine::setStepBoost implementing the §7.3
+/// suggestion: nodes younger than `warmupCycles` gossip `factor` times
+/// per cycle, completing their join warm-up correspondingly faster.
+Engine::StepBoostFn joinerBoost(const Network& network, std::uint32_t factor,
+                                std::uint32_t warmupCycles);
+
+}  // namespace vs07::sim

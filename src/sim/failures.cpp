@@ -1,0 +1,58 @@
+#include "sim/failures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+
+std::vector<NodeId> killRandomFraction(Network& network, double fraction,
+                                       Rng& rng) {
+  VS07_EXPECT(fraction >= 0.0 && fraction <= 1.0);
+  const auto count = static_cast<std::uint32_t>(
+      std::llround(fraction * static_cast<double>(network.aliveCount())));
+  return killRandomCount(network, count, rng);
+}
+
+std::vector<NodeId> killRandomCount(Network& network, std::uint32_t count,
+                                    Rng& rng) {
+  VS07_EXPECT(count <= network.aliveCount());
+  std::vector<NodeId> killed;
+  killed.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId victim = network.randomAlive(rng);
+    network.kill(victim);
+    killed.push_back(victim);
+  }
+  return killed;
+}
+
+std::vector<NodeId> killContiguousArc(Network& network, double fraction,
+                                      Rng& rng) {
+  VS07_EXPECT(fraction >= 0.0 && fraction <= 1.0);
+  const auto count = static_cast<std::uint32_t>(
+      std::llround(fraction * static_cast<double>(network.aliveCount())));
+  std::vector<NodeId> killed;
+  if (count == 0) return killed;
+
+  // Ring order = alive nodes sorted by sequence id (the converged ring).
+  std::vector<NodeId> ring(network.aliveIds());
+  std::sort(ring.begin(), ring.end(), [&network](NodeId a, NodeId b) {
+    const auto pa = network.seqId(a);
+    const auto pb = network.seqId(b);
+    if (pa != pb) return pa < pb;
+    return a < b;
+  });
+
+  const std::size_t start = rng.below(ring.size());
+  killed.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const NodeId victim = ring[(start + i) % ring.size()];
+    network.kill(victim);
+    killed.push_back(victim);
+  }
+  return killed;
+}
+
+}  // namespace vs07::sim

@@ -1,0 +1,33 @@
+// Catastrophic failure injection (§7.2): kill a random fraction of the
+// population at once. The paper deliberately stalls gossip afterwards —
+// the overlay gets no chance to self-heal — so this is a plain mutation,
+// not a Control.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+
+/// Kills round(fraction * aliveCount) distinct random alive nodes.
+/// Returns the ids killed (useful for assertions in tests).
+std::vector<NodeId> killRandomFraction(Network& network, double fraction,
+                                       Rng& rng);
+
+/// Kills an explicit count of distinct random alive nodes.
+std::vector<NodeId> killRandomCount(Network& network, std::uint32_t count,
+                                    Rng& rng);
+
+/// Adversarial variant for ring-based d-links: kills a *contiguous arc*
+/// of the sequence-id ring (round(fraction * alive) nodes starting at a
+/// random ring position). Random failures rarely hit adjacent ring
+/// neighbours; an arc kill destroys a whole stretch of d-links at once —
+/// the §5.1 partitioned-ring scenario made systematic, where only
+/// r-links can bridge the gap.
+std::vector<NodeId> killContiguousArc(Network& network, double fraction,
+                                      Rng& rng);
+
+}  // namespace vs07::sim

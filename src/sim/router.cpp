@@ -1,0 +1,29 @@
+#include "sim/router.hpp"
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+
+std::size_t MessageRouter::slot(net::MessageKind kind, std::uint8_t channel) {
+  const auto k = static_cast<std::size_t>(kind);
+  VS07_EXPECT(k < kKinds);
+  VS07_EXPECT(channel <= net::kMaxChannel);
+  return channel * kKinds + k;
+}
+
+void MessageRouter::route(net::MessageKind kind, Handler handler,
+                          std::uint8_t channel) {
+  handlers_[slot(kind, channel)] = std::move(handler);
+}
+
+void MessageRouter::deliver(NodeId to, const net::Message& msg) {
+  if (!network_->isAlive(to)) {
+    ++droppedDead_;
+    return;
+  }
+  const auto& handler = handlers_[slot(msg.kind, msg.channel)];
+  VS07_EXPECT(handler != nullptr);
+  handler(to, msg);
+}
+
+}  // namespace vs07::sim

@@ -1,0 +1,46 @@
+// Message routing from a Transport's delivery sink to protocol handlers.
+//
+// The simulator installs one MessageRouter as the DeliverFn of whatever
+// transport stack it builds; protocols register per message kind. Messages
+// addressed to dead nodes are counted and dropped (a dead node neither
+// replies to gossip nor forwards data), which is precisely how CYCLON's
+// implicit failure detection and the paper's lost-forward semantics work.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+
+/// Dispatches delivered messages to per-kind handlers, dropping traffic to
+/// dead nodes.
+class MessageRouter {
+ public:
+  using Handler = std::function<void(NodeId to, const net::Message&)>;
+
+  explicit MessageRouter(const Network& network) : network_(&network) {}
+
+  /// Registers the handler for one (kind, channel) pair (overwrites).
+  void route(net::MessageKind kind, Handler handler,
+             std::uint8_t channel = 0);
+
+  /// The DeliverFn to plug into a transport.
+  void deliver(NodeId to, const net::Message& msg);
+
+  /// Messages dropped because the destination was dead.
+  std::uint64_t droppedDead() const noexcept { return droppedDead_; }
+
+ private:
+  static constexpr std::size_t kKinds = net::kMessageKinds + 1;
+  static std::size_t slot(net::MessageKind kind, std::uint8_t channel);
+
+  const Network* network_;
+  std::array<Handler, kKinds*(net::kMaxChannel + 1)> handlers_{};
+  std::uint64_t droppedDead_ = 0;
+};
+
+}  // namespace vs07::sim

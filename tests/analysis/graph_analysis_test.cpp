@@ -1,0 +1,115 @@
+#include "analysis/graph_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/stack.hpp"
+#include "cast/snapshot.hpp"
+#include "overlay/graph.hpp"
+
+namespace vs07::analysis {
+namespace {
+
+TEST(SccCount, SingleComponentRing) {
+  const auto snapshot = cast::snapshotGraph(overlay::makeRing(10));
+  const auto adjacency = aliveAdjacency(snapshot);
+  EXPECT_EQ(stronglyConnectedComponentCount(adjacency), 1u);
+}
+
+TEST(SccCount, DirectedChainIsAllSingletons) {
+  std::vector<std::vector<std::uint32_t>> adjacency(4);
+  adjacency[0] = {1};
+  adjacency[1] = {2};
+  adjacency[2] = {3};
+  EXPECT_EQ(stronglyConnectedComponentCount(adjacency), 4u);
+}
+
+TEST(SccCount, TwoCyclesBridgedOneWay) {
+  // 0<->1 and 2<->3 with a one-way bridge 1->2: two SCCs.
+  std::vector<std::vector<std::uint32_t>> adjacency(4);
+  adjacency[0] = {1};
+  adjacency[1] = {0, 2};
+  adjacency[2] = {3};
+  adjacency[3] = {2};
+  EXPECT_EQ(stronglyConnectedComponentCount(adjacency), 2u);
+}
+
+TEST(SccCount, EmptyGraph) {
+  EXPECT_EQ(stronglyConnectedComponentCount({}), 0u);
+}
+
+TEST(SccCount, DeepChainNoStackOverflow) {
+  // The iterative Tarjan must handle paths far beyond thread stack depth.
+  constexpr std::uint32_t kDepth = 200'000;
+  std::vector<std::vector<std::uint32_t>> adjacency(kDepth);
+  for (std::uint32_t i = 0; i + 1 < kDepth; ++i) adjacency[i] = {i + 1};
+  adjacency[kDepth - 1] = {0};  // close the loop: one giant SCC
+  EXPECT_EQ(stronglyConnectedComponentCount(adjacency), 1u);
+}
+
+TEST(AliveAdjacency, DropsDeadEndpoints) {
+  auto alive = std::vector<std::uint8_t>(6, 1);
+  alive[2] = 0;
+  const auto snapshot =
+      cast::snapshotGraph(overlay::makeRing(6), std::move(alive));
+  const auto adjacency = aliveAdjacency(snapshot);
+  ASSERT_EQ(adjacency.size(), 5u);  // alive nodes only
+  // Node 1 (alive index 1) lost its link to dead node 2.
+  std::size_t totalEdges = 0;
+  for (const auto& nbrs : adjacency) totalEdges += nbrs.size();
+  EXPECT_EQ(totalEdges, 12u - 4u);  // ring had 12 directed edges; 4 touch node 2
+}
+
+TEST(AliveAdjacency, LinkSelectionFilters) {
+  std::vector<cast::OverlaySnapshot::NodeLinks> links(2);
+  links[0].rlinks = {1};
+  links[1].dlinks = {0};
+  const cast::OverlaySnapshot snapshot{std::move(links), {1, 1}};
+  const auto onlyR = aliveAdjacency(snapshot, {.rlinks = true, .dlinks = false});
+  EXPECT_EQ(onlyR[0].size(), 1u);
+  EXPECT_EQ(onlyR[1].size(), 0u);
+  const auto onlyD = aliveAdjacency(snapshot, {.rlinks = false, .dlinks = true});
+  EXPECT_EQ(onlyD[0].size(), 0u);
+  EXPECT_EQ(onlyD[1].size(), 1u);
+}
+
+TEST(AliveIndegrees, CountsIncomingLinks) {
+  std::vector<cast::OverlaySnapshot::NodeLinks> links(3);
+  links[0].rlinks = {2};
+  links[1].rlinks = {2};
+  const cast::OverlaySnapshot snapshot{std::move(links), {1, 1, 1}};
+  const auto indegrees = aliveIndegrees(snapshot);
+  EXPECT_EQ(indegrees, (std::vector<std::uint32_t>{0, 0, 2}));
+}
+
+TEST(RingConvergence, PerfectAfterWarmup) {
+  StackConfig config;
+  config.nodes = 150;
+  config.seed = 5;
+  ProtocolStack stack(config);
+  stack.warmup();
+  const auto convergence = ringConvergence(stack.network(), stack.vicinity());
+  EXPECT_GE(convergence.bothAccuracy, 0.98);
+  EXPECT_GE(convergence.successorAccuracy, convergence.bothAccuracy);
+  EXPECT_GE(convergence.predecessorAccuracy, convergence.bothAccuracy);
+}
+
+TEST(RingConvergence, ZeroBeforeAnyGossip) {
+  StackConfig config;
+  config.nodes = 50;
+  config.seed = 6;
+  ProtocolStack stack(config);  // no warmup: views empty
+  const auto convergence = ringConvergence(stack.network(), stack.vicinity());
+  EXPECT_EQ(convergence.bothAccuracy, 0.0);
+}
+
+TEST(RingConvergence, TrivialPopulations) {
+  StackConfig config;
+  config.nodes = 1;
+  config.seed = 7;
+  ProtocolStack stack(config);
+  const auto convergence = ringConvergence(stack.network(), stack.vicinity());
+  EXPECT_EQ(convergence.bothAccuracy, 1.0);  // vacuously converged
+}
+
+}  // namespace
+}  // namespace vs07::analysis

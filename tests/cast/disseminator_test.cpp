@@ -1,0 +1,195 @@
+#include "cast/disseminator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cast/snapshot.hpp"
+#include "common/expect.hpp"
+#include "overlay/graph.hpp"
+
+namespace vs07::cast {
+namespace {
+
+DisseminationParams params(std::uint32_t fanout, std::uint64_t seed = 1,
+                           bool recordLoad = false) {
+  return {fanout, seed, recordLoad};
+}
+
+TEST(Disseminator, FloodOverRingReachesEveryoneInHalfRingHops) {
+  const auto graph = overlay::makeRing(10);
+  const auto snapshot = snapshotGraph(graph);
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.notified, 10u);
+  EXPECT_EQ(report.missRatioPercent(), 0.0);
+  // Two fronts meet after N/2 hops on an even ring.
+  EXPECT_EQ(report.lastHop, 5u);
+  // Each node forwards once except the origin (twice); the two fronts
+  // cross, producing exactly two redundant deliveries on an even ring.
+  EXPECT_EQ(report.messagesVirgin, 9u);
+  EXPECT_EQ(report.messagesRedundant, 2u);
+  EXPECT_EQ(report.messagesToDead, 0u);
+}
+
+TEST(Disseminator, FloodOverStarTakesTwoHops) {
+  const auto graph = overlay::makeStar(20, /*hub=*/0);
+  const auto snapshot = snapshotGraph(graph);
+  const FloodSelector flood;
+  // From a leaf: hop 1 notifies the hub, hop 2 the remaining 18 leaves.
+  const auto report = disseminate(snapshot, flood, 5, params(1));
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.lastHop, 2u);
+  ASSERT_EQ(report.newlyNotifiedPerHop.size(), 3u);
+  EXPECT_EQ(report.newlyNotifiedPerHop[0], 1u);
+  EXPECT_EQ(report.newlyNotifiedPerHop[1], 1u);
+  EXPECT_EQ(report.newlyNotifiedPerHop[2], 18u);
+}
+
+TEST(Disseminator, FloodOverCliqueIsOneHopButWasteful) {
+  const auto graph = overlay::makeClique(8);
+  const auto snapshot = snapshotGraph(graph);
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.lastHop, 1u);
+  EXPECT_EQ(report.messagesVirgin, 7u);
+  // Every notified node floods everyone else: 7 + 7*6 total sends.
+  EXPECT_EQ(report.messagesTotal, 7u + 42u);
+}
+
+TEST(Disseminator, TreeFloodIsMessageOptimal) {
+  Rng rng(7);
+  const auto graph = overlay::makeRandomTree(50, rng);
+  const auto snapshot = snapshotGraph(graph);
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  EXPECT_TRUE(report.complete());
+  // §3: a tree disseminates with exactly N-1 point-to-point messages.
+  EXPECT_EQ(report.messagesTotal, 49u);
+  EXPECT_EQ(report.messagesRedundant, 0u);
+}
+
+TEST(Disseminator, DeadNodesAbsorbMessages) {
+  auto alive = std::vector<std::uint8_t>(10, 1);
+  alive[5] = 0;  // break the ring at node 5
+  const auto graph = overlay::makeRing(10);
+  const auto snapshot = snapshotGraph(graph, std::move(alive));
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  // One dead node on a ring does not partition it (Harary connectivity 2):
+  // the other direction still covers everyone.
+  EXPECT_TRUE(report.complete());
+  EXPECT_EQ(report.aliveTotal, 9u);
+  EXPECT_GE(report.messagesToDead, 1u);
+}
+
+TEST(Disseminator, TwoDeadNodesPartitionARing) {
+  auto alive = std::vector<std::uint8_t>(10, 1);
+  alive[3] = 0;
+  alive[7] = 0;  // two non-adjacent failures split the ring (§5.1)
+  const auto graph = overlay::makeRing(10);
+  const auto snapshot = snapshotGraph(graph, std::move(alive));
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  EXPECT_FALSE(report.complete());
+  // Nodes 4,5,6 are cut off from origin 0.
+  EXPECT_EQ(report.missed.size(), 3u);
+  EXPECT_GT(report.missRatioPercent(), 0.0);
+}
+
+TEST(Disseminator, OriginMustBeAlive) {
+  auto alive = std::vector<std::uint8_t>(5, 1);
+  alive[2] = 0;
+  const auto snapshot = snapshotGraph(overlay::makeRing(5), std::move(alive));
+  const FloodSelector flood;
+  EXPECT_THROW(disseminate(snapshot, flood, 2, params(1)),
+               ContractViolation);
+}
+
+TEST(Disseminator, ZeroFanoutRejected) {
+  const auto snapshot = snapshotGraph(overlay::makeRing(5));
+  const FloodSelector flood;
+  EXPECT_THROW(disseminate(snapshot, flood, 0, params(0)),
+               ContractViolation);
+}
+
+TEST(Disseminator, ReportAccountingInvariants) {
+  const auto snapshot = snapshotGraph(overlay::makeHarary(4, 30));
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 3, params(1));
+  EXPECT_EQ(report.messagesTotal, report.messagesVirgin +
+                                      report.messagesRedundant +
+                                      report.messagesToDead);
+  EXPECT_EQ(report.notified + report.missed.size(), report.aliveTotal);
+  const auto hopSum = std::accumulate(report.newlyNotifiedPerHop.begin(),
+                                      report.newlyNotifiedPerHop.end(),
+                                      std::uint64_t{0});
+  EXPECT_EQ(hopSum, report.notified);
+  // Virgin deliveries are everyone but the origin.
+  EXPECT_EQ(report.messagesVirgin, report.notified - 1);
+}
+
+TEST(Disseminator, PercentNotReachedIsMonotone) {
+  const auto snapshot = snapshotGraph(overlay::makeRing(30));
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  double previous = 100.0;
+  for (std::uint32_t hop = 0; hop <= report.lastHop; ++hop) {
+    const double current = report.percentNotReachedAfterHop(hop);
+    EXPECT_LE(current, previous);
+    previous = current;
+  }
+  EXPECT_EQ(report.percentNotReachedAfterHop(report.lastHop), 0.0);
+}
+
+TEST(Disseminator, LoadRecordingMatchesMessageTotals) {
+  const auto snapshot = snapshotGraph(overlay::makeHarary(3, 24));
+  const FloodSelector flood;
+  const auto report =
+      disseminate(snapshot, flood, 0, params(1, 1, /*recordLoad=*/true));
+  ASSERT_EQ(report.forwardsPerNode.size(), snapshot.totalIds());
+  const auto forwards =
+      std::accumulate(report.forwardsPerNode.begin(),
+                      report.forwardsPerNode.end(), std::uint64_t{0});
+  const auto received =
+      std::accumulate(report.receivedPerNode.begin(),
+                      report.receivedPerNode.end(), std::uint64_t{0});
+  EXPECT_EQ(forwards, report.messagesTotal);
+  EXPECT_EQ(received, report.messagesVirgin + report.messagesRedundant);
+}
+
+TEST(Disseminator, LoadVectorsEmptyWhenNotRequested) {
+  const auto snapshot = snapshotGraph(overlay::makeRing(5));
+  const FloodSelector flood;
+  const auto report = disseminate(snapshot, flood, 0, params(1));
+  EXPECT_TRUE(report.forwardsPerNode.empty());
+  EXPECT_TRUE(report.receivedPerNode.empty());
+}
+
+TEST(Disseminator, DeterministicUnderSeed) {
+  // Random selector paths must replay exactly under the same seed.
+  std::vector<OverlaySnapshot::NodeLinks> links(40);
+  Rng build(3);
+  for (NodeId id = 0; id < 40; ++id)
+    for (int k = 0; k < 5; ++k)
+      links[id].rlinks.push_back(
+          static_cast<NodeId>((id + 1 + build.below(39)) % 40));
+  const OverlaySnapshot snapshot{std::move(links),
+                                 std::vector<std::uint8_t>(40, 1)};
+  const RandCastSelector selector;
+  const auto a = disseminate(snapshot, selector, 0, params(2, 77));
+  const auto b = disseminate(snapshot, selector, 0, params(2, 77));
+  const auto c = disseminate(snapshot, selector, 0, params(2, 78));
+  EXPECT_EQ(a.notified, b.notified);
+  EXPECT_EQ(a.messagesTotal, b.messagesTotal);
+  EXPECT_EQ(a.newlyNotifiedPerHop, b.newlyNotifiedPerHop);
+  // Different seed: almost surely a different trajectory.
+  EXPECT_TRUE(a.messagesRedundant != c.messagesRedundant ||
+              a.newlyNotifiedPerHop != c.newlyNotifiedPerHop ||
+              a.notified != c.notified);
+}
+
+}  // namespace
+}  // namespace vs07::cast

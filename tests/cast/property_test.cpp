@@ -1,0 +1,202 @@
+// Parameterized property sweep over the dissemination engine: for every
+// (protocol, fanout, failure volume) combination, the accounting
+// invariants of a DisseminationReport must hold, plus the per-protocol
+// guarantees the paper states (RINGCAST completeness in fail-free
+// networks, fanout-proportional overhead).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <tuple>
+
+#include "analysis/stack.hpp"
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "sim/failures.hpp"
+
+namespace vs07::cast {
+namespace {
+
+enum class Protocol { RandCast, RingCast, MultiRingCast, Flood };
+
+const char* protocolName(Protocol p) {
+  switch (p) {
+    case Protocol::RandCast: return "RandCast";
+    case Protocol::RingCast: return "RingCast";
+    case Protocol::MultiRingCast: return "MultiRingCast";
+    case Protocol::Flood: return "Flood";
+  }
+  return "?";
+}
+
+using Param = std::tuple<Protocol, std::uint32_t /*fanout*/,
+                         double /*killFraction*/>;
+
+/// One warmed 2-ring stack shared across the whole sweep (read-only use):
+/// rebuilding per parameter would dominate the suite's runtime.
+class DisseminationProperties : public ::testing::TestWithParam<Param> {
+ protected:
+  static void SetUpTestSuite() {
+    analysis::StackConfig config;
+    config.nodes = 600;
+    config.rings = 2;
+    config.seed = 1234;
+    stack_ = new analysis::ProtocolStack(config);
+    stack_->warmup();
+  }
+
+  static void TearDownTestSuite() {
+    delete stack_;
+    stack_ = nullptr;
+  }
+
+  /// Snapshot with the requested kill fraction applied on a *copy* of the
+  /// alive mask (the shared stack itself is never mutated).
+  OverlaySnapshot makeOverlay(Protocol protocol, double killFraction) {
+    OverlaySnapshot base = protocol == Protocol::RandCast
+                               ? stack_->snapshotRandom()
+                               : protocol == Protocol::MultiRingCast
+                                     ? stack_->snapshotMultiRing()
+                                     : stack_->snapshotRing();
+    if (killFraction == 0.0) return base;
+    // Re-derive an alive mask with victims cleared.
+    std::vector<std::uint8_t> alive(base.totalIds(), 0);
+    for (const NodeId id : base.aliveIds()) alive[id] = 1;
+    Rng rng(99);
+    auto toKill = static_cast<std::uint32_t>(killFraction *
+                                             base.aliveCount());
+    while (toKill > 0) {
+      const auto victim = static_cast<NodeId>(rng.below(base.totalIds()));
+      if (alive[victim]) {
+        alive[victim] = 0;
+        --toKill;
+      }
+    }
+    std::vector<OverlaySnapshot::NodeLinks> links;
+    links.reserve(base.totalIds());
+    for (NodeId id = 0; id < base.totalIds(); ++id)
+      links.push_back({base.rlinks(id), base.dlinks(id)});
+    return {std::move(links), std::move(alive)};
+  }
+
+  const TargetSelector& selector(Protocol protocol) {
+    switch (protocol) {
+      case Protocol::RandCast: return randCast_;
+      case Protocol::RingCast: return ringCast_;
+      case Protocol::MultiRingCast: return multiRingCast_;
+      case Protocol::Flood: return flood_;
+    }
+    return flood_;
+  }
+
+  static analysis::ProtocolStack* stack_;
+  RandCastSelector randCast_;
+  RingCastSelector ringCast_;
+  MultiRingCastSelector multiRingCast_;
+  FloodSelector flood_;
+};
+
+analysis::ProtocolStack* DisseminationProperties::stack_ = nullptr;
+
+TEST_P(DisseminationProperties, ReportInvariantsHold) {
+  const auto [protocol, fanout, killFraction] = GetParam();
+  const auto overlay = makeOverlay(protocol, killFraction);
+
+  Rng originRng(fanout * 7919 + static_cast<std::uint64_t>(killFraction * 100));
+  for (int run = 0; run < 5; ++run) {
+    DisseminationParams params;
+    params.fanout = fanout;
+    params.seed = originRng();
+    params.recordLoad = true;
+    const NodeId origin =
+        overlay.aliveIds()[originRng.below(overlay.aliveIds().size())];
+    const auto report = disseminate(overlay, selector(protocol), origin,
+                                    params);
+
+    // Conservation: every message is exactly one of virgin/redundant/dead.
+    EXPECT_EQ(report.messagesTotal, report.messagesVirgin +
+                                        report.messagesRedundant +
+                                        report.messagesToDead);
+    // Population: every alive node is notified or missed, never both.
+    EXPECT_EQ(report.notified + report.missed.size(), report.aliveTotal);
+    // Virgin deliveries are exactly the non-origin notifications.
+    EXPECT_EQ(report.messagesVirgin, report.notified - 1);
+    // Hop series sums to the notified count and ends at the last hop.
+    const auto hopSum = std::accumulate(report.newlyNotifiedPerHop.begin(),
+                                        report.newlyNotifiedPerHop.end(),
+                                        std::uint64_t{0});
+    EXPECT_EQ(hopSum, report.notified);
+    EXPECT_EQ(report.newlyNotifiedPerHop.size(),
+              static_cast<std::size_t>(report.lastHop) + 1);
+    // Load accounting mirrors the message counters.
+    const auto forwards =
+        std::accumulate(report.forwardsPerNode.begin(),
+                        report.forwardsPerNode.end(), std::uint64_t{0});
+    const auto received =
+        std::accumulate(report.receivedPerNode.begin(),
+                        report.receivedPerNode.end(), std::uint64_t{0});
+    EXPECT_EQ(forwards, report.messagesTotal);
+    EXPECT_EQ(received, report.messagesVirgin + report.messagesRedundant);
+    // Only alive nodes ever forward or get counted as receivers.
+    for (NodeId id = 0; id < overlay.totalIds(); ++id)
+      if (!overlay.isAlive(id)) {
+        EXPECT_EQ(report.forwardsPerNode[id], 0u);
+        EXPECT_EQ(report.receivedPerNode[id], 0u);
+      }
+  }
+}
+
+TEST_P(DisseminationProperties, HybridProtocolsCompleteWhenFailFree) {
+  const auto [protocol, fanout, killFraction] = GetParam();
+  if (killFraction > 0.0) GTEST_SKIP() << "fail-free property only";
+  if (protocol == Protocol::RandCast) GTEST_SKIP() << "hybrid-only property";
+  const auto overlay = makeOverlay(protocol, 0.0);
+  DisseminationParams params;
+  params.fanout = fanout;
+  params.seed = 5;
+  const auto report =
+      disseminate(overlay, selector(protocol), overlay.aliveIds()[0], params);
+  EXPECT_TRUE(report.complete())
+      << protocolName(protocol) << " fanout " << fanout;
+}
+
+TEST_P(DisseminationProperties, FanoutBoundsRespected) {
+  const auto [protocol, fanout, killFraction] = GetParam();
+  const auto overlay = makeOverlay(protocol, killFraction);
+  Rng rng(3);
+  std::vector<NodeId> targets;
+  // The per-node forward count never exceeds fanout except for the
+  // hybrid d-link floor (2 per ring) and flooding (unbounded by design).
+  std::uint32_t dlinkFloor = 0;
+  for (const NodeId id : overlay.aliveIds())
+    dlinkFloor = std::max(
+        dlinkFloor, static_cast<std::uint32_t>(overlay.dlinks(id).size()));
+  for (int probe = 0; probe < 200; ++probe) {
+    const NodeId self =
+        overlay.aliveIds()[rng.below(overlay.aliveIds().size())];
+    selector(protocol).selectTargets(overlay, self, kNoNode, fanout, rng,
+                                     targets);
+    if (protocol == Protocol::Flood) continue;
+    EXPECT_LE(targets.size(),
+              std::max<std::size_t>(fanout, dlinkFloor));
+    for (const NodeId t : targets) EXPECT_NE(t, self);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DisseminationProperties,
+    ::testing::Combine(
+        ::testing::Values(Protocol::RandCast, Protocol::RingCast,
+                          Protocol::MultiRingCast, Protocol::Flood),
+        ::testing::Values(1u, 2u, 3u, 5u, 10u, 20u),
+        ::testing::Values(0.0, 0.05, 0.25)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      // No structured bindings here: their commas are not protected from
+      // the INSTANTIATE_TEST_SUITE_P macro's argument splitting.
+      return std::string(protocolName(std::get<0>(info.param))) + "_F" +
+             std::to_string(std::get<1>(info.param)) + "_kill" +
+             std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace vs07::cast

@@ -1,0 +1,131 @@
+#include "cast/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "analysis/stack.hpp"
+#include "common/expect.hpp"
+#include "overlay/graph.hpp"
+
+namespace vs07::cast {
+namespace {
+
+analysis::StackConfig smallConfig(std::uint32_t n, std::uint32_t rings = 1) {
+  analysis::StackConfig config;
+  config.nodes = n;
+  config.rings = rings;
+  config.seed = 99;
+  return config;
+}
+
+TEST(Snapshot, GraphWrapUsesDlinks) {
+  const auto graph = overlay::makeRing(6);
+  const auto snapshot = snapshotGraph(graph);
+  EXPECT_EQ(snapshot.totalIds(), 6u);
+  EXPECT_EQ(snapshot.aliveCount(), 6u);
+  for (NodeId id = 0; id < 6; ++id) {
+    EXPECT_EQ(snapshot.dlinks(id).size(), 2u);
+    EXPECT_TRUE(snapshot.rlinks(id).empty());
+  }
+}
+
+TEST(Snapshot, GraphWrapWithAliveMask) {
+  const auto graph = overlay::makeRing(6);
+  std::vector<std::uint8_t> alive{1, 0, 1, 1, 0, 1};
+  const auto snapshot = snapshotGraph(graph, alive);
+  EXPECT_EQ(snapshot.aliveCount(), 4u);
+  EXPECT_FALSE(snapshot.isAlive(1));
+  EXPECT_TRUE(snapshot.isAlive(2));
+  // Links to dead nodes are preserved on purpose.
+  EXPECT_EQ(snapshot.dlinks(0).size(), 2u);
+}
+
+TEST(Snapshot, MaskSizeMismatchRejected) {
+  const auto graph = overlay::makeRing(6);
+  EXPECT_THROW(snapshotGraph(graph, std::vector<std::uint8_t>(5, 1)),
+               ContractViolation);
+}
+
+TEST(Snapshot, RandomSnapshotMirrorsCyclonViews) {
+  analysis::ProtocolStack stack(smallConfig(100));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRandom();
+  for (const NodeId id : stack.network().aliveIds()) {
+    const auto& view = stack.cyclon().view(id);
+    ASSERT_EQ(snapshot.rlinks(id).size(), view.size());
+    for (const auto& e : view.entries()) {
+      const auto& rlinks = snapshot.rlinks(id);
+      EXPECT_NE(std::find(rlinks.begin(), rlinks.end(), e.node),
+                rlinks.end());
+    }
+    EXPECT_TRUE(snapshot.dlinks(id).empty());
+  }
+}
+
+TEST(Snapshot, RingSnapshotHoldsSuccessorAndPredecessor) {
+  analysis::ProtocolStack stack(smallConfig(100));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRing();
+  for (const NodeId id : stack.network().aliveIds()) {
+    const auto ring = stack.vicinity().ringNeighbors(id);
+    const auto& dlinks = snapshot.dlinks(id);
+    ASSERT_GE(dlinks.size(), 1u);
+    ASSERT_LE(dlinks.size(), 2u);
+    EXPECT_NE(std::find(dlinks.begin(), dlinks.end(), ring.successor),
+              dlinks.end());
+    EXPECT_NE(std::find(dlinks.begin(), dlinks.end(), ring.predecessor),
+              dlinks.end());
+  }
+}
+
+TEST(Snapshot, MultiRingSnapshotUnionsAllRings) {
+  analysis::ProtocolStack stack(smallConfig(80, /*rings=*/3));
+  stack.warmup();
+  const auto snapshot = stack.snapshotMultiRing();
+  for (const NodeId id : stack.network().aliveIds()) {
+    const auto& dlinks = snapshot.dlinks(id);
+    // Up to 6 distinct neighbours over 3 rings; at least 2 once converged.
+    EXPECT_GE(dlinks.size(), 2u);
+    EXPECT_LE(dlinks.size(), 6u);
+    for (const auto& ring : stack.rings().allRingNeighbors(id)) {
+      EXPECT_NE(std::find(dlinks.begin(), dlinks.end(), ring.successor),
+                dlinks.end());
+      EXPECT_NE(std::find(dlinks.begin(), dlinks.end(), ring.predecessor),
+                dlinks.end());
+    }
+  }
+}
+
+TEST(Snapshot, DeadNodesExcludedFromAliveIds) {
+  analysis::ProtocolStack stack(smallConfig(50));
+  stack.warmup();
+  stack.network().kill(7);
+  stack.network().kill(9);
+  const auto snapshot = stack.snapshotRing();
+  EXPECT_EQ(snapshot.aliveCount(), 48u);
+  const auto& ids = snapshot.aliveIds();
+  EXPECT_EQ(std::find(ids.begin(), ids.end(), 7u), ids.end());
+  EXPECT_FALSE(snapshot.isAlive(7));
+}
+
+TEST(Snapshot, StaleLinksToDeadNodesAreKept) {
+  analysis::ProtocolStack stack(smallConfig(60));
+  stack.warmup();
+  // Kill a node *after* freezing would be the usual order; here we kill
+  // first and snapshot second without gossip, so links still point at it.
+  const NodeId victim = stack.network().aliveIds().front();
+  stack.network().kill(victim);
+  const auto snapshot = stack.snapshotRing();
+  std::uint64_t staleLinks = 0;
+  for (const NodeId id : snapshot.aliveIds()) {
+    staleLinks += std::count(snapshot.rlinks(id).begin(),
+                             snapshot.rlinks(id).end(), victim);
+    staleLinks += std::count(snapshot.dlinks(id).begin(),
+                             snapshot.dlinks(id).end(), victim);
+  }
+  EXPECT_GT(staleLinks, 0u);
+}
+
+}  // namespace
+}  // namespace vs07::cast

@@ -1,0 +1,92 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace vs07 {
+namespace {
+
+CliParser makeParser() {
+  CliParser parser("test program");
+  parser.option("nodes", "population size")
+      .option("rate", "churn rate")
+      .option("paper", "full scale", /*takesValue=*/false)
+      .option("label", "free text");
+  return parser;
+}
+
+std::optional<CliArgs> parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> args{"prog"};
+  args.insert(args.end(), argv.begin(), argv.end());
+  return makeParser().parse(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, SeparateValueForm) {
+  const auto args = parse({"--nodes", "500"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->getUint("nodes", 0), 500u);
+}
+
+TEST(Cli, EqualsValueForm) {
+  const auto args = parse({"--nodes=250"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->getUint("nodes", 0), 250u);
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto args = parse({"--paper"});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_TRUE(args->getBool("paper"));
+  EXPECT_FALSE(args->getBool("missing"));
+}
+
+TEST(Cli, BooleanWithExplicitValue) {
+  EXPECT_TRUE(parse({"--paper=true"})->getBool("paper"));
+  EXPECT_FALSE(parse({"--paper=false"})->getBool("paper"));
+  EXPECT_THROW(parse({"--paper=banana"})->getBool("paper"),
+               std::invalid_argument);
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const auto args = parse({});
+  ASSERT_TRUE(args.has_value());
+  EXPECT_EQ(args->getUint("nodes", 77), 77u);
+  EXPECT_DOUBLE_EQ(args->getDouble("rate", 0.5), 0.5);
+  EXPECT_EQ(args->getInt("nodes", -4), -4);
+}
+
+TEST(Cli, DoubleParsing) {
+  const auto args = parse({"--rate", "0.002"});
+  EXPECT_DOUBLE_EQ(args->getDouble("rate", 1.0), 0.002);
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  EXPECT_THROW(parse({"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  EXPECT_THROW(parse({"--nodes"}), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentRejected) {
+  EXPECT_THROW(parse({"stray"}), std::invalid_argument);
+}
+
+TEST(Cli, HasAndGet) {
+  const auto args = parse({"--label", "hello world"});
+  EXPECT_TRUE(args->has("label"));
+  EXPECT_EQ(args->get("label").value(), "hello world");
+  EXPECT_FALSE(args->has("rate"));
+  EXPECT_FALSE(args->get("rate").has_value());
+}
+
+TEST(Cli, UsageListsOptions) {
+  const auto usage = makeParser().usage("prog");
+  EXPECT_NE(usage.find("--nodes"), std::string::npos);
+  EXPECT_NE(usage.find("--paper"), std::string::npos);
+  EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vs07

@@ -1,0 +1,122 @@
+#include "common/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vs07 {
+namespace {
+
+TEST(CountHistogram, EmptyState) {
+  CountHistogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(5), 0u);
+  EXPECT_EQ(h.maxValue(), 0u);
+}
+
+TEST(CountHistogram, AddAndCount) {
+  CountHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(10, 5);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(10), 5u);
+  EXPECT_EQ(h.count(4), 0u);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.maxValue(), 10u);
+}
+
+TEST(CountHistogram, ZeroWeightIsNoop) {
+  CountHistogram h;
+  h.add(1, 0);
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(CountHistogram, MergeSumsCounts) {
+  CountHistogram a;
+  a.add(1, 2);
+  a.add(2, 3);
+  CountHistogram b;
+  b.add(2, 1);
+  b.add(5, 4);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(2), 4u);
+  EXPECT_EQ(a.count(5), 4u);
+  EXPECT_EQ(a.total(), 10u);
+}
+
+TEST(CountHistogram, SortedAscending) {
+  CountHistogram h;
+  h.add(9);
+  h.add(1);
+  h.add(5);
+  const auto pairs = h.sorted();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].first, 1u);
+  EXPECT_EQ(pairs[1].first, 5u);
+  EXPECT_EQ(pairs[2].first, 9u);
+}
+
+TEST(LogBins, EmptyHistogram) {
+  CountHistogram h;
+  EXPECT_TRUE(logBins(h).empty());
+}
+
+TEST(LogBins, ZeroGetsDedicatedBin) {
+  CountHistogram h;
+  h.add(0, 7);
+  h.add(1, 2);
+  const auto bins = logBins(h);
+  ASSERT_GE(bins.size(), 2u);
+  EXPECT_EQ(bins[0].lo, 0u);
+  EXPECT_EQ(bins[0].hi, 0u);
+  EXPECT_EQ(bins[0].count, 7u);
+  EXPECT_EQ(bins[1].lo, 1u);
+}
+
+TEST(LogBins, BinsDouble) {
+  CountHistogram h;
+  for (std::uint64_t v = 1; v <= 64; ++v) h.add(v);
+  const auto bins = logBins(h, 2.0);
+  // Bins: [1,1] [2,3] [4,7] [8,15] [16,31] [32,63] [64,127].
+  ASSERT_EQ(bins.size(), 7u);
+  EXPECT_EQ(bins[0].count, 1u);
+  EXPECT_EQ(bins[1].count, 2u);
+  EXPECT_EQ(bins[2].count, 4u);
+  EXPECT_EQ(bins[3].count, 8u);
+  EXPECT_EQ(bins[4].count, 16u);
+  EXPECT_EQ(bins[5].count, 32u);
+  EXPECT_EQ(bins[6].count, 1u);
+}
+
+TEST(LogBins, TotalPreserved) {
+  CountHistogram h;
+  h.add(0, 3);
+  h.add(7, 2);
+  h.add(1000, 9);
+  std::uint64_t sum = 0;
+  for (const auto& bin : logBins(h)) sum += bin.count;
+  EXPECT_EQ(sum, h.total());
+}
+
+TEST(LogBins, TrailingEmptyBinsTrimmed) {
+  CountHistogram h;
+  h.add(1);
+  const auto bins = logBins(h);
+  ASSERT_EQ(bins.size(), 1u);
+  EXPECT_EQ(bins[0].count, 1u);
+}
+
+TEST(RenderLogBins, ProducesOneLinePerBin) {
+  CountHistogram h;
+  h.add(1, 10);
+  h.add(5, 3);
+  const auto bins = logBins(h);
+  const auto text = renderLogBins(bins, 20);
+  std::size_t lines = 0;
+  for (const char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, bins.size());
+}
+
+}  // namespace
+}  // namespace vs07

@@ -1,0 +1,47 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace vs07 {
+namespace {
+
+/// RAII guard restoring the global log level after each test.
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(logLevel()) {}
+  ~LogLevelGuard() { setLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (const auto level : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                           LogLevel::Error, LogLevel::Off}) {
+    setLogLevel(level);
+    EXPECT_EQ(logLevel(), level);
+  }
+}
+
+TEST(Log, EmittingBelowThresholdIsSafe) {
+  LogLevelGuard guard;
+  setLogLevel(LogLevel::Off);
+  // Nothing observable to assert on stderr portably; the contract is
+  // simply that suppressed logging does not crash or allocate the
+  // message path lazily.
+  logDebug("dropped");
+  logInfo("dropped");
+  logWarn("dropped");
+  logError("dropped");
+}
+
+TEST(Log, EmittingAboveThresholdIsSafe) {
+  LogLevelGuard guard;
+  setLogLevel(LogLevel::Debug);
+  logDebug("visible debug");
+  logError("visible error");
+}
+
+}  // namespace
+}  // namespace vs07

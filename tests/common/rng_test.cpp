@@ -1,0 +1,167 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace vs07 {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(17);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    sawLo |= v == -3;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(19);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kTrials = 50'000;
+  for (int i = 0; i < kTrials; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kTrials, 0.3, 0.02);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(37);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // probability of identity is ~1/50!
+}
+
+TEST(Rng, SampleIndicesDistinctAndInRange) {
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sampleIndices(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (const auto idx : sample) EXPECT_LT(idx, 20u);
+  }
+}
+
+TEST(Rng, SampleIndicesWhenKExceedsN) {
+  Rng rng(43);
+  const auto sample = rng.sampleIndices(5, 100);
+  EXPECT_EQ(sample.size(), 5u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(47);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (parent() == child());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Mix64, DeterministicAndSpreading) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Low-entropy inputs should produce high-entropy outputs: all four
+  // 16-bit quadrants of mix64(small) should be nonzero for most inputs.
+  int degenerate = 0;
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    const auto h = mix64(x);
+    if ((h & 0xFFFF) == 0 || (h >> 48) == 0) ++degenerate;
+  }
+  EXPECT_LT(degenerate, 3);
+}
+
+}  // namespace
+}  // namespace vs07

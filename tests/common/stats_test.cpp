@@ -1,0 +1,162 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace vs07 {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squares = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(7);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 10.0;
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Percentile, NearestRankSemantics) {
+  const std::vector<double> xs{15, 20, 35, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 30.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 40.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  const std::vector<double> xs{50, 15, 40, 20, 35};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+}
+
+TEST(Percentile, OutOfRangeThrows) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1.0), ContractViolation);
+  EXPECT_THROW(percentile(xs, 101.0), ContractViolation);
+}
+
+TEST(Summarize, AllFieldsConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p90, 90.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+}
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Gini, PerfectEqualityIsZero) {
+  const std::vector<double> xs{5, 5, 5, 5, 5};
+  EXPECT_NEAR(giniCoefficient(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, MaximalInequalityApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs.back() = 1000.0;
+  EXPECT_NEAR(giniCoefficient(xs), 0.99, 1e-9);
+}
+
+TEST(Gini, KnownValue) {
+  // For {1, 2, 3}: G = (2*(1*1+2*2+3*3))/(3*6) - 4/3 = 28/18 - 4/3 = 2/9.
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_NEAR(giniCoefficient(xs), 2.0 / 9.0, 1e-12);
+}
+
+TEST(Gini, DegenerateInputs) {
+  EXPECT_EQ(giniCoefficient({}), 0.0);
+  const std::vector<double> one{4.0};
+  EXPECT_EQ(giniCoefficient(one), 0.0);
+  const std::vector<double> zeros{0.0, 0.0, 0.0};
+  EXPECT_EQ(giniCoefficient(zeros), 0.0);
+}
+
+TEST(Gini, NegativeValueThrows) {
+  const std::vector<double> xs{1.0, -2.0};
+  EXPECT_THROW(giniCoefficient(xs), ContractViolation);
+}
+
+TEST(Mean, Basics) {
+  EXPECT_EQ(mean({}), 0.0);
+  const std::vector<double> xs{1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+}
+
+TEST(ToDoubles, ConvertsBothWidths) {
+  const std::vector<std::uint64_t> xs64{1, 2, 3};
+  const std::vector<std::uint32_t> xs32{4, 5};
+  EXPECT_EQ(toDoubles(xs64), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(toDoubles(xs32), (std::vector<double>{4.0, 5.0}));
+}
+
+}  // namespace
+}  // namespace vs07

@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"fanout", "miss"});
+  t.addRow({"2", "10.81"});
+  t.addRow({"10", "0.01"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("fanout"), std::string::npos);
+  EXPECT_NE(text.find("10.81"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"a", "b"});
+  t.addRow({"xxxx", "y"});
+  const auto text = t.render();
+  // Header line must be padded to the width of the widest cell.
+  const auto firstLine = text.substr(0, text.find('\n'));
+  EXPECT_EQ(firstLine.size(), std::string("xxxx  b").size());
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), ContractViolation);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.addRow({"1", "2"});
+  EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+}
+
+TEST(FmtLog, SwitchesToScientificForSmallValues) {
+  EXPECT_EQ(fmtLog(0.0), "0");
+  EXPECT_EQ(fmtLog(12.5), "12.5000");
+  const auto tiny = fmtLog(0.0001234);
+  EXPECT_NE(tiny.find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vs07

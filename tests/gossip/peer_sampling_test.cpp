@@ -1,0 +1,48 @@
+#include "gossip/peer_sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace vs07::gossip {
+namespace {
+
+/// Minimal PeerSamplingService over fixed views, for interface tests.
+class StaticSampler final : public PeerSamplingService {
+ public:
+  explicit StaticSampler(std::map<NodeId, View> views)
+      : views_(std::move(views)) {}
+  const View& view(NodeId node) const override { return views_.at(node); }
+
+ private:
+  std::map<NodeId, View> views_;
+};
+
+TEST(PeerSampling, SamplePeerFromEmptyViewIsNoNode) {
+  std::map<NodeId, View> views;
+  views.emplace(0, View(0, 4));
+  StaticSampler sampler(std::move(views));
+  Rng rng(1);
+  EXPECT_EQ(sampler.samplePeer(0, rng), kNoNode);
+}
+
+TEST(PeerSampling, SamplePeerUniformOverView) {
+  View v(0, 4);
+  v.add({1, 0, 0});
+  v.add({2, 0, 0});
+  v.add({3, 0, 0});
+  std::map<NodeId, View> views;
+  views.emplace(0, std::move(v));
+  StaticSampler sampler(std::move(views));
+  Rng rng(2);
+  std::map<NodeId, int> hits;
+  constexpr int kDraws = 9000;
+  for (int i = 0; i < kDraws; ++i) ++hits[sampler.samplePeer(0, rng)];
+  for (const NodeId id : {1u, 2u, 3u}) {
+    EXPECT_GT(hits[id], kDraws / 3 * 0.9);
+    EXPECT_LT(hits[id], kDraws / 3 * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace vs07::gossip

@@ -1,0 +1,152 @@
+#include "gossip/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/expect.hpp"
+
+namespace vs07::gossip {
+namespace {
+
+PeerDescriptor entry(NodeId node, std::uint32_t age = 0) {
+  return {node, age, node * 1000ULL};
+}
+
+TEST(View, StartsEmpty) {
+  View v(0, 5);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 5u);
+  EXPECT_FALSE(v.full());
+  EXPECT_EQ(v.owner(), 0u);
+}
+
+TEST(View, AddAndLookup) {
+  View v(0, 5);
+  v.add(entry(1));
+  v.add(entry(2));
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_FALSE(v.contains(3));
+  EXPECT_NE(v.indexOf(1), View::npos);
+  EXPECT_EQ(v.indexOf(9), View::npos);
+}
+
+TEST(View, RejectsSelfEntry) {
+  View v(7, 5);
+  EXPECT_THROW(v.add(entry(7)), ContractViolation);
+}
+
+TEST(View, RejectsDuplicates) {
+  View v(0, 5);
+  v.add(entry(1));
+  EXPECT_THROW(v.add(entry(1)), ContractViolation);
+}
+
+TEST(View, RejectsOverflow) {
+  View v(0, 2);
+  v.add(entry(1));
+  v.add(entry(2));
+  EXPECT_TRUE(v.full());
+  EXPECT_THROW(v.add(entry(3)), ContractViolation);
+}
+
+TEST(View, ZeroCapacityRejected) {
+  EXPECT_THROW(View(0, 0), ContractViolation);
+}
+
+TEST(View, RemoveAtSwapsWithLast) {
+  View v(0, 5);
+  v.add(entry(1));
+  v.add(entry(2));
+  v.add(entry(3));
+  v.removeAt(0);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.contains(1));
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(View, RemoveNode) {
+  View v(0, 5);
+  v.add(entry(1));
+  EXPECT_TRUE(v.removeNode(1));
+  EXPECT_FALSE(v.removeNode(1));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(View, OldestIndexFindsMaxAge) {
+  View v(0, 5);
+  v.add(entry(1, 3));
+  v.add(entry(2, 9));
+  v.add(entry(3, 1));
+  EXPECT_EQ(v.at(v.oldestIndex()).node, 2u);
+}
+
+TEST(View, OldestOnEmptyThrows) {
+  View v(0, 5);
+  EXPECT_THROW(v.oldestIndex(), ContractViolation);
+}
+
+TEST(View, IncrementAges) {
+  View v(0, 5);
+  v.add(entry(1, 0));
+  v.add(entry(2, 7));
+  v.incrementAges();
+  EXPECT_EQ(v.at(v.indexOf(1)).age, 1u);
+  EXPECT_EQ(v.at(v.indexOf(2)).age, 8u);
+}
+
+TEST(View, RandomEntriesDistinctAndExcluding) {
+  View v(0, 10);
+  for (NodeId id = 1; id <= 10; ++id) v.add(entry(id));
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = v.randomEntries(4, /*exclude=*/5, rng);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<NodeId> ids;
+    for (const auto& e : sample) {
+      EXPECT_NE(e.node, 5u);
+      ids.insert(e.node);
+    }
+    EXPECT_EQ(ids.size(), 4u);
+  }
+}
+
+TEST(View, RandomEntriesWhenAskingForTooMany) {
+  View v(0, 5);
+  v.add(entry(1));
+  v.add(entry(2));
+  Rng rng(1);
+  const auto sample = v.randomEntries(10, kNoNode, rng);
+  EXPECT_EQ(sample.size(), 2u);
+}
+
+TEST(View, RandomEntriesUniformCoverage) {
+  View v(0, 10);
+  for (NodeId id = 1; id <= 10; ++id) v.add(entry(id));
+  Rng rng(7);
+  std::map<NodeId, int> hits;
+  constexpr int kTrials = 10'000;
+  for (int trial = 0; trial < kTrials; ++trial)
+    for (const auto& e : v.randomEntries(3, kNoNode, rng)) ++hits[e.node];
+  // Each of 10 nodes should appear in ~3/10 of trials.
+  for (NodeId id = 1; id <= 10; ++id) {
+    EXPECT_GT(hits[id], kTrials * 3 / 10 * 0.85) << "node " << id;
+    EXPECT_LT(hits[id], kTrials * 3 / 10 * 1.15) << "node " << id;
+  }
+}
+
+TEST(View, ClearEmptiesView) {
+  View v(0, 3);
+  v.add(entry(1));
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.add(entry(2));  // still usable
+  EXPECT_EQ(v.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vs07::gossip

@@ -1,0 +1,219 @@
+// Integration tests asserting the paper's qualitative claims at reduced
+// scale. Each test mirrors one claim of §7; the benches reproduce the full
+// figures, these tests keep the claims true under CI.
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hpp"
+#include "analysis/graph_analysis.hpp"
+#include "analysis/stack.hpp"
+#include "cast/disseminator.hpp"
+#include "cast/selector.hpp"
+#include "sim/failures.hpp"
+
+namespace vs07 {
+namespace {
+
+using analysis::measureEffectiveness;
+using analysis::ProtocolStack;
+using analysis::StackConfig;
+
+StackConfig config(std::uint32_t nodes, std::uint64_t seed,
+                   std::uint32_t rings = 1) {
+  StackConfig c;
+  c.nodes = nodes;
+  c.seed = seed;
+  c.rings = rings;
+  return c;
+}
+
+// §7.1 / Fig. 6: RINGCAST achieves complete dissemination for *any*
+// fanout in a static failure-free network.
+TEST(PaperStatic, RingCastCompleteAtEveryFanout) {
+  ProtocolStack stack(config(800, 11));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRing();
+  const cast::RingCastSelector ringCast;
+  for (const std::uint32_t fanout : {1u, 2u, 3u, 5u, 10u}) {
+    const auto point =
+        measureEffectiveness(snapshot, ringCast, fanout, 20, 100 + fanout);
+    EXPECT_EQ(point.avgMissPercent, 0.0) << "fanout " << fanout;
+    EXPECT_EQ(point.completePercent, 100.0) << "fanout " << fanout;
+  }
+}
+
+// §7.1 / Fig. 6: RANDCAST misses nodes at low fanout even without
+// failures, and the miss ratio falls steeply with the fanout.
+TEST(PaperStatic, RandCastMissesAtLowFanoutAndImprovesWithIt) {
+  ProtocolStack stack(config(800, 12));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRandom();
+  const cast::RandCastSelector randCast;
+  const auto f2 = measureEffectiveness(snapshot, randCast, 2, 30, 200);
+  const auto f4 = measureEffectiveness(snapshot, randCast, 4, 30, 201);
+  const auto f8 = measureEffectiveness(snapshot, randCast, 8, 30, 202);
+  EXPECT_GT(f2.avgMissPercent, 2.0);   // paper: ~10% at F=2, 10k nodes
+  EXPECT_LT(f4.avgMissPercent, f2.avgMissPercent);
+  EXPECT_LT(f8.avgMissPercent, f4.avgMissPercent);
+  EXPECT_EQ(f2.completePercent, 0.0);
+}
+
+// §7.1 / Fig. 8: message overhead is proportional to the fanout —
+// total sends ≈ F × notified, virgin ≈ notified.
+TEST(PaperStatic, MessageOverheadProportionalToFanout) {
+  ProtocolStack stack(config(600, 13));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRing();
+  const cast::RingCastSelector ringCast;
+  for (const std::uint32_t fanout : {2u, 4u, 8u}) {
+    const auto point =
+        measureEffectiveness(snapshot, ringCast, fanout, 10, 300 + fanout);
+    const double n = snapshot.aliveCount();
+    EXPECT_NEAR(point.avgMessagesTotal, fanout * n, 0.05 * fanout * n)
+        << "fanout " << fanout;
+    EXPECT_NEAR(point.avgVirgin, n - 1, 1e-9);
+  }
+}
+
+// §7.1 / Fig. 7: RINGCAST finishes in no more hops than RANDCAST misses
+// allow — concretely, the two protocols track each other early and
+// RINGCAST reaches the last node while RANDCAST still misses nodes.
+TEST(PaperStatic, ProgressSeriesShapes) {
+  ProtocolStack stack(config(800, 14));
+  stack.warmup();
+  const auto ringSnapshot = stack.snapshotRing();
+  const auto randSnapshot = stack.snapshotRandom();
+  const cast::RingCastSelector ringCast;
+  const cast::RandCastSelector randCast;
+  const auto ring = analysis::measureProgress(ringSnapshot, ringCast, 3,
+                                              15, 400);
+  const auto rand = analysis::measureProgress(randSnapshot, randCast, 3,
+                                              15, 401);
+  // Early spreading is alike: after 3 hops both reach a similar share
+  // (the probabilistic component dominates, §7.1).
+  ASSERT_GT(ring.meanPctRemaining.size(), 3u);
+  ASSERT_GT(rand.meanPctRemaining.size(), 3u);
+  EXPECT_NEAR(ring.meanPctRemaining[2], rand.meanPctRemaining[2], 12.0);
+  // The tail differs: RINGCAST ends at exactly zero; RANDCAST at F=3
+  // leaves a residue.
+  EXPECT_EQ(ring.meanPctRemaining.back(), 0.0);
+  EXPECT_GT(rand.meanPctRemaining.back(), 0.0);
+}
+
+// §7.2 / Fig. 9: after a catastrophic failure (no healing), RINGCAST's
+// miss ratio stays well below RANDCAST's at the same fanout.
+TEST(PaperCatastrophic, RingCastBeatsRandCastAfterMassFailure) {
+  ProtocolStack stack(config(1500, 15));
+  stack.warmup();
+  Rng killRng(1);
+  sim::killRandomFraction(stack.network(), 0.05, killRng);
+  const auto ringSnapshot = stack.snapshotRing();
+  const auto randSnapshot = stack.snapshotRandom();
+  const cast::RingCastSelector ringCast;
+  const cast::RandCastSelector randCast;
+  const auto ring = measureEffectiveness(ringSnapshot, ringCast, 3, 30, 500);
+  const auto rand = measureEffectiveness(randSnapshot, randCast, 3, 30, 501);
+  EXPECT_LT(ring.avgMissPercent, rand.avgMissPercent);
+  EXPECT_GT(rand.avgMissPercent, 1.0);  // RANDCAST F=3 misses plenty
+}
+
+// §7.2: the bigger the failure, the closer the two protocols get, but
+// RINGCAST keeps the edge even at 10% dead (paper: still an order of
+// magnitude at 10k nodes).
+TEST(PaperCatastrophic, GapNarrowsWithFailureVolumeButPersists) {
+  double previousRingMiss = -1.0;
+  for (const double kill : {0.02, 0.10}) {
+    ProtocolStack stack(config(1500, 16));
+    stack.warmup();
+    Rng killRng(2);
+    sim::killRandomFraction(stack.network(), kill, killRng);
+    const cast::RingCastSelector ringCast;
+    const cast::RandCastSelector randCast;
+    const auto ring =
+        measureEffectiveness(stack.snapshotRing(), ringCast, 3, 30, 600);
+    const auto rand =
+        measureEffectiveness(stack.snapshotRandom(), randCast, 3, 30, 601);
+    EXPECT_LE(ring.avgMissPercent, rand.avgMissPercent)
+        << "kill fraction " << kill;
+    EXPECT_GT(ring.avgMissPercent, previousRingMiss);
+    previousRingMiss = ring.avgMissPercent;
+  }
+}
+
+// §7.3 / Fig. 13: under churn, misses concentrate on young nodes; nodes
+// past the warm-up age are almost always reached by RINGCAST.
+TEST(PaperChurn, MissesConcentrateOnYoungNodes) {
+  ProtocolStack stack(config(600, 17));
+  stack.warmup();
+  const auto cycles = stack.runChurnUntilFullTurnover(0.01, 10'000);
+  ASSERT_LT(cycles, 10'000u);  // full turnover reached
+  const auto now = stack.engine().cycle();
+  const auto snapshot = stack.snapshotRing();
+  const cast::RingCastSelector ringCast;
+  const auto study = analysis::measureMissLifetimes(
+      snapshot, ringCast, stack.network(), now, 3, 60, 700);
+
+  if (study.missedLifetimes.total() == 0)
+    GTEST_SKIP() << "no misses at this scale; nothing to classify";
+
+  // Count misses of nodes younger vs older than ~ a view length of cycles.
+  std::uint64_t youngMisses = 0;
+  for (const auto& [lifetime, count] : study.missedLifetimes.sorted())
+    if (lifetime <= 20) youngMisses += count;
+  const double youngShare =
+      static_cast<double>(youngMisses) /
+      static_cast<double>(study.missedLifetimes.total());
+
+  // Young nodes are a small fraction of the population (≈ 20 * churn
+  // replacements / N), yet they must account for the majority of misses.
+  EXPECT_GT(youngShare, 0.5);
+}
+
+// §7.3 / Fig. 11: under churn neither protocol achieves complete
+// disseminations at moderate fanout, and RINGCAST has the lower miss
+// ratio at low fanout.
+TEST(PaperChurn, LowFanoutFavoursRingCast) {
+  ProtocolStack stack(config(600, 18));
+  stack.warmup();
+  stack.runChurnUntilFullTurnover(0.01, 10'000);
+  const cast::RingCastSelector ringCast;
+  const cast::RandCastSelector randCast;
+  const auto ring =
+      measureEffectiveness(stack.snapshotRing(), ringCast, 3, 40, 800);
+  const auto rand =
+      measureEffectiveness(stack.snapshotRandom(), randCast, 3, 40, 801);
+  EXPECT_LT(ring.avgMissPercent, rand.avgMissPercent);
+}
+
+// §8 extension: a second ring raises d-link connectivity and cuts misses
+// after severe failures.
+TEST(PaperExtensions, SecondRingImprovesFailureResilience) {
+  const double killFraction = 0.15;
+  std::uint64_t singleMisses = 0;
+  std::uint64_t doubleMisses = 0;
+  for (const std::uint32_t rings : {1u, 2u}) {
+    ProtocolStack stack(config(800, 19, rings));
+    stack.warmup();
+    Rng killRng(3);
+    sim::killRandomFraction(stack.network(), killFraction, killRng);
+    const cast::MultiRingCastSelector selector;
+    const auto point = measureEffectiveness(stack.snapshotMultiRing(),
+                                            selector, 2, 40, 900);
+    (rings == 1 ? singleMisses : doubleMisses) = point.totalMisses;
+  }
+  EXPECT_GT(singleMisses, 0u);
+  EXPECT_LT(doubleMisses, singleMisses);
+}
+
+// §5: the d-link graph alone (no r-links) must already be strongly
+// connected after warm-up — that is the hybrid class's guarantee.
+TEST(PaperStatic, RingDlinksAloneAreStronglyConnected) {
+  ProtocolStack stack(config(500, 20));
+  stack.warmup();
+  const auto snapshot = stack.snapshotRing();
+  const auto adjacency = analysis::aliveAdjacency(
+      snapshot, {.rlinks = false, .dlinks = true});
+  EXPECT_EQ(analysis::stronglyConnectedComponentCount(adjacency), 1u);
+}
+
+}  // namespace
+}  // namespace vs07

@@ -1,0 +1,172 @@
+#include "net/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace vs07::net {
+namespace {
+
+Message sampleMessage() {
+  Message m;
+  m.kind = MessageKind::CyclonRequest;
+  m.channel = 3;
+  m.from = 42;
+  m.dataId = 0xDEADBEEFCAFEBABEULL;
+  m.hop = 7;
+  m.entries = {{1, 10, 0x1111}, {2, 0, 0x2222}, {kNoNode, 99, 0}};
+  m.flags = kFlagPullAnswer;
+  m.ids = {0xAAAA, 0xBBBB, 1};
+  return m;
+}
+
+TEST(Codec, RoundTripAllFields) {
+  const Message original = sampleMessage();
+  const auto bytes = encode(original);
+  const Message decoded = decode(bytes);
+  EXPECT_EQ(decoded, original);
+}
+
+TEST(Codec, RoundTripEmptyEntries) {
+  Message m;
+  m.kind = MessageKind::Data;
+  m.from = 0;
+  m.dataId = 1;
+  m.hop = 0;
+  EXPECT_EQ(decode(encode(m)), m);
+}
+
+TEST(Codec, RoundTripEveryKind) {
+  for (const auto kind :
+       {MessageKind::CyclonRequest, MessageKind::CyclonReply,
+        MessageKind::VicinityRequest, MessageKind::VicinityReply,
+        MessageKind::Data, MessageKind::PullRequest}) {
+    Message m;
+    m.kind = kind;
+    m.from = 5;
+    EXPECT_EQ(decode(encode(m)).kind, kind);
+  }
+}
+
+TEST(Codec, TruncatedInputThrows) {
+  const auto bytes = encode(sampleMessage());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    EXPECT_THROW(decode(prefix), CodecError) << "prefix length " << cut;
+  }
+}
+
+TEST(Codec, TrailingBytesThrow) {
+  auto bytes = encode(sampleMessage());
+  bytes.push_back(0);
+  EXPECT_THROW(decode(bytes), CodecError);
+}
+
+TEST(Codec, BadVersionThrows) {
+  auto bytes = encode(sampleMessage());
+  bytes[0] = 0xFF;
+  EXPECT_THROW(decode(bytes), CodecError);
+}
+
+TEST(Codec, BadKindThrows) {
+  auto bytes = encode(sampleMessage());
+  bytes[1] = 0;  // kinds start at 1
+  EXPECT_THROW(decode(bytes), CodecError);
+  bytes[1] = kMessageKinds + 1;  // beyond PullRequest
+  EXPECT_THROW(decode(bytes), CodecError);
+}
+
+TEST(Codec, BadChannelThrows) {
+  auto bytes = encode(sampleMessage());
+  bytes[2] = kMaxChannel + 1;
+  EXPECT_THROW(decode(bytes), CodecError);
+}
+
+TEST(Codec, HugeCountsRejected) {
+  Message m;
+  m.kind = MessageKind::Data;
+  auto bytes = encode(m);
+  // An empty message ends with two zero u32 counts (entries, then ids);
+  // forge a huge value into each in turn.
+  for (const std::size_t countOffset :
+       {bytes.size() - 4, bytes.size() - 8}) {
+    auto forged = bytes;
+    forged[countOffset] = 0xFF;
+    forged[countOffset + 1] = 0xFF;
+    forged[countOffset + 2] = 0xFF;
+    forged[countOffset + 3] = 0x7F;
+    EXPECT_THROW(decode(forged), CodecError);
+  }
+}
+
+TEST(Codec, RandomBytesNeverCrash) {
+  // Fuzz-style property: arbitrary byte strings either decode into a
+  // message that re-encodes to the same bytes, or throw CodecError —
+  // never anything else.
+  Rng rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> bytes(rng.below(64));
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+    try {
+      const Message m = decode(bytes);
+      EXPECT_EQ(encode(m), bytes);
+    } catch (const CodecError&) {
+      // expected for malformed input
+    }
+  }
+}
+
+TEST(Codec, ByteOrderIsLittleEndian) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const auto& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Codec, ReaderPrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0x89ABCDEF);
+  w.u64(0x0123456789ABCDEFULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0x89ABCDEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, ReaderPastEndThrows) {
+  ByteWriter w;
+  w.u8(1);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.u8(), CodecError);
+}
+
+// Property-style sweep: random messages of random shapes must round-trip.
+TEST(Codec, RandomRoundTripSweep) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 500; ++trial) {
+    Message m;
+    m.kind = static_cast<MessageKind>(1 + rng.below(kMessageKinds));
+    m.channel = static_cast<std::uint8_t>(rng.below(kMaxChannel + 1));
+    m.from = static_cast<NodeId>(rng());
+    m.dataId = rng();
+    m.hop = static_cast<std::uint32_t>(rng());
+    const auto count = rng.below(40);
+    for (std::uint64_t i = 0; i < count; ++i)
+      m.entries.push_back({static_cast<NodeId>(rng()),
+                           static_cast<std::uint32_t>(rng()), rng()});
+    m.flags = static_cast<std::uint8_t>(rng.below(2));
+    const auto idCount = rng.below(30);
+    for (std::uint64_t i = 0; i < idCount; ++i) m.ids.push_back(rng());
+    EXPECT_EQ(decode(encode(m)), m);
+  }
+}
+
+}  // namespace
+}  // namespace vs07::net

@@ -1,0 +1,78 @@
+// Regression tests for re-entrant transport use: handlers that send new
+// messages from inside a delivery callback (every forwarding protocol
+// does this). An earlier DelayedTransport::tick() iterated its queue
+// while handlers appended to it and then overwrote the queue, silently
+// dropping everything sent during delivery.
+#include <gtest/gtest.h>
+
+#include "net/transport.hpp"
+
+namespace vs07::net {
+namespace {
+
+Message dataMessage(std::uint64_t id) {
+  Message m;
+  m.kind = MessageKind::Data;
+  m.from = 0;
+  m.dataId = id;
+  return m;
+}
+
+TEST(DelayedTransport, SendsFromDeliveryHandlerAreNotLost) {
+  DelayedTransport* transportPtr = nullptr;
+  std::vector<std::uint64_t> delivered;
+  DelayedTransport transport(
+      [&](NodeId /*to*/, const Message& m) {
+        delivered.push_back(m.dataId);
+        // Chain: each delivery up to id 10 sends the next message.
+        if (m.dataId < 10) transportPtr->send(1, dataMessage(m.dataId + 1));
+      },
+      /*min=*/1, /*max=*/1);
+  transportPtr = &transport;
+
+  transport.send(1, dataMessage(1));
+  for (int tick = 0; tick < 20; ++tick) transport.tick();
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(delivered[i], i + 1);
+}
+
+TEST(DelayedTransport, ReentrantSendsRespectLatency) {
+  DelayedTransport* transportPtr = nullptr;
+  int delivered = 0;
+  DelayedTransport transport(
+      [&](NodeId, const Message& m) {
+        ++delivered;
+        if (m.dataId == 1) transportPtr->send(1, dataMessage(2));
+      },
+      /*min=*/2, /*max=*/2);
+  transportPtr = &transport;
+
+  transport.send(1, dataMessage(1));
+  transport.tick();
+  EXPECT_EQ(delivered, 0);
+  transport.tick();  // message 1 delivered; message 2 queued for +2
+  EXPECT_EQ(delivered, 1);
+  transport.tick();
+  EXPECT_EQ(delivered, 1);
+  transport.tick();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(DelayedTransport, DrainHandlesReentrantChains) {
+  DelayedTransport* transportPtr = nullptr;
+  int delivered = 0;
+  DelayedTransport transport(
+      [&](NodeId, const Message& m) {
+        ++delivered;
+        if (m.dataId < 50) transportPtr->send(1, dataMessage(m.dataId + 1));
+      },
+      /*min=*/1, /*max=*/3, /*seed=*/5);
+  transportPtr = &transport;
+  transport.send(1, dataMessage(1));
+  transport.drain();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(transport.inFlight(), 0u);
+}
+
+}  // namespace
+}  // namespace vs07::net

@@ -1,0 +1,147 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace vs07::net {
+namespace {
+
+struct Delivery {
+  NodeId to;
+  Message msg;
+};
+
+Message dataMessage(NodeId from, std::uint64_t id) {
+  Message m;
+  m.kind = MessageKind::Data;
+  m.from = from;
+  m.dataId = id;
+  return m;
+}
+
+TEST(ImmediateTransport, DeliversSynchronously) {
+  std::vector<Delivery> log;
+  ImmediateTransport t(
+      [&](NodeId to, const Message& m) { log.push_back({to, m}); });
+  t.send(7, dataMessage(1, 100));
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].to, 7u);
+  EXPECT_EQ(log[0].msg.dataId, 100u);
+  EXPECT_EQ(t.sent(), 1u);
+}
+
+TEST(ImmediateTransport, NullSinkRejected) {
+  EXPECT_THROW(ImmediateTransport(nullptr), ContractViolation);
+}
+
+TEST(DelayedTransport, FixedLatency) {
+  std::vector<Delivery> log;
+  DelayedTransport t(
+      [&](NodeId to, const Message& m) { log.push_back({to, m}); },
+      /*min=*/2, /*max=*/2);
+  t.send(1, dataMessage(0, 5));
+  EXPECT_TRUE(log.empty());
+  t.tick();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(t.inFlight(), 1u);
+  t.tick();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(t.inFlight(), 0u);
+}
+
+TEST(DelayedTransport, ZeroLatencyDeliversNextTick) {
+  std::vector<Delivery> log;
+  DelayedTransport t(
+      [&](NodeId to, const Message& m) { log.push_back({to, m}); }, 0, 0);
+  t.send(1, dataMessage(0, 5));
+  t.tick();
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(DelayedTransport, FifoAmongSameDueTick) {
+  std::vector<Delivery> log;
+  DelayedTransport t(
+      [&](NodeId to, const Message& m) { log.push_back({to, m}); }, 1, 1);
+  t.send(1, dataMessage(0, 1));
+  t.send(2, dataMessage(0, 2));
+  t.send(3, dataMessage(0, 3));
+  t.tick();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].msg.dataId, 1u);
+  EXPECT_EQ(log[1].msg.dataId, 2u);
+  EXPECT_EQ(log[2].msg.dataId, 3u);
+}
+
+TEST(DelayedTransport, RandomLatencyWithinBounds) {
+  int delivered = 0;
+  DelayedTransport t([&](NodeId, const Message&) { ++delivered; }, 1, 5,
+                     /*seed=*/7);
+  for (int i = 0; i < 100; ++i) t.send(1, dataMessage(0, i));
+  for (int tick = 0; tick < 5; ++tick) t.tick();
+  EXPECT_EQ(delivered, 100);
+}
+
+TEST(DelayedTransport, DrainFlushesEverything) {
+  int delivered = 0;
+  DelayedTransport t([&](NodeId, const Message&) { ++delivered; }, 3, 9,
+                     /*seed=*/11);
+  for (int i = 0; i < 50; ++i) t.send(1, dataMessage(0, i));
+  t.drain();
+  EXPECT_EQ(delivered, 50);
+  EXPECT_EQ(t.inFlight(), 0u);
+}
+
+TEST(DelayedTransport, MinGreaterThanMaxRejected) {
+  EXPECT_THROW(DelayedTransport([](NodeId, const Message&) {}, 5, 2),
+               ContractViolation);
+}
+
+TEST(LossyTransport, ZeroLossForwardsAll) {
+  int delivered = 0;
+  ImmediateTransport inner([&](NodeId, const Message&) { ++delivered; });
+  LossyTransport lossy(inner, 0.0);
+  for (int i = 0; i < 100; ++i) lossy.send(1, dataMessage(0, i));
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(lossy.dropped(), 0u);
+}
+
+TEST(LossyTransport, FullLossDropsAll) {
+  int delivered = 0;
+  ImmediateTransport inner([&](NodeId, const Message&) { ++delivered; });
+  LossyTransport lossy(inner, 1.0);
+  for (int i = 0; i < 100; ++i) lossy.send(1, dataMessage(0, i));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(lossy.dropped(), 100u);
+}
+
+TEST(LossyTransport, PartialLossApproximatesProbability) {
+  int delivered = 0;
+  ImmediateTransport inner([&](NodeId, const Message&) { ++delivered; });
+  LossyTransport lossy(inner, 0.25, /*seed=*/3);
+  constexpr int kSends = 20'000;
+  for (int i = 0; i < kSends; ++i) lossy.send(1, dataMessage(0, i));
+  EXPECT_NEAR(static_cast<double>(delivered) / kSends, 0.75, 0.02);
+  EXPECT_EQ(lossy.dropped() + static_cast<std::uint64_t>(delivered),
+            static_cast<std::uint64_t>(kSends));
+}
+
+TEST(LossyTransport, BadProbabilityRejected) {
+  ImmediateTransport inner([](NodeId, const Message&) {});
+  EXPECT_THROW(LossyTransport(inner, -0.1), ContractViolation);
+  EXPECT_THROW(LossyTransport(inner, 1.1), ContractViolation);
+}
+
+TEST(Transport, SentCounterCountsAttempts) {
+  ImmediateTransport inner([](NodeId, const Message&) {});
+  LossyTransport lossy(inner, 1.0);
+  lossy.send(1, dataMessage(0, 1));
+  lossy.send(1, dataMessage(0, 2));
+  EXPECT_EQ(lossy.sent(), 2u);   // attempts counted even when dropped
+  EXPECT_EQ(inner.sent(), 0u);   // nothing reached the inner transport
+}
+
+}  // namespace
+}  // namespace vs07::net

@@ -1,0 +1,165 @@
+#include "overlay/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace vs07::overlay {
+namespace {
+
+TEST(Graph, AddAndQueryEdges) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addUndirected(2, 3);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_FALSE(g.hasEdge(1, 0));
+  EXPECT_TRUE(g.hasEdge(2, 3));
+  EXPECT_TRUE(g.hasEdge(3, 2));
+  EXPECT_EQ(g.edgeCount(), 3u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndParallelEdges) {
+  Graph g(3);
+  EXPECT_THROW(g.addEdge(1, 1), ContractViolation);
+  g.addEdge(0, 1);
+  EXPECT_THROW(g.addEdge(0, 1), ContractViolation);
+}
+
+TEST(Graph, OutDegrees) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(0, 2);
+  g.addEdge(1, 2);
+  EXPECT_EQ(g.outDegrees(), (std::vector<std::uint32_t>{2, 1, 0}));
+}
+
+TEST(RandomTree, HasExactlyTreeEdges) {
+  Rng rng(1);
+  const auto g = makeRandomTree(100, rng);
+  EXPECT_EQ(g.edgeCount(), 2u * 99u);  // N-1 undirected edges
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(RandomTree, SingleNodeIsTrivial) {
+  Rng rng(2);
+  const auto g = makeRandomTree(1, rng);
+  EXPECT_EQ(g.edgeCount(), 0u);
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Star, HubConnectsEveryone) {
+  const auto g = makeStar(10, 4);
+  EXPECT_EQ(g.edgeCount(), 2u * 9u);
+  EXPECT_EQ(g.neighbors(4).size(), 9u);
+  for (NodeId id = 0; id < 10; ++id)
+    if (id != 4) {
+      EXPECT_EQ(g.neighbors(id), std::vector<NodeId>{4});
+    }
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Ring, EveryNodeHasTwoNeighbors) {
+  const auto g = makeRing(12);
+  EXPECT_EQ(g.edgeCount(), 24u);
+  for (NodeId id = 0; id < 12; ++id) EXPECT_EQ(g.neighbors(id).size(), 2u);
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Ring, TooSmallRejected) {
+  EXPECT_THROW(makeRing(2), ContractViolation);
+}
+
+TEST(Clique, AllPairsConnected) {
+  const auto g = makeClique(6);
+  EXPECT_EQ(g.edgeCount(), 30u);  // 6*5 directed
+  for (NodeId a = 0; a < 6; ++a)
+    for (NodeId b = 0; b < 6; ++b)
+      if (a != b) {
+        EXPECT_TRUE(g.hasEdge(a, b));
+      }
+}
+
+TEST(Harary, EvenConnectivityIsCirculant) {
+  const auto g = makeHarary(4, 20);
+  for (NodeId id = 0; id < 20; ++id)
+    EXPECT_EQ(g.neighbors(id).size(), 4u);
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Harary, RingIsHararyTwo) {
+  const auto harary = makeHarary(2, 15);
+  const auto ring = makeRing(15);
+  EXPECT_EQ(harary.edgeCount(), ring.edgeCount());
+  for (NodeId id = 0; id < 15; ++id)
+    EXPECT_TRUE(harary.hasEdge(id, (id + 1) % 15));
+}
+
+TEST(Harary, OddConnectivityAddsDiameters) {
+  const auto g = makeHarary(3, 16);
+  // Degrees are t or t+1 (Harary's minimal construction).
+  for (NodeId id = 0; id < 16; ++id) {
+    EXPECT_GE(g.neighbors(id).size(), 3u);
+    EXPECT_LE(g.neighbors(id).size(), 4u);
+  }
+  EXPECT_TRUE(g.hasEdge(0, 8));
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(Harary, ParameterValidation) {
+  EXPECT_THROW(makeHarary(1, 10), ContractViolation);
+  EXPECT_THROW(makeHarary(10, 10), ContractViolation);
+}
+
+TEST(Harary, SurvivesUpToTMinusOneFailures) {
+  // H(t, n) stays connected after any t-1 node removals. Spot-check by
+  // exhaustive single and sampled double removals for t = 3.
+  const std::uint32_t n = 12;
+  const auto g = makeHarary(3, n);
+  // Removal is simulated by skipping the removed nodes during BFS.
+  auto connectedWithout = [&](std::vector<NodeId> removed) {
+    std::vector<std::uint8_t> blocked(n, 0);
+    for (const NodeId r : removed) blocked[r] = 1;
+    NodeId start = 0;
+    while (blocked[start]) ++start;
+    std::vector<std::uint8_t> seen(n, 0);
+    std::vector<NodeId> stack{start};
+    seen[start] = 1;
+    std::uint32_t count = 1;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId v : g.neighbors(u)) {
+        if (blocked[v] || seen[v]) continue;
+        seen[v] = 1;
+        ++count;
+        stack.push_back(v);
+      }
+    }
+    return count == n - removed.size();
+  };
+  for (NodeId a = 0; a < n; ++a)
+    for (NodeId b = a + 1; b < n; ++b)
+      EXPECT_TRUE(connectedWithout({a, b}))
+          << "removing " << a << "," << b << " disconnected H(3,12)";
+}
+
+TEST(StronglyConnected, DetectsDirectedBreakage) {
+  Graph g(3);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  EXPECT_FALSE(isStronglyConnected(g));  // no way back to 0
+  g.addEdge(2, 0);
+  EXPECT_TRUE(isStronglyConnected(g));
+}
+
+TEST(StronglyConnected, DisconnectedGraph) {
+  Graph g(4);
+  g.addUndirected(0, 1);
+  g.addUndirected(2, 3);
+  EXPECT_FALSE(isStronglyConnected(g));
+}
+
+}  // namespace
+}  // namespace vs07::overlay

@@ -1,0 +1,142 @@
+#include "pubsub/topic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cast/selector.hpp"
+#include "common/expect.hpp"
+
+namespace vs07::pubsub {
+namespace {
+
+TEST(TopicOverlay, SubscribersFormAWorkingOverlay) {
+  sim::Network network(200, 1);
+  TopicOverlay topic(network, "alerts", {}, 2);
+  for (NodeId id = 0; id < 50; ++id) topic.subscribe(id);
+  EXPECT_EQ(topic.subscriberCount(), 50u);
+  topic.runCycles(80);
+
+  const cast::RingCastSelector ringCast;
+  const auto report = topic.publish(0, ringCast, 3, 7);
+  EXPECT_EQ(report.aliveTotal, 50u);
+  EXPECT_TRUE(report.complete());
+}
+
+TEST(TopicOverlay, NonSubscribersAreNeverNotified) {
+  sim::Network network(100, 2);
+  TopicOverlay topic(network, "updates", {}, 3);
+  for (NodeId id = 0; id < 30; ++id) topic.subscribe(id);
+  topic.runCycles(60);
+
+  const cast::RingCastSelector ringCast;
+  const auto report = topic.publish(5, ringCast, 3, 8);
+  // The snapshot's alive set is exactly the subscriber set, so nothing
+  // outside it can appear in the accounting.
+  EXPECT_EQ(report.aliveTotal, 30u);
+  const auto snapshot = topic.snapshot();
+  for (NodeId id = 30; id < 100; ++id) EXPECT_FALSE(snapshot.isAlive(id));
+}
+
+TEST(TopicOverlay, DoubleSubscribeIsIdempotent) {
+  sim::Network network(10, 3);
+  TopicOverlay topic(network, "t", {}, 4);
+  topic.subscribe(1);
+  topic.subscribe(1);
+  EXPECT_EQ(topic.subscriberCount(), 1u);
+}
+
+TEST(TopicOverlay, UnsubscribeShrinksTheOverlay) {
+  sim::Network network(100, 4);
+  TopicOverlay topic(network, "t", {}, 5);
+  for (NodeId id = 0; id < 40; ++id) topic.subscribe(id);
+  topic.runCycles(60);
+  for (NodeId id = 0; id < 10; ++id) topic.unsubscribe(id);
+  EXPECT_EQ(topic.subscriberCount(), 30u);
+  EXPECT_FALSE(topic.isSubscribed(5));
+  // Let the remaining subscribers heal their views.
+  topic.runCycles(40);
+
+  const cast::RingCastSelector ringCast;
+  const auto report = topic.publish(20, ringCast, 3, 9);
+  EXPECT_EQ(report.aliveTotal, 30u);
+  EXPECT_TRUE(report.complete());
+}
+
+TEST(TopicOverlay, UnsubscribeUnknownIsNoop) {
+  sim::Network network(10, 5);
+  TopicOverlay topic(network, "t", {}, 6);
+  topic.unsubscribe(3);  // never subscribed
+  EXPECT_EQ(topic.subscriberCount(), 0u);
+}
+
+TEST(TopicOverlay, PublishRequiresSubscription) {
+  sim::Network network(10, 6);
+  TopicOverlay topic(network, "t", {}, 7);
+  topic.subscribe(1);
+  const cast::RingCastSelector ringCast;
+  EXPECT_THROW(topic.publish(2, ringCast, 2, 1), ContractViolation);
+}
+
+TEST(TopicOverlay, DeadSubscribersAreSkipped) {
+  sim::Network network(60, 7);
+  TopicOverlay topic(network, "t", {}, 8);
+  for (NodeId id = 0; id < 30; ++id) topic.subscribe(id);
+  topic.runCycles(60);
+  network.kill(3);
+  network.kill(17);
+  const auto snapshot = topic.snapshot();
+  EXPECT_EQ(snapshot.aliveCount(), 28u);
+  const cast::RingCastSelector ringCast;
+  const auto report = topic.publish(0, ringCast, 4, 10);
+  EXPECT_EQ(report.aliveTotal, 28u);
+}
+
+TEST(TopicOverlay, TwoTopicsAreIsolated) {
+  sim::Network network(100, 8);
+  TopicOverlay sports(network, "sports", {}, 9);
+  TopicOverlay finance(network, "finance", {}, 10);
+  for (NodeId id = 0; id < 30; ++id) sports.subscribe(id);
+  for (NodeId id = 20; id < 60; ++id) finance.subscribe(id);
+  sports.runCycles(60);
+  finance.runCycles(60);
+
+  // Sports views must never contain finance-only members (40..59).
+  const auto sportsSnapshot = sports.snapshot();
+  for (NodeId id = 0; id < 30; ++id)
+    for (const NodeId link : sportsSnapshot.rlinks(id))
+      EXPECT_LT(link, 30u);
+}
+
+TEST(PubSub, TopicRegistryCreatesOnDemand) {
+  sim::Network network(50, 9);
+  PubSub pubsub(network, 10);
+  auto& a = pubsub.topic("alpha");
+  auto& again = pubsub.topic("alpha");
+  EXPECT_EQ(&a, &again);
+  pubsub.topic("beta");
+  const auto names = pubsub.topicNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "alpha"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "beta"), names.end());
+}
+
+TEST(PubSub, StepDrivesAllTopics) {
+  sim::Network network(80, 10);
+  PubSub pubsub(network, 11);
+  auto& alpha = pubsub.topic("alpha");
+  auto& beta = pubsub.topic("beta");
+  for (NodeId id = 0; id < 40; ++id) alpha.subscribe(id);
+  for (NodeId id = 40; id < 80; ++id) beta.subscribe(id);
+
+  sim::Engine engine(network, 12);
+  engine.addProtocol(pubsub);
+  engine.run(80);
+
+  const cast::RingCastSelector ringCast;
+  EXPECT_TRUE(alpha.publish(0, ringCast, 3, 1).complete());
+  EXPECT_TRUE(beta.publish(40, ringCast, 3, 2).complete());
+}
+
+}  // namespace
+}  // namespace vs07::pubsub

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/expect.hpp"
+#include "sim/bootstrap.hpp"
+#include "sim/churn.hpp"
+#include "sim/engine.hpp"
+#include "sim/failures.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+namespace {
+
+class RecordingJoinHandler final : public JoinHandler {
+ public:
+  void onJoin(NodeId node, NodeId introducer) override {
+    joins.emplace_back(node, introducer);
+  }
+  std::vector<std::pair<NodeId, NodeId>> joins;
+};
+
+TEST(ChurnControl, PopulationSizeInvariant) {
+  Network net(1000, 1);
+  Engine engine(net, 2);
+  ChurnControl churn(net, 0.002, 3);
+  engine.addControl(churn);
+  engine.run(50);
+  EXPECT_EQ(net.aliveCount(), 1000u);
+  // 0.2% of 1000 = 2 replacements per cycle.
+  EXPECT_EQ(churn.totalRemoved(), 100u);
+  EXPECT_EQ(churn.totalJoined(), 100u);
+  EXPECT_EQ(net.totalCreated(), 1100u);
+}
+
+TEST(ChurnControl, JoinersGetAliveIntroducers) {
+  Network net(500, 4);
+  Engine engine(net, 5);
+  ChurnControl churn(net, 0.01, 6);
+  RecordingJoinHandler handler;
+  churn.addJoinHandler(handler);
+  engine.addControl(churn);
+  engine.run(20);
+  EXPECT_EQ(handler.joins.size(), 100u);  // 5 per cycle * 20
+  for (const auto& [node, introducer] : handler.joins) {
+    EXPECT_NE(node, introducer);
+    // The introducer was alive at join time; it may have died since, but
+    // it must never be the joiner itself or a never-created id.
+    EXPECT_LT(introducer, net.totalCreated());
+  }
+}
+
+TEST(ChurnControl, ZeroRateIsNoop) {
+  Network net(100, 7);
+  Engine engine(net, 8);
+  ChurnControl churn(net, 0.0, 9);
+  engine.addControl(churn);
+  engine.run(10);
+  EXPECT_EQ(churn.totalRemoved(), 0u);
+  EXPECT_EQ(net.totalCreated(), 100u);
+}
+
+TEST(ChurnControl, RateValidation) {
+  Network net(10, 10);
+  EXPECT_THROW(ChurnControl(net, -0.1, 1), ContractViolation);
+  EXPECT_THROW(ChurnControl(net, 1.0, 1), ContractViolation);
+}
+
+TEST(ChurnControl, EventuallyReplacesWholePopulation) {
+  Network net(200, 11);
+  Engine engine(net, 12);
+  ChurnControl churn(net, 0.02, 13);  // 4 replacements per cycle
+  engine.addControl(churn);
+  const auto ran =
+      engine.runUntil([&] { return net.initialSurvivors() == 0; },
+                      /*max=*/20'000);
+  EXPECT_LT(ran, 20'000u);
+  EXPECT_EQ(net.initialSurvivors(), 0u);
+  // Coupon collector: expect roughly N*H_N/4 ≈ 265 cycles; allow slack.
+  EXPECT_GT(ran, 100u);
+}
+
+TEST(KillRandomFraction, KillsExactCount) {
+  Network net(1000, 14);
+  Rng rng(15);
+  const auto killed = killRandomFraction(net, 0.05, rng);
+  EXPECT_EQ(killed.size(), 50u);
+  EXPECT_EQ(net.aliveCount(), 950u);
+  std::set<NodeId> unique(killed.begin(), killed.end());
+  EXPECT_EQ(unique.size(), 50u);
+  for (const NodeId id : killed) EXPECT_FALSE(net.isAlive(id));
+}
+
+TEST(KillRandomFraction, ZeroAndFull) {
+  Network net(10, 16);
+  Rng rng(17);
+  EXPECT_TRUE(killRandomFraction(net, 0.0, rng).empty());
+  const auto killed = killRandomFraction(net, 1.0, rng);
+  EXPECT_EQ(killed.size(), 10u);
+  EXPECT_EQ(net.aliveCount(), 0u);
+}
+
+TEST(KillRandomCount, MoreThanAliveRejected) {
+  Network net(5, 18);
+  Rng rng(19);
+  EXPECT_THROW(killRandomCount(net, 6, rng), ContractViolation);
+}
+
+TEST(BootstrapStar, EveryoneIntroducedToHub) {
+  Network net(20, 20);
+  RecordingJoinHandler handler;
+  bootstrapStar(net, handler, /*hub=*/3);
+  EXPECT_EQ(handler.joins.size(), 19u);
+  for (const auto& [node, introducer] : handler.joins) {
+    EXPECT_EQ(introducer, 3u);
+    EXPECT_NE(node, 3u);
+  }
+}
+
+TEST(BootstrapStar, DeadHubRejected) {
+  Network net(5, 21);
+  net.kill(0);
+  RecordingJoinHandler handler;
+  EXPECT_THROW(bootstrapStar(net, handler, 0), ContractViolation);
+}
+
+TEST(BootstrapRandom, EveryoneGetsDistinctContact) {
+  Network net(50, 22);
+  RecordingJoinHandler handler;
+  Rng rng(23);
+  bootstrapRandom(net, handler, rng);
+  EXPECT_EQ(handler.joins.size(), 50u);
+  for (const auto& [node, introducer] : handler.joins) {
+    EXPECT_NE(node, introducer);
+    EXPECT_TRUE(net.isAlive(introducer));
+  }
+}
+
+}  // namespace
+}  // namespace vs07::sim

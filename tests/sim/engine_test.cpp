@@ -1,0 +1,139 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+namespace {
+
+class CountingProtocol final : public CycleProtocol {
+ public:
+  void step(NodeId self) override { ++stepsPerNode[self]; }
+  std::map<NodeId, int> stepsPerNode;
+};
+
+class CountingControl final : public Control {
+ public:
+  void execute(std::uint64_t cycle) override { cycles.push_back(cycle); }
+  std::vector<std::uint64_t> cycles;
+};
+
+TEST(Engine, EveryAliveNodeSteppedOncePerCycle) {
+  Network net(10, 1);
+  Engine engine(net, 2);
+  CountingProtocol protocol;
+  engine.addProtocol(protocol);
+  engine.run(5);
+  EXPECT_EQ(engine.cycle(), 5u);
+  for (NodeId id = 0; id < 10; ++id)
+    EXPECT_EQ(protocol.stepsPerNode[id], 5) << "node " << id;
+}
+
+TEST(Engine, DeadNodesNotStepped) {
+  Network net(6, 2);
+  net.kill(3);
+  Engine engine(net, 3);
+  CountingProtocol protocol;
+  engine.addProtocol(protocol);
+  engine.run(4);
+  EXPECT_EQ(protocol.stepsPerNode.count(3), 0u);
+  EXPECT_EQ(protocol.stepsPerNode[0], 4);
+}
+
+TEST(Engine, MultipleProtocolsAllStep) {
+  Network net(4, 3);
+  Engine engine(net, 4);
+  CountingProtocol a;
+  CountingProtocol b;
+  engine.addProtocol(a);
+  engine.addProtocol(b);
+  engine.run(3);
+  EXPECT_EQ(a.stepsPerNode[2], 3);
+  EXPECT_EQ(b.stepsPerNode[2], 3);
+}
+
+TEST(Engine, ControlsRunOncePerCycleAfterSteps) {
+  Network net(3, 4);
+  Engine engine(net, 5);
+  CountingControl control;
+  engine.addControl(control);
+  engine.run(3);
+  EXPECT_EQ(control.cycles, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilStopsOnPredicate) {
+  Network net(3, 5);
+  Engine engine(net, 6);
+  CountingControl control;
+  engine.addControl(control);
+  const auto ran =
+      engine.runUntil([&] { return engine.cycle() >= 7; }, /*max=*/100);
+  EXPECT_EQ(ran, 7u);
+  EXPECT_EQ(engine.cycle(), 7u);
+}
+
+TEST(Engine, RunUntilHonoursMaxCycles) {
+  Network net(3, 6);
+  Engine engine(net, 7);
+  const auto ran = engine.runUntil([] { return false; }, /*max=*/12);
+  EXPECT_EQ(ran, 12u);
+}
+
+TEST(Engine, RunUntilZeroCyclesWhenAlreadyTrue) {
+  Network net(3, 7);
+  Engine engine(net, 8);
+  const auto ran = engine.runUntil([] { return true; }, /*max=*/10);
+  EXPECT_EQ(ran, 0u);
+}
+
+/// A protocol that records the order nodes were stepped in.
+class OrderRecorder final : public CycleProtocol {
+ public:
+  void step(NodeId self) override { order.push_back(self); }
+  std::vector<NodeId> order;
+};
+
+TEST(Engine, StepOrderIsShuffledBetweenCycles) {
+  Network net(50, 8);
+  Engine engine(net, 9);
+  OrderRecorder recorder;
+  engine.addProtocol(recorder);
+  engine.run(2);
+  ASSERT_EQ(recorder.order.size(), 100u);
+  const std::vector<NodeId> first(recorder.order.begin(),
+                                  recorder.order.begin() + 50);
+  const std::vector<NodeId> second(recorder.order.begin() + 50,
+                                   recorder.order.end());
+  EXPECT_NE(first, second);  // 1/50! chance of identical shuffles
+}
+
+/// Control that kills one node per cycle; the engine must cope with the
+/// alive set shrinking between cycles.
+class KillerControl final : public Control {
+ public:
+  explicit KillerControl(Network& net) : net_(net) {}
+  void execute(std::uint64_t) override {
+    if (net_.aliveCount() > 1) net_.kill(net_.aliveIds().front());
+  }
+
+ private:
+  Network& net_;
+};
+
+TEST(Engine, ToleratesMembershipChangesBetweenCycles) {
+  Network net(5, 9);
+  Engine engine(net, 10);
+  CountingProtocol protocol;
+  KillerControl killer(net);
+  engine.addProtocol(protocol);
+  engine.addControl(killer);
+  engine.run(10);
+  EXPECT_EQ(net.aliveCount(), 1u);
+}
+
+}  // namespace
+}  // namespace vs07::sim

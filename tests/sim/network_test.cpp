@@ -1,0 +1,145 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+namespace {
+
+TEST(Network, InitialPopulationAllAlive) {
+  Network net(100, 1);
+  EXPECT_EQ(net.totalCreated(), 100u);
+  EXPECT_EQ(net.aliveCount(), 100u);
+  EXPECT_EQ(net.initialSurvivors(), 100u);
+  for (NodeId id = 0; id < 100; ++id) {
+    EXPECT_TRUE(net.isAlive(id));
+    EXPECT_EQ(net.joinCycle(id), 0u);
+  }
+}
+
+TEST(Network, SequenceIdsLookRandom) {
+  Network net(1000, 2);
+  std::set<SequenceId> ids;
+  for (NodeId id = 0; id < 1000; ++id) ids.insert(net.seqId(id));
+  EXPECT_EQ(ids.size(), 1000u);  // 64-bit collisions would be a bug here
+}
+
+TEST(Network, SeedDeterminesSequenceIds) {
+  Network a(50, 7);
+  Network b(50, 7);
+  Network c(50, 8);
+  bool anyDiffer = false;
+  for (NodeId id = 0; id < 50; ++id) {
+    EXPECT_EQ(a.seqId(id), b.seqId(id));
+    anyDiffer |= a.seqId(id) != c.seqId(id);
+  }
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Network, KillUpdatesAliveSet) {
+  Network net(10, 3);
+  net.kill(4);
+  EXPECT_FALSE(net.isAlive(4));
+  EXPECT_EQ(net.aliveCount(), 9u);
+  EXPECT_EQ(net.initialSurvivors(), 9u);
+  const auto& alive = net.aliveIds();
+  EXPECT_EQ(alive.size(), 9u);
+  EXPECT_EQ(std::find(alive.begin(), alive.end(), 4), alive.end());
+}
+
+TEST(Network, DoubleKillIsContractViolation) {
+  Network net(5, 4);
+  net.kill(2);
+  EXPECT_THROW(net.kill(2), ContractViolation);
+}
+
+TEST(Network, SpawnCreatesFreshIdNeverReused) {
+  Network net(5, 5);
+  net.kill(0);
+  const NodeId fresh = net.spawn(/*atCycle=*/17);
+  EXPECT_EQ(fresh, 5u);  // dense: next id, never a reused slot
+  EXPECT_TRUE(net.isAlive(fresh));
+  EXPECT_FALSE(net.isAlive(0));
+  EXPECT_EQ(net.joinCycle(fresh), 17u);
+  EXPECT_EQ(net.totalCreated(), 6u);
+  EXPECT_EQ(net.aliveCount(), 5u);
+}
+
+TEST(Network, SpawnDoesNotAffectInitialSurvivors) {
+  Network net(4, 6);
+  net.spawn(1);
+  EXPECT_EQ(net.initialSurvivors(), 4u);
+  net.kill(5u - 1);  // the spawned node (id 4)
+  EXPECT_EQ(net.initialSurvivors(), 4u);
+  net.kill(0);
+  EXPECT_EQ(net.initialSurvivors(), 3u);
+}
+
+TEST(Network, LifetimeCountsFromJoin) {
+  Network net(2, 7);
+  const NodeId fresh = net.spawn(10);
+  EXPECT_EQ(net.lifetime(fresh, 10), 0u);
+  EXPECT_EQ(net.lifetime(fresh, 35), 25u);
+  EXPECT_EQ(net.lifetime(0, 35), 35u);
+}
+
+TEST(Network, RandomAliveOnlyReturnsAlive) {
+  Network net(20, 8);
+  for (NodeId id = 0; id < 15; ++id) net.kill(id);
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const NodeId pick = net.randomAlive(rng);
+    EXPECT_TRUE(net.isAlive(pick));
+    EXPECT_GE(pick, 15u);
+  }
+}
+
+class RecordingObserver final : public MembershipObserver {
+ public:
+  void onSpawn(NodeId node) override { spawned.push_back(node); }
+  void onKill(NodeId node) override { killed.push_back(node); }
+  std::vector<NodeId> spawned;
+  std::vector<NodeId> killed;
+};
+
+TEST(Network, ObserverSeesExistingAndFutureNodes) {
+  Network net(3, 10);
+  RecordingObserver obs;
+  net.addObserver(obs);
+  EXPECT_EQ(obs.spawned.size(), 3u);  // announced retroactively
+  net.spawn(1);
+  EXPECT_EQ(obs.spawned.size(), 4u);
+  EXPECT_EQ(obs.spawned.back(), 3u);
+  net.kill(1);
+  ASSERT_EQ(obs.killed.size(), 1u);
+  EXPECT_EQ(obs.killed[0], 1u);
+}
+
+TEST(Network, SetSeqIdOverrides) {
+  Network net(2, 11);
+  net.setSeqId(0, 12345);
+  EXPECT_EQ(net.seqId(0), 12345u);
+}
+
+TEST(Network, AliveIdsConsistentAfterChurnStorm) {
+  Network net(50, 12);
+  Rng rng(13);
+  for (int round = 0; round < 200; ++round) {
+    if (net.aliveCount() > 1 && rng.chance(0.5))
+      net.kill(net.randomAlive(rng));
+    else
+      net.spawn(round);
+    // Invariant: aliveIds contains exactly the alive nodes, no dups.
+    std::set<NodeId> unique(net.aliveIds().begin(), net.aliveIds().end());
+    ASSERT_EQ(unique.size(), net.aliveIds().size());
+    ASSERT_EQ(unique.size(), net.aliveCount());
+    for (const NodeId id : unique) ASSERT_TRUE(net.isAlive(id));
+  }
+}
+
+}  // namespace
+}  // namespace vs07::sim

@@ -1,0 +1,90 @@
+#include "sim/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+namespace {
+
+net::Message makeMessage(net::MessageKind kind, std::uint8_t channel = 0) {
+  net::Message m;
+  m.kind = kind;
+  m.channel = channel;
+  m.from = 1;
+  return m;
+}
+
+TEST(MessageRouter, DispatchesByKind) {
+  Network net(3, 1);
+  MessageRouter router(net);
+  int cyclonCount = 0;
+  int dataCount = 0;
+  router.route(net::MessageKind::CyclonRequest,
+               [&](NodeId, const net::Message&) { ++cyclonCount; });
+  router.route(net::MessageKind::Data,
+               [&](NodeId, const net::Message&) { ++dataCount; });
+  router.deliver(0, makeMessage(net::MessageKind::CyclonRequest));
+  router.deliver(0, makeMessage(net::MessageKind::Data));
+  router.deliver(0, makeMessage(net::MessageKind::Data));
+  EXPECT_EQ(cyclonCount, 1);
+  EXPECT_EQ(dataCount, 2);
+}
+
+TEST(MessageRouter, DispatchesByChannel) {
+  Network net(2, 2);
+  MessageRouter router(net);
+  int ring0 = 0;
+  int ring1 = 0;
+  router.route(
+      net::MessageKind::VicinityRequest,
+      [&](NodeId, const net::Message&) { ++ring0; }, /*channel=*/0);
+  router.route(
+      net::MessageKind::VicinityRequest,
+      [&](NodeId, const net::Message&) { ++ring1; }, /*channel=*/1);
+  router.deliver(0, makeMessage(net::MessageKind::VicinityRequest, 0));
+  router.deliver(0, makeMessage(net::MessageKind::VicinityRequest, 1));
+  router.deliver(0, makeMessage(net::MessageKind::VicinityRequest, 1));
+  EXPECT_EQ(ring0, 1);
+  EXPECT_EQ(ring1, 2);
+}
+
+TEST(MessageRouter, DropsTrafficToDeadNodes) {
+  Network net(3, 3);
+  MessageRouter router(net);
+  int delivered = 0;
+  router.route(net::MessageKind::Data,
+               [&](NodeId, const net::Message&) { ++delivered; });
+  net.kill(1);
+  router.deliver(1, makeMessage(net::MessageKind::Data));
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(router.droppedDead(), 1u);
+  router.deliver(2, makeMessage(net::MessageKind::Data));
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(MessageRouter, UnroutedKindIsContractViolation) {
+  Network net(2, 4);
+  MessageRouter router(net);
+  EXPECT_THROW(router.deliver(0, makeMessage(net::MessageKind::Data)),
+               ContractViolation);
+}
+
+TEST(MessageRouter, HandlerReceivesAddresseeAndMessage) {
+  Network net(5, 5);
+  MessageRouter router(net);
+  NodeId seenTo = kNoNode;
+  NodeId seenFrom = kNoNode;
+  router.route(net::MessageKind::Data,
+               [&](NodeId to, const net::Message& m) {
+                 seenTo = to;
+                 seenFrom = m.from;
+               });
+  router.deliver(4, makeMessage(net::MessageKind::Data));
+  EXPECT_EQ(seenTo, 4u);
+  EXPECT_EQ(seenFrom, 1u);
+}
+
+}  // namespace
+}  // namespace vs07::sim

@@ -1,0 +1,157 @@
+#include "sim/session_churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/expect.hpp"
+#include "common/stats.hpp"
+#include "sim/engine.hpp"
+#include "sim/failures.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::sim {
+namespace {
+
+TEST(SessionDistribution, SamplesRespectBounds) {
+  SessionDistribution d;
+  d.alpha = 1.5;
+  d.minCycles = 10;
+  d.maxCycles = 1000;
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const auto s = d.sample(rng);
+    EXPECT_GE(s, 10u);
+    EXPECT_LE(s, 1000u);
+  }
+}
+
+TEST(SessionDistribution, MeanApproximatelyMatched) {
+  const auto d = paretoForMeanLifetime(120.0, 2.0);
+  EXPECT_NEAR(d.mean(), 120.0, 1e-9);
+  Rng rng(2);
+  RunningStats stats;
+  for (int i = 0; i < 200'000; ++i)
+    stats.add(static_cast<double>(d.sample(rng)));
+  // Truncation at maxCycles shaves a little off the mean; 10% slack.
+  EXPECT_NEAR(stats.mean(), 120.0, 12.0);
+}
+
+TEST(SessionDistribution, HeavyTailHasShortModeAndLongOutliers) {
+  const auto d = paretoForMeanLifetime(100.0, 1.5);
+  Rng rng(3);
+  int shorter = 0;
+  int muchLonger = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto s = d.sample(rng);
+    shorter += s < 100;
+    muchLonger += s > 500;
+  }
+  // Most sessions are below the mean; a non-negligible share is far
+  // above — the signature of a heavy tail.
+  EXPECT_GT(shorter, kDraws * 6 / 10);
+  EXPECT_GT(muchLonger, kDraws / 100);
+}
+
+TEST(SessionDistribution, InvalidParametersRejected) {
+  SessionDistribution d;
+  d.alpha = 1.0;  // mean diverges
+  Rng rng(4);
+  EXPECT_THROW(d.sample(rng), ContractViolation);
+  EXPECT_THROW(paretoForMeanLifetime(100.0, 1.0), ContractViolation);
+}
+
+class RecordingJoinHandler final : public JoinHandler {
+ public:
+  void onJoin(NodeId node, NodeId introducer) override {
+    joins.emplace_back(node, introducer);
+  }
+  std::vector<std::pair<NodeId, NodeId>> joins;
+};
+
+TEST(SessionChurnControl, PopulationStaysConstant) {
+  Network net(500, 5);
+  Engine engine(net, 6);
+  SessionChurnControl churn(net, paretoForMeanLifetime(50.0, 1.5), 7);
+  engine.addControl(churn);
+  engine.run(200);
+  EXPECT_EQ(net.aliveCount(), 500u);
+  EXPECT_GT(churn.totalRemoved(), 0u);
+}
+
+TEST(SessionChurnControl, TurnoverMatchesMeanLifetime) {
+  // With mean session length L, the steady-state replacement rate is
+  // ~N/L per cycle.
+  constexpr double kMean = 40.0;
+  Network net(1000, 8);
+  Engine engine(net, 9);
+  SessionChurnControl churn(net, paretoForMeanLifetime(kMean, 2.0), 10);
+  engine.addControl(churn);
+  engine.run(400);
+  const double perCycle = static_cast<double>(churn.totalRemoved()) / 400.0;
+  EXPECT_NEAR(perCycle, 1000.0 / kMean, 1000.0 / kMean * 0.4);
+}
+
+TEST(SessionChurnControl, JoinersGetIntroducers) {
+  Network net(200, 11);
+  Engine engine(net, 12);
+  SessionChurnControl churn(net, paretoForMeanLifetime(30.0, 1.5), 13);
+  RecordingJoinHandler handler;
+  churn.addJoinHandler(handler);
+  engine.addControl(churn);
+  engine.run(100);
+  ASSERT_GT(handler.joins.size(), 0u);
+  for (const auto& [node, introducer] : handler.joins)
+    EXPECT_NE(node, introducer);
+}
+
+TEST(SessionChurnControl, ToleratesExternalKills) {
+  Network net(100, 14);
+  Engine engine(net, 15);
+  SessionChurnControl churn(net, paretoForMeanLifetime(20.0, 1.5), 16);
+  engine.addControl(churn);
+  engine.run(30);
+  // Kill some nodes out-of-band; expiry entries for them must be skipped.
+  Rng rng(17);
+  killRandomFraction(net, 0.2, rng);
+  engine.run(60);  // would throw on double-kill if not handled
+  EXPECT_GT(net.aliveCount(), 0u);
+}
+
+TEST(KillContiguousArc, KillsAdjacentRingStretch) {
+  Network net(100, 18);
+  Rng rng(19);
+  const auto killed = killContiguousArc(net, 0.2, rng);
+  EXPECT_EQ(killed.size(), 20u);
+  EXPECT_EQ(net.aliveCount(), 80u);
+
+  // The killed set must be contiguous in sequence-id order: sort all
+  // original nodes by seqId and find the dead ones as one circular run.
+  std::vector<NodeId> ring;
+  for (NodeId id = 0; id < 100; ++id) ring.push_back(id);
+  std::sort(ring.begin(), ring.end(), [&](NodeId a, NodeId b) {
+    return net.seqId(a) < net.seqId(b);
+  });
+  std::vector<int> deadAt;
+  for (std::size_t i = 0; i < ring.size(); ++i)
+    if (!net.isAlive(ring[i])) deadAt.push_back(static_cast<int>(i));
+  ASSERT_EQ(deadAt.size(), 20u);
+  // Count circular gaps between consecutive dead positions: a contiguous
+  // arc has exactly one gap larger than 1.
+  int gaps = 0;
+  for (std::size_t i = 0; i < deadAt.size(); ++i) {
+    const int next = deadAt[(i + 1) % deadAt.size()];
+    const int step = (next - deadAt[i] + 100) % 100;
+    gaps += step > 1;
+  }
+  EXPECT_EQ(gaps, 1);
+}
+
+TEST(KillContiguousArc, ZeroFractionIsNoop) {
+  Network net(50, 20);
+  Rng rng(21);
+  EXPECT_TRUE(killContiguousArc(net, 0.0, rng).empty());
+  EXPECT_EQ(net.aliveCount(), 50u);
+}
+
+}  // namespace
+}  // namespace vs07::sim
