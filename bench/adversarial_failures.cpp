@@ -14,20 +14,19 @@
 //    tailed: most sessions are short, so deaths concentrate on nodes
 //    whose ring integration just finished, and the ring carries more
 //    stale links at the same average turnover.
+#include <array>
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
-#include "sim/churn.hpp"
-#include "sim/failures.hpp"
 #include "sim/session_churn.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 void arcVsRandom(const bench::Scale& scale) {
   std::printf("--- random kill vs contiguous ring-arc kill (10%% dead), "
@@ -38,22 +37,20 @@ void arcVsRandom(const bench::Scale& scale) {
       std::vector<std::string> row{
           multiRing ? "MultiRing(2)" : "RingCast", std::to_string(fanout)};
       for (const bool arc : {false, true}) {
-        analysis::StackConfig config;
-        config.nodes = scale.nodes;
-        config.rings = multiRing ? 2 : 1;
-        config.seed = scale.seed + fanout + (multiRing ? 100 : 0);
-        analysis::ProtocolStack stack(config);
-        stack.warmup();
-        Rng killRng(config.seed ^ 0xA5C);
+        const auto seed = scale.seed + fanout + (multiRing ? 100 : 0);
+        auto scenario = analysis::Scenario::builder()
+                            .nodes(scale.nodes)
+                            .rings(multiRing ? 2 : 1)
+                            .seed(seed)
+                            .build();
         if (arc)
-          sim::killContiguousArc(stack.network(), 0.10, killRng);
+          scenario.killContiguousArc(0.10);
         else
-          sim::killRandomFraction(stack.network(), 0.10, killRng);
-        const auto snapshot =
-            multiRing ? stack.snapshotMultiRing() : stack.snapshotRing();
-        const cast::RingCastSelector selector;
+          scenario.killRandomFraction(0.10);
+        const auto strategy =
+            multiRing ? Strategy::kMultiRing : Strategy::kRingCast;
         const auto point = analysis::measureEffectiveness(
-            snapshot, selector, fanout, scale.runs, config.seed + 7);
+            scenario, strategy, fanout, scale.runs, seed + 7);
         row.push_back(fmtLog(point.avgMissPercent));
       }
       table.addRow(std::move(row));
@@ -63,20 +60,15 @@ void arcVsRandom(const bench::Scale& scale) {
   for (const std::uint32_t fanout : {3u}) {
     std::vector<std::string> row{"RandCast", std::to_string(fanout)};
     for (const bool arc : {false, true}) {
-      analysis::StackConfig config;
-      config.nodes = scale.nodes;
-      config.seed = scale.seed + 55;
-      analysis::ProtocolStack stack(config);
-      stack.warmup();
-      Rng killRng(config.seed ^ 0xA5C);
+      auto scenario =
+          analysis::Scenario::paperStatic(scale.nodes, scale.seed + 55);
       if (arc)
-        sim::killContiguousArc(stack.network(), 0.10, killRng);
+        scenario.killContiguousArc(0.10);
       else
-        sim::killRandomFraction(stack.network(), 0.10, killRng);
-      const cast::RandCastSelector selector;
+        scenario.killRandomFraction(0.10);
       const auto point = analysis::measureEffectiveness(
-          stack.snapshotRandom(), selector, fanout, scale.runs,
-          config.seed + 7);
+          scenario, Strategy::kRandCast, fanout, scale.runs,
+          scale.seed + 55 + 7);
       row.push_back(fmtLog(point.avgMissPercent));
     }
     table.addRow(std::move(row));
@@ -103,37 +95,21 @@ void churnModels(const bench::Scale& scale, double meanLifetime) {
     std::uint64_t young = 0;
     std::uint64_t total = 0;
     for (std::uint32_t net = 0; net < kNetworks; ++net) {
-      analysis::StackConfig config;
-      config.nodes = scale.nodes;
-      config.seed = scale.seed + (pareto ? 1 : 2) + net * 1000;
-      analysis::ProtocolStack stack(config);
-      stack.warmup();
+      auto builder = analysis::Scenario::builder()
+                         .nodes(scale.nodes)
+                         .seed(scale.seed + (pareto ? 1 : 2) + net * 1000);
+      if (pareto)
+        builder.sessionChurn(sim::paretoForMeanLifetime(meanLifetime, 1.5));
+      else
+        builder.churn(1.0 / meanLifetime);
+      auto scenario = builder.build();
+      scenario.runCycles(budget);
 
-      std::unique_ptr<sim::Control> churn;
-      if (pareto) {
-        auto control = std::make_unique<sim::SessionChurnControl>(
-            stack.network(), sim::paretoForMeanLifetime(meanLifetime, 1.5),
-            config.seed + 3);
-        control->addJoinHandler(stack.cyclon());
-        control->addJoinHandler(stack.rings());
-        churn = std::move(control);
-      } else {
-        auto control = std::make_unique<sim::ChurnControl>(
-            stack.network(), 1.0 / meanLifetime, config.seed + 3);
-        control->addJoinHandler(stack.cyclon());
-        control->addJoinHandler(stack.rings());
-        churn = std::move(control);
-      }
-      stack.engine().addControl(*churn);
-      stack.engine().run(budget);
-
-      const auto now = stack.engine().cycle();
-      const cast::RingCastSelector selector;
       const std::array<std::uint32_t, 3> fanouts{2u, 3u, 6u};
       for (std::size_t i = 0; i < fanouts.size(); ++i) {
         const auto study = analysis::measureMissLifetimes(
-            stack.snapshotRing(), selector, stack.network(), now,
-            fanouts[i], runs, config.seed + fanouts[i]);
+            scenario, Strategy::kRingCast, fanouts[i], runs,
+            scenario.config().seed + fanouts[i]);
         missSum[i] += study.effectiveness.avgMissPercent;
         for (const auto& [lifetime, count] :
              study.missedLifetimes.sorted()) {
@@ -177,7 +153,7 @@ int main(int argc, char** argv) {
   parser.option("mean-lifetime",
                 "mean session length in cycles for the churn comparison "
                 "(default 500 = the paper's 0.2%/cycle intensity)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'000,
                                          /*quickRuns=*/25);

@@ -14,38 +14,30 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
-#include "cast/snapshot.hpp"
-#include "churn_common.hpp"
 #include "common/table.hpp"
-#include "sim/failures.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 void bandMatrix(const bench::Scale& scale) {
   std::printf("--- Harary band: miss%% after a 20%% catastrophic failure "
               "(rows: band width; columns: fanout) ---\n");
   Table table({"band_width", "dlinks", "F=2", "F=4", "F=8", "F=12"});
   for (const std::uint32_t width : {1u, 2u, 3u}) {
-    analysis::StackConfig config;
-    config.nodes = scale.nodes;
-    config.seed = scale.seed + width;
-    analysis::ProtocolStack stack(config);
-    stack.warmup();
-    Rng killRng(config.seed ^ 0xFA11ED);
-    sim::killRandomFraction(stack.network(), 0.20, killRng);
-    const auto snapshot = cast::snapshotBand(stack.network(), stack.cyclon(),
-                                             stack.vicinity(), width);
+    auto scenario = analysis::Scenario::paperCatastrophic(
+        0.20, scale.nodes, scale.seed + width);
+    const auto snapshot = scenario.snapshotBand(width);
     std::vector<std::string> row{std::to_string(width),
                                  std::to_string(2 * width)};
-    const cast::RingCastSelector selector;
     for (const std::uint32_t fanout : {2u, 4u, 8u, 12u}) {
+      // The hybrid rule over the band snapshot (RingCast semantics).
       const auto point = analysis::measureEffectiveness(
-          snapshot, selector, fanout, scale.runs, config.seed + fanout);
+          snapshot, Strategy::kRingCast, fanout, scale.runs,
+          scale.seed + width + fanout);
       row.push_back(fmtLog(point.avgMissPercent));
     }
     table.addRow(std::move(row));
@@ -67,20 +59,17 @@ void boostAblation(const bench::Scale& scale, double churnRate) {
   for (const std::uint32_t factor : {1u, 4u}) {
     bench::Scale churnScale = scale;
     churnScale.seed = scale.seed + factor;
-    auto churned = bench::buildChurnedStack(churnScale, churnRate,
-                                            /*extraSeed=*/factor);
-    auto& stack = *churned.stack;
+    auto scenario = bench::buildChurned(churnScale, churnRate,
+                                        /*extraSeed=*/factor);
     if (factor > 1)
-      stack.engine().setStepBoost(
-          sim::joinerBoost(stack.network(), factor, 20));
+      scenario.engine().setStepBoost(
+          sim::joinerBoost(scenario.network(), factor, 20));
     // Let the boost act on the current joiner cohort, with churn still
     // running, then freeze and measure.
-    stack.engine().run(50);
-    const auto now = stack.engine().cycle();
-    const cast::RingCastSelector selector;
+    scenario.runCycles(50);
     const auto study = analysis::measureMissLifetimes(
-        stack.snapshotRing(), selector, stack.network(), now, 3,
-        std::max(50u, scale.runs), churnScale.seed + 9);
+        scenario, Strategy::kRingCast, 3, std::max(50u, scale.runs),
+        churnScale.seed + 9);
     std::uint64_t young = 0;
     std::uint64_t old = 0;
     for (const auto& [lifetime, count] : study.missedLifetimes.sorted())
@@ -112,7 +101,7 @@ int main(int argc, char** argv) {
       "Ablations of the Harary-band d-link extension (§8) and the joiner "
       "gossip boost (§7.3).");
   parser.option("churn", "churn rate per cycle (default 0.005)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'000,
                                          /*quickRuns=*/25);

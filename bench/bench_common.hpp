@@ -1,6 +1,7 @@
 // Shared scaffolding for the figure benches: scale selection (quick
-// default vs --paper), common CLI options, and header printing so every
-// bench output is self-describing.
+// default vs --paper), common CLI options, header printing so every
+// bench output is self-describing, and the two Scenario shorthands
+// (static and churned) every figure builds on.
 #pragma once
 
 #include <chrono>
@@ -9,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/scenario.hpp"
 #include "common/cli.hpp"
 
 namespace vs07::bench {
@@ -79,6 +81,40 @@ inline std::vector<std::uint32_t> fullFanoutAxis() {
   std::vector<std::uint32_t> fanouts;
   for (std::uint32_t f = 1; f <= 20; ++f) fanouts.push_back(f);
   return fanouts;
+}
+
+/// A warmed-up static scenario at the bench scale, with a timing line.
+inline analysis::Scenario buildStatic(const Scale& scale,
+                                      std::uint64_t extraSeed = 0,
+                                      std::uint32_t rings = 1) {
+  Stopwatch timer;
+  auto scenario = analysis::Scenario::builder()
+                      .nodes(scale.nodes)
+                      .seed(scale.seed + extraSeed)
+                      .rings(rings)
+                      .build();
+  std::printf("warm-up: %u cycles over %u nodes in %.2fs\n\n",
+              scenario.config().warmupCycles, scale.nodes, timer.seconds());
+  return scenario;
+}
+
+/// The paper's §7.3 churn warm-up: build, warm up, churn at `rate` until
+/// the entire initial population has been replaced (capped), with the
+/// usual progress line. Use scenario.churnCycles() / engine().cycle()
+/// for the churn-phase length and the freeze cycle.
+inline analysis::Scenario buildChurned(const Scale& scale, double rate,
+                                       std::uint64_t extraSeed,
+                                       std::uint64_t maxChurnCycles = 50'000) {
+  Stopwatch timer;
+  auto scenario = analysis::Scenario::paperChurn(
+      rate, scale.nodes, scale.seed + extraSeed, maxChurnCycles);
+  std::printf(
+      "churn warm-up: %llu churn cycles at %.2f%%/cycle (initial population "
+      "fully replaced: %s) in %.2fs\n",
+      static_cast<unsigned long long>(scenario.churnCycles()), rate * 100.0,
+      scenario.network().initialSurvivors() == 0 ? "yes" : "NO (cap hit)",
+      timer.seconds());
+  return scenario;
 }
 
 }  // namespace vs07::bench

@@ -10,14 +10,13 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 int run(const bench::Scale& scale) {
   bench::printHeader(
@@ -27,28 +26,14 @@ int run(const bench::Scale& scale) {
       "for RandCast, always 100% for RingCast",
       scale);
 
-  bench::Stopwatch warmupTimer;
-  analysis::StackConfig config;
-  config.nodes = scale.nodes;
-  config.seed = scale.seed;
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
-  std::printf("warm-up: %u cycles over %u nodes in %.2fs\n\n",
-              config.warmupCycles, config.nodes, warmupTimer.seconds());
-
-  const auto ringSnapshot = stack.snapshotRing();
-  const auto randSnapshot = stack.snapshotRandom();
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
+  const auto scenario = bench::buildStatic(scale);
 
   bench::Stopwatch sweepTimer;
   const auto fanouts = bench::fullFanoutAxis();
-  const auto rand = analysis::sweepEffectiveness(randSnapshot, randCast,
-                                                 fanouts, scale.runs,
-                                                 scale.seed + 1);
-  const auto ring = analysis::sweepEffectiveness(ringSnapshot, ringCast,
-                                                 fanouts, scale.runs,
-                                                 scale.seed + 2);
+  const auto rand = analysis::sweepEffectiveness(
+      scenario, Strategy::kRandCast, fanouts, scale.runs, scale.seed + 1);
+  const auto ring = analysis::sweepEffectiveness(
+      scenario, Strategy::kRingCast, fanouts, scale.runs, scale.seed + 2);
 
   Table table({"fanout", "randcast_miss%", "ringcast_miss%",
                "randcast_complete%", "ringcast_complete%"});
@@ -71,7 +56,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Fig. 6 of Voulgaris & van Steen (Middleware 2007): miss ratio and "
       "complete-dissemination percentage vs fanout, static network.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
                                  /*quickRuns=*/25));

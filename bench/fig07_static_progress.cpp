@@ -10,14 +10,13 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 int run(const bench::Scale& scale) {
   bench::printHeader(
@@ -27,22 +26,15 @@ int run(const bench::Scale& scale) {
       "fewer hops",
       scale);
 
-  analysis::StackConfig config;
-  config.nodes = scale.nodes;
-  config.seed = scale.seed;
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
-
-  const auto ringSnapshot = stack.snapshotRing();
-  const auto randSnapshot = stack.snapshotRandom();
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
+  const auto scenario = bench::buildStatic(scale);
 
   for (const std::uint32_t fanout : {2u, 3u, 5u, 10u}) {
     const auto rand = analysis::measureProgress(
-        randSnapshot, randCast, fanout, scale.runs, scale.seed + fanout);
+        scenario, Strategy::kRandCast, fanout, scale.runs,
+        scale.seed + fanout);
     const auto ring = analysis::measureProgress(
-        ringSnapshot, ringCast, fanout, scale.runs, scale.seed + 100 + fanout);
+        scenario, Strategy::kRingCast, fanout, scale.runs,
+        scale.seed + 100 + fanout);
 
     std::printf("--- fanout %u: %% nodes not reached yet after each hop ---\n",
                 fanout);
@@ -74,7 +66,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Fig. 7 of Voulgaris & van Steen (Middleware 2007): per-hop "
       "progress of disseminations for fanouts 2/3/5/10, static network.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
                                  /*quickRuns=*/25));

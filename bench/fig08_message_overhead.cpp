@@ -9,14 +9,13 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 void printProtocol(const char* name,
                    const std::vector<analysis::EffectivenessPoint>& points,
@@ -42,21 +41,13 @@ int run(const bench::Scale& scale) {
       "nodes",
       scale);
 
-  analysis::StackConfig config;
-  config.nodes = scale.nodes;
-  config.seed = scale.seed;
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
+  const auto scenario = bench::buildStatic(scale);
 
   const auto fanouts = bench::fullFanoutAxis();
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
-  const auto rand =
-      analysis::sweepEffectiveness(stack.snapshotRandom(), randCast, fanouts,
-                                   scale.runs, scale.seed + 1);
-  const auto ring =
-      analysis::sweepEffectiveness(stack.snapshotRing(), ringCast, fanouts,
-                                   scale.runs, scale.seed + 2);
+  const auto rand = analysis::sweepEffectiveness(
+      scenario, Strategy::kRandCast, fanouts, scale.runs, scale.seed + 1);
+  const auto ring = analysis::sweepEffectiveness(
+      scenario, Strategy::kRingCast, fanouts, scale.runs, scale.seed + 2);
 
   printProtocol("RANDCAST", rand, scale.csv);
   printProtocol("RINGCAST", ring, scale.csv);
@@ -69,7 +60,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Fig. 8 of Voulgaris & van Steen (Middleware 2007): messages to "
       "virgin vs already-notified nodes, per fanout, static network.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
                                  /*quickRuns=*/25));

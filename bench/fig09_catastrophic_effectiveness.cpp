@@ -9,15 +9,14 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
-#include "sim/failures.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 int run(const bench::Scale& scale) {
   bench::printHeader(
@@ -27,28 +26,21 @@ int run(const bench::Scale& scale) {
       scale);
 
   const auto fanouts = bench::fullFanoutAxis();
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
 
   for (const double killPercent : {1.0, 2.0, 5.0, 10.0}) {
     // Fresh overlay per failure volume, as in the paper's §7.2 setup.
-    analysis::StackConfig config;
-    config.nodes = scale.nodes;
-    config.seed = scale.seed + static_cast<std::uint64_t>(killPercent * 10);
-    analysis::ProtocolStack stack(config);
-    stack.warmup();
-    Rng killRng(config.seed ^ 0xFA11ED);
-    sim::killRandomFraction(stack.network(), killPercent / 100.0, killRng);
+    const auto seed =
+        scale.seed + static_cast<std::uint64_t>(killPercent * 10);
+    auto scenario = analysis::Scenario::paperCatastrophic(
+        killPercent / 100.0, scale.nodes, seed);
 
     const auto rand = analysis::sweepEffectiveness(
-        stack.snapshotRandom(), randCast, fanouts, scale.runs,
-        config.seed + 1);
+        scenario, Strategy::kRandCast, fanouts, scale.runs, seed + 1);
     const auto ring = analysis::sweepEffectiveness(
-        stack.snapshotRing(), ringCast, fanouts, scale.runs,
-        config.seed + 2);
+        scenario, Strategy::kRingCast, fanouts, scale.runs, seed + 2);
 
     std::printf("--- failed nodes: %.0f%% (alive: %u) ---\n", killPercent,
-                stack.network().aliveCount());
+                scenario.network().aliveCount());
     Table table({"fanout", "randcast_miss%", "ringcast_miss%",
                  "randcast_complete%", "ringcast_complete%"});
     for (std::size_t i = 0; i < fanouts.size(); ++i)
@@ -70,7 +62,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Fig. 9 of Voulgaris & van Steen (Middleware 2007): miss ratio and "
       "complete disseminations vs fanout after catastrophic failures.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
                                  /*quickRuns=*/20));

@@ -9,15 +9,14 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
-#include "sim/failures.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 int run(const bench::Scale& scale) {
   bench::printHeader(
@@ -26,26 +25,18 @@ int run(const bench::Scale& scale) {
       "still reaches almost everyone and finishes in fewer hops",
       scale);
 
-  analysis::StackConfig config;
-  config.nodes = scale.nodes;
-  config.seed = scale.seed;
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
-  Rng killRng(config.seed ^ 0xFA11ED);
-  sim::killRandomFraction(stack.network(), 0.05, killRng);
+  auto scenario =
+      analysis::Scenario::paperCatastrophic(0.05, scale.nodes, scale.seed);
   std::printf("killed 5%%: %u nodes remain\n\n",
-              stack.network().aliveCount());
-
-  const auto ringSnapshot = stack.snapshotRing();
-  const auto randSnapshot = stack.snapshotRandom();
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
+              scenario.network().aliveCount());
 
   for (const std::uint32_t fanout : {2u, 3u, 5u, 10u}) {
     const auto rand = analysis::measureProgress(
-        randSnapshot, randCast, fanout, scale.runs, scale.seed + fanout);
+        scenario, Strategy::kRandCast, fanout, scale.runs,
+        scale.seed + fanout);
     const auto ring = analysis::measureProgress(
-        ringSnapshot, ringCast, fanout, scale.runs, scale.seed + 100 + fanout);
+        scenario, Strategy::kRingCast, fanout, scale.runs,
+        scale.seed + 100 + fanout);
 
     std::printf("--- fanout %u: %% nodes not reached yet after each hop ---\n",
                 fanout);
@@ -73,7 +64,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Fig. 10 of Voulgaris & van Steen (Middleware 2007): per-hop "
       "progress for fanouts 2/3/5/10 after killing 5% of the nodes.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
                                  /*quickRuns=*/25));

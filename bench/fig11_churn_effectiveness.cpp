@@ -10,13 +10,12 @@
 
 #include "analysis/experiment.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
-#include "churn_common.hpp"
 #include "common/table.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 int run(const bench::Scale& scale, double churnRate) {
   bench::printHeader(
@@ -25,18 +24,13 @@ int run(const bench::Scale& scale, double churnRate) {
       "concentrated on fresh joiners); almost no complete disseminations",
       scale);
 
-  auto churned = bench::buildChurnedStack(scale, churnRate, /*extraSeed=*/0);
-  auto& stack = *churned.stack;
+  const auto scenario = bench::buildChurned(scale, churnRate, /*extraSeed=*/0);
 
   const auto fanouts = bench::fullFanoutAxis();
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
-  const auto rand =
-      analysis::sweepEffectiveness(stack.snapshotRandom(), randCast, fanouts,
-                                   scale.runs, scale.seed + 1);
-  const auto ring =
-      analysis::sweepEffectiveness(stack.snapshotRing(), ringCast, fanouts,
-                                   scale.runs, scale.seed + 2);
+  const auto rand = analysis::sweepEffectiveness(
+      scenario, Strategy::kRandCast, fanouts, scale.runs, scale.seed + 1);
+  const auto ring = analysis::sweepEffectiveness(
+      scenario, Strategy::kRingCast, fanouts, scale.runs, scale.seed + 2);
 
   std::printf("\n");
   Table table({"fanout", "randcast_miss%", "ringcast_miss%",
@@ -59,7 +53,7 @@ int main(int argc, char** argv) {
       "Fig. 11 of Voulgaris & van Steen (Middleware 2007): miss ratio and "
       "complete disseminations vs fanout under 0.2%/cycle churn.");
   parser.option("churn", "churn rate per cycle (default 0.002)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
                                          /*quickRuns=*/25);

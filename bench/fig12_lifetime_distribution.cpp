@@ -10,7 +10,6 @@
 
 #include "analysis/experiment.hpp"
 #include "bench_common.hpp"
-#include "churn_common.hpp"
 #include "common/histogram.hpp"
 #include "common/table.hpp"
 
@@ -28,9 +27,9 @@ int run(const bench::Scale& scale, double churnRate,
 
   CountHistogram aggregate;
   for (std::uint32_t e = 0; e < experiments; ++e) {
-    auto churned = bench::buildChurnedStack(scale, churnRate, 1000 + e);
-    aggregate.merge(analysis::lifetimeHistogram(churned.stack->network(),
-                                                churned.freezeCycle));
+    const auto scenario = bench::buildChurned(scale, churnRate, 1000 + e);
+    aggregate.merge(analysis::lifetimeHistogram(scenario.network(),
+                                                scenario.engine().cycle()));
   }
 
   std::printf("\nlifetimes aggregated over %u experiment(s), %llu nodes\n\n",
@@ -58,7 +57,7 @@ int main(int argc, char** argv) {
   parser.option("churn", "churn rate per cycle (default 0.002)")
       .option("experiments", "independent churn networks to aggregate "
                              "(default 2; paper used 100)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
                                          /*quickRuns=*/1);

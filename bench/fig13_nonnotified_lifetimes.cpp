@@ -11,14 +11,13 @@
 
 #include "analysis/experiment.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
-#include "churn_common.hpp"
 #include "common/histogram.hpp"
 #include "common/table.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 struct ProtocolMisses {
   CountHistogram fanout3;
@@ -36,28 +35,21 @@ int run(const bench::Scale& scale, double churnRate,
 
   ProtocolMisses rand;
   ProtocolMisses ring;
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
 
   for (std::uint32_t e = 0; e < experiments; ++e) {
-    auto churned = bench::buildChurnedStack(scale, churnRate, 2000 + e);
-    auto& stack = *churned.stack;
-    const auto randSnapshot = stack.snapshotRandom();
-    const auto ringSnapshot = stack.snapshotRing();
-    const auto now = churned.freezeCycle;
+    const auto scenario = bench::buildChurned(scale, churnRate, 2000 + e);
 
-    auto collect = [&](const cast::OverlaySnapshot& snapshot,
-                       const cast::TargetSelector& selector,
-                       std::uint32_t fanout, CountHistogram& into) {
+    auto collect = [&](Strategy strategy, std::uint32_t fanout,
+                       CountHistogram& into) {
       const auto study = analysis::measureMissLifetimes(
-          snapshot, selector, stack.network(), now, fanout, scale.runs,
+          scenario, strategy, fanout, scale.runs,
           scale.seed + e * 10 + fanout);
       into.merge(study.missedLifetimes);
     };
-    collect(randSnapshot, randCast, 3, rand.fanout3);
-    collect(randSnapshot, randCast, 6, rand.fanout6);
-    collect(ringSnapshot, ringCast, 3, ring.fanout3);
-    collect(ringSnapshot, ringCast, 6, ring.fanout6);
+    collect(Strategy::kRandCast, 3, rand.fanout3);
+    collect(Strategy::kRandCast, 6, rand.fanout6);
+    collect(Strategy::kRingCast, 3, ring.fanout3);
+    collect(Strategy::kRingCast, 6, ring.fanout6);
   }
 
   auto printPair = [&](const char* title, const CountHistogram& randHist,
@@ -103,7 +95,7 @@ int main(int argc, char** argv) {
   parser.option("churn", "churn rate per cycle (default 0.002)")
       .option("experiments", "independent churn networks to aggregate "
                              "(default 2; paper used 100)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
                                          /*quickRuns=*/50);

@@ -6,10 +6,8 @@
 // carries everything.
 #include <cstdio>
 
-#include "analysis/stack.hpp"
 #include "bench_common.hpp"
-#include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
+#include "cast/session.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "overlay/graph.hpp"
@@ -17,34 +15,27 @@
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 struct LoadTotals {
   std::vector<double> forwards;
   std::vector<double> received;
 };
 
-LoadTotals accumulateLoad(const cast::OverlaySnapshot& snapshot,
-                          const cast::TargetSelector& selector,
-                          std::uint32_t fanout, std::uint32_t runs,
-                          std::uint64_t seed) {
+/// Publishes `runs` messages through one session and accumulates the
+/// per-node load counters of every report, restricted to alive nodes.
+LoadTotals accumulateLoad(cast::SnapshotSession session, std::uint32_t runs) {
+  const auto& snapshot = session.overlay();
   LoadTotals totals;
   totals.forwards.assign(snapshot.totalIds(), 0.0);
   totals.received.assign(snapshot.totalIds(), 0.0);
-  Rng rng(seed);
   for (std::uint32_t r = 0; r < runs; ++r) {
-    const NodeId origin =
-        snapshot.aliveIds()[rng.below(snapshot.aliveIds().size())];
-    cast::DisseminationParams params;
-    params.fanout = fanout;
-    params.seed = rng();
-    params.recordLoad = true;
-    const auto report = cast::disseminate(snapshot, selector, origin, params);
+    const auto report = session.publishFromRandom();
     for (NodeId id = 0; id < snapshot.totalIds(); ++id) {
       totals.forwards[id] += report.forwardsPerNode[id];
       totals.received[id] += report.receivedPerNode[id];
     }
   }
-  // Restrict to alive nodes for the statistics.
   LoadTotals alive;
   for (const NodeId id : snapshot.aliveIds()) {
     alive.forwards.push_back(totals.forwards[id]);
@@ -71,29 +62,30 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
       "star overlay concentrates everything on its hub (Gini -> 1)",
       scale);
 
-  analysis::StackConfig config;
-  config.nodes = scale.nodes;
-  config.seed = scale.seed;
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
-
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
-  const cast::FloodSelector flood;
+  auto scenario = bench::buildStatic(scale);
+  auto sessionFor = [&](Strategy strategy, std::uint64_t seed) {
+    return scenario.snapshotSession({.strategy = strategy,
+                                     .fanout = fanout,
+                                     .seed = seed,
+                                     .recordLoad = true});
+  };
 
   Table table({"protocol", "metric", "mean", "stddev", "min", "p99", "max",
                "gini"});
   addRows(table, "RandCast",
-          accumulateLoad(stack.snapshotRandom(), randCast, fanout, scale.runs,
-                         scale.seed + 1));
+          accumulateLoad(sessionFor(Strategy::kRandCast, scale.seed + 1),
+                         scale.runs));
   addRows(table, "RingCast",
-          accumulateLoad(stack.snapshotRing(), ringCast, fanout, scale.runs,
-                         scale.seed + 2));
+          accumulateLoad(sessionFor(Strategy::kRingCast, scale.seed + 2),
+                         scale.runs));
   // Baseline with known skew: flooding on a star overlay.
-  const auto star =
-      cast::snapshotGraph(overlay::makeStar(scale.nodes, /*hub=*/0));
-  addRows(table, "StarFlood",
-          accumulateLoad(star, flood, fanout, scale.runs, scale.seed + 3));
+  cast::SnapshotSession starFlood(
+      cast::snapshotGraph(overlay::makeStar(scale.nodes, /*hub=*/0)),
+      {.strategy = Strategy::kFlood,
+       .fanout = fanout,
+       .seed = scale.seed + 3,
+       .recordLoad = true});
+  addRows(table, "StarFlood", accumulateLoad(std::move(starFlood), scale.runs));
 
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
@@ -109,7 +101,7 @@ int main(int argc, char** argv) {
       "Load distribution across nodes (paper §2 metric 5): per-node "
       "forwarded/received message counts and Gini coefficients.");
   parser.option("fanout", "fanout to run at (default 5)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/2'000,
                                          /*quickRuns=*/50);

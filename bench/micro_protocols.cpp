@@ -4,28 +4,24 @@
 // the simulator itself — useful when scaling experiments up.
 #include <benchmark/benchmark.h>
 
-#include "analysis/stack.hpp"
-#include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
+#include "analysis/scenario.hpp"
+#include "cast/session.hpp"
 #include "common/rng.hpp"
 #include "net/codec.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
-analysis::StackConfig config(std::uint32_t nodes) {
-  analysis::StackConfig c;
-  c.nodes = nodes;
-  c.seed = 7;
-  return c;
+analysis::Scenario warmScenario(std::uint32_t nodes) {
+  return analysis::Scenario::paperStatic(nodes, /*seed=*/7);
 }
 
 void BM_GossipCycle(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
-  analysis::ProtocolStack stack(config(nodes));
-  stack.warmup();
-  for (auto _ : state) stack.runCycles(1);
+  auto scenario = warmScenario(nodes);
+  for (auto _ : state) scenario.runCycles(1);
   state.SetItemsProcessed(state.iterations() * nodes * 2);  // 2 protocols
   state.counters["nodes"] = nodes;
 }
@@ -34,18 +30,11 @@ BENCHMARK(BM_GossipCycle)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond
 void BM_RingCastDissemination(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
   const auto fanout = static_cast<std::uint32_t>(state.range(1));
-  analysis::ProtocolStack stack(config(nodes));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRing();
-  const cast::RingCastSelector selector;
-  Rng rng(3);
+  auto scenario = warmScenario(nodes);
+  auto session = scenario.snapshotSession(
+      {.strategy = Strategy::kRingCast, .fanout = fanout, .seed = 3});
   for (auto _ : state) {
-    cast::DisseminationParams params;
-    params.fanout = fanout;
-    params.seed = rng();
-    const auto report = cast::disseminate(
-        snapshot, selector,
-        snapshot.aliveIds()[rng.below(snapshot.aliveIds().size())], params);
+    const auto report = session.publishFromRandom();
     benchmark::DoNotOptimize(report.notified);
   }
   state.SetItemsProcessed(state.iterations() * nodes);
@@ -59,18 +48,11 @@ BENCHMARK(BM_RingCastDissemination)
 
 void BM_RandCastDissemination(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
-  analysis::ProtocolStack stack(config(nodes));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRandom();
-  const cast::RandCastSelector selector;
-  Rng rng(4);
+  auto scenario = warmScenario(nodes);
+  auto session = scenario.snapshotSession(
+      {.strategy = Strategy::kRandCast, .fanout = 5, .seed = 4});
   for (auto _ : state) {
-    cast::DisseminationParams params;
-    params.fanout = 5;
-    params.seed = rng();
-    const auto report = cast::disseminate(
-        snapshot, selector,
-        snapshot.aliveIds()[rng.below(snapshot.aliveIds().size())], params);
+    const auto report = session.publishFromRandom();
     benchmark::DoNotOptimize(report.notified);
   }
   state.SetItemsProcessed(state.iterations() * nodes);
@@ -79,10 +61,9 @@ BENCHMARK(BM_RandCastDissemination)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
 void BM_SnapshotBuild(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
-  analysis::ProtocolStack stack(config(nodes));
-  stack.warmup();
+  auto scenario = warmScenario(nodes);
   for (auto _ : state) {
-    const auto snapshot = stack.snapshotRing();
+    const auto snapshot = scenario.snapshot(Strategy::kRingCast);
     benchmark::DoNotOptimize(snapshot.aliveCount());
   }
   state.SetItemsProcessed(state.iterations() * nodes);
@@ -90,10 +71,9 @@ void BM_SnapshotBuild(benchmark::State& state) {
 BENCHMARK(BM_SnapshotBuild)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
 void BM_TargetSelection(benchmark::State& state) {
-  analysis::ProtocolStack stack(config(1'000));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRing();
-  const cast::RingCastSelector selector;
+  auto scenario = warmScenario(1'000);
+  const auto snapshot = scenario.snapshot(Strategy::kRingCast);
+  const auto& selector = cast::selectorFor(Strategy::kRingCast);
   Rng rng(5);
   std::vector<NodeId> targets;
   const auto& ids = snapshot.aliveIds();

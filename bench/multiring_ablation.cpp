@@ -9,15 +9,14 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "common/table.hpp"
-#include "sim/failures.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 int run(const bench::Scale& scale, std::uint32_t fanout) {
   bench::printHeader(
@@ -26,7 +25,6 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
       "catastrophic failures, at higher maintenance cost",
       scale);
 
-  const cast::MultiRingCastSelector selector;
   Table table({"rings", "dlinks/node", "miss%_failfree", "miss%_kill5%",
                "miss%_kill10%", "miss%_kill20%"});
 
@@ -34,17 +32,13 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
     std::vector<std::string> row{std::to_string(rings)};
     bool first = true;
     for (const double kill : {0.0, 0.05, 0.10, 0.20}) {
-      analysis::StackConfig config;
-      config.nodes = scale.nodes;
-      config.rings = rings;
-      config.seed = scale.seed + rings;
-      analysis::ProtocolStack stack(config);
-      stack.warmup();
-      if (kill > 0.0) {
-        Rng killRng(config.seed ^ 0xFA11ED);
-        sim::killRandomFraction(stack.network(), kill, killRng);
-      }
-      const auto snapshot = stack.snapshotMultiRing();
+      auto scenario = analysis::Scenario::builder()
+                          .nodes(scale.nodes)
+                          .rings(rings)
+                          .seed(scale.seed + rings)
+                          .build();
+      if (kill > 0.0) scenario.killRandomFraction(kill);
+      const auto snapshot = scenario.snapshot(Strategy::kMultiRing);
       if (first) {
         // Average d-link out-degree (union of rings, deduplicated).
         std::uint64_t dlinks = 0;
@@ -55,7 +49,8 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
         first = false;
       }
       const auto point = analysis::measureEffectiveness(
-          snapshot, selector, fanout, scale.runs, config.seed + 7);
+          snapshot, Strategy::kMultiRing, fanout, scale.runs,
+          scale.seed + rings + 7);
       row.push_back(fmtLog(point.avgMissPercent));
     }
     table.addRow(std::move(row));
@@ -74,7 +69,7 @@ int main(int argc, char** argv) {
       "Multi-ring RingCast ablation (§8): miss ratio vs ring count under "
       "catastrophic failures.");
   parser.option("fanout", "fanout to run at (default 2)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'500,
                                          /*quickRuns=*/25);

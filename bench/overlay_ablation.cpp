@@ -15,7 +15,6 @@
 
 #include "analysis/experiment.hpp"
 #include "bench_common.hpp"
-#include "cast/selector.hpp"
 #include "cast/snapshot.hpp"
 #include "common/table.hpp"
 #include "overlay/graph.hpp"
@@ -23,6 +22,7 @@
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
 struct OverlayCase {
   std::string name;
@@ -54,7 +54,6 @@ int run(const bench::Scale& scale) {
        }},
   };
 
-  const cast::FloodSelector flood;
   Table table({"overlay", "links/node", "msgs_failfree", "miss%_kill1",
                "miss%_kill2", "miss%_kill1%", "miss%_kill5%"});
 
@@ -67,7 +66,8 @@ int run(const bench::Scale& scale) {
     std::vector<std::string> row{testCase.name, fmt(linksPerNode, 1)};
     // Fail-free flood cost.
     const auto clean = analysis::measureEffectiveness(
-        cast::snapshotGraph(graph), flood, 1, scale.runs, scale.seed + 1);
+        cast::snapshotGraph(graph), Strategy::kFlood, 1, scale.runs,
+        scale.seed + 1);
     row.push_back(fmt(clean.avgMessagesTotal, 0));
 
     // Kill sweeps: absolute counts (1, 2 nodes) probe the Harary bound;
@@ -92,7 +92,7 @@ int run(const bench::Scale& scale) {
           }
         }
         const auto point = analysis::measureEffectiveness(
-            cast::snapshotGraph(graph, alive), flood, 1, 1,
+            cast::snapshotGraph(graph, alive), Strategy::kFlood, 1, 1,
             killRng());
         missSum += point.avgMissPercent;
       }
@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Ablation of §3's deterministic flooding overlays: message cost "
       "and failure resilience of tree/star/ring/Harary overlays.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/1'000,
                                  /*quickRuns=*/30));

@@ -13,49 +13,23 @@
 // paid — the reliability/overhead trade of the §8 knobs.
 #include <cstdio>
 
+#include "analysis/scenario.hpp"
 #include "bench_common.hpp"
-#include "cast/live.hpp"
 #include "common/table.hpp"
-#include "gossip/cyclon.hpp"
-#include "gossip/vicinity.hpp"
-#include "net/transport.hpp"
-#include "sim/bootstrap.hpp"
-#include "sim/engine.hpp"
-#include "sim/failures.hpp"
-#include "sim/network.hpp"
-#include "sim/router.hpp"
 
 namespace {
 
 using namespace vs07;
+using cast::Strategy;
 
-struct LiveStack {
-  LiveStack(std::uint32_t n, cast::LiveCast::Params params,
-            std::uint64_t seed)
-      : network(n, seed),
-        router(network),
-        transport([this](NodeId to, const net::Message& m) {
-          router.deliver(to, m);
-        }),
-        cyclon(network, transport, router, {20, 8}, seed + 1),
-        vicinity(network, transport, router, cyclon, {}, seed + 2),
-        live(network, transport, router, cyclon, &vicinity, params,
-             seed + 3),
-        engine(network, seed + 4) {
-    engine.addProtocol(cyclon);
-    engine.addProtocol(vicinity);
-    engine.addProtocol(live);
-    sim::bootstrapStar(network, cyclon);
-    engine.run(100);
-  }
+/// A warmed-up scenario plus its push+pull live session.
+struct Feed {
+  analysis::Scenario scenario;
+  cast::LiveSession& session;
 
-  sim::Network network;
-  sim::MessageRouter router;
-  net::ImmediateTransport transport;
-  gossip::Cyclon cyclon;
-  gossip::Vicinity vicinity;
-  cast::LiveCast live;
-  sim::Engine engine;
+  Feed(std::uint32_t nodes, cast::CastOptions options, std::uint64_t seed)
+      : scenario(analysis::Scenario::builder().nodes(nodes).seed(seed).build()),
+        session(scenario.liveSession(options)) {}
 };
 
 int run(const bench::Scale& scale) {
@@ -72,27 +46,29 @@ int run(const bench::Scale& scale) {
   Table progress({"kill%", "push_only", "1_round", "2_rounds", "4_rounds",
                   "8_rounds", "pulls/node/round"});
   for (const double kill : {0.05, 0.10, 0.20}) {
-    cast::LiveCast::Params params;
-    params.fanout = 2;
-    params.pullInterval = 1;
-    LiveStack stack(scale.nodes, params,
-                    scale.seed + static_cast<std::uint64_t>(kill * 100));
-    Rng killRng(scale.seed ^ 0xFA11ED);
-    sim::killRandomFraction(stack.network, kill, killRng);
+    Feed feed(scale.nodes,
+              {.strategy = Strategy::kPushPull, .fanout = 2,
+               .pullInterval = 1},
+              scale.seed + static_cast<std::uint64_t>(kill * 100));
+    feed.scenario.killRandomFraction(kill);
 
-    const auto id = stack.live.publish(stack.network.aliveIds().front());
+    const auto report =
+        feed.session.publish(feed.scenario.network().aliveIds().front());
+    const auto id = feed.session.lastDataId();
     std::vector<std::string> row{fmt(kill * 100, 0),
-                                 fmtLog(stack.live.missRatioPercentNow(id))};
-    const auto pullsBefore = stack.live.pullRequestsSent();
+                                 fmtLog(report.missRatioPercent())};
+    const auto pullsBefore = feed.session.live().pullRequestsSent();
     std::uint64_t cyclesRun = 0;
     for (const std::uint64_t upTo : {1u, 2u, 4u, 8u}) {
-      stack.engine.run(upTo - cyclesRun);
+      feed.scenario.runCycles(upTo - cyclesRun);
       cyclesRun = upTo;
-      row.push_back(fmtLog(stack.live.missRatioPercentNow(id)));
+      row.push_back(fmtLog(feed.session.report(id).missRatioPercent()));
     }
     const double pullsPerNodeRound =
-        static_cast<double>(stack.live.pullRequestsSent() - pullsBefore) /
-        (static_cast<double>(stack.network.aliveCount()) * cyclesRun);
+        static_cast<double>(feed.session.live().pullRequestsSent() -
+                            pullsBefore) /
+        (static_cast<double>(feed.scenario.network().aliveCount()) *
+         cyclesRun);
     row.push_back(fmt(pullsPerNodeRound, 2));
     progress.addRow(std::move(row));
   }
@@ -105,18 +81,20 @@ int run(const bench::Scale& scale) {
   Table frequency({"pull_every_k_cycles", "miss%_after_8_cycles",
                    "pull_requests_total"});
   for (const std::uint32_t interval : {0u, 1u, 2u, 4u, 8u}) {
-    cast::LiveCast::Params params;
-    params.fanout = 2;
-    params.pullInterval = interval;
-    LiveStack stack(scale.nodes, params, scale.seed + 77 + interval);
-    Rng killRng(scale.seed ^ 0xFA11EDu);
-    sim::killRandomFraction(stack.network, 0.10, killRng);
-    const auto id = stack.live.publish(stack.network.aliveIds().front());
-    stack.engine.run(8);
+    // interval 0 = pure push; expressed as plain RINGCAST live push.
+    cast::CastOptions options{.fanout = 2};
+    options.strategy =
+        interval == 0 ? Strategy::kRingCast : Strategy::kPushPull;
+    if (interval > 0) options.pullInterval = interval;
+    Feed feed(scale.nodes, options, scale.seed + 77 + interval);
+    feed.scenario.killRandomFraction(0.10);
+    feed.session.publish(feed.scenario.network().aliveIds().front());
+    const auto id = feed.session.lastDataId();
+    feed.scenario.runCycles(8);
     frequency.addRow({interval == 0 ? "never (push only)"
                                     : std::to_string(interval),
-                      fmtLog(stack.live.missRatioPercentNow(id)),
-                      std::to_string(stack.live.pullRequestsSent())});
+                      fmtLog(feed.session.report(id).missRatioPercent()),
+                      std::to_string(feed.session.live().pullRequestsSent())});
   }
   std::fputs((scale.csv ? frequency.renderCsv() : frequency.render()).c_str(),
              stdout);
@@ -128,25 +106,26 @@ int run(const bench::Scale& scale) {
   Table buffers({"capacity", "publishes_after", "joiner_got_msg1"});
   for (const std::uint32_t capacity : {2u, 4u, 8u}) {
     for (const std::uint32_t extra : {1u, 3u, 7u}) {
-      cast::LiveCast::Params params;
-      params.fanout = 3;
-      params.pullInterval = 1;
-      params.bufferCapacity = capacity;
-      params.pullBudget = 16;
-      LiveStack stack(scale.nodes / 2, params,
-                      scale.seed + 200 + capacity * 10 + extra);
-      const auto first = stack.live.publish(0);
-      for (std::uint32_t i = 0; i < extra; ++i) stack.live.publish(0);
-      const NodeId joiner = stack.network.spawn(stack.engine.cycle());
+      Feed feed(scale.nodes / 2,
+                {.strategy = Strategy::kPushPull, .fanout = 3,
+                 .pullInterval = 1, .bufferCapacity = capacity,
+                 .pullBudget = 16},
+                scale.seed + 200 + capacity * 10 + extra);
+      feed.session.publish(0);
+      const auto first = feed.session.lastDataId();
+      for (std::uint32_t i = 0; i < extra; ++i) feed.session.publish(0);
+      auto& network = feed.scenario.network();
+      const NodeId joiner = network.spawn(feed.scenario.engine().cycle());
       Rng rng(scale.seed + 5);
       NodeId introducer = joiner;
-      while (introducer == joiner)
-        introducer = stack.network.randomAlive(rng);
-      stack.cyclon.onJoin(joiner, introducer);
-      stack.vicinity.onJoin(joiner, introducer);
-      stack.engine.run(10);
+      while (introducer == joiner) introducer = network.randomAlive(rng);
+      feed.scenario.cyclon().onJoin(joiner, introducer);
+      feed.scenario.rings().onJoin(joiner, introducer);
+      feed.scenario.runCycles(10);
       buffers.addRow({std::to_string(capacity), std::to_string(extra),
-                      stack.live.hasDelivered(first, joiner) ? "yes" : "no"});
+                      feed.session.live().hasDelivered(first, joiner)
+                          ? "yes"
+                          : "no"});
     }
   }
   std::fputs((scale.csv ? buffers.renderCsv() : buffers.render()).c_str(),
@@ -160,7 +139,7 @@ int main(int argc, char** argv) {
   const auto parser = bench::makeParser(
       "Pull-based recovery ablation (paper §8 future work): reliability "
       "vs pull rounds, pull frequency, and buffer capacity.");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/1'500,
                                  /*quickRuns=*/1));

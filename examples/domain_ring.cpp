@@ -6,30 +6,24 @@
 // Switzerland -> Canada (the paper's example of a terrible path).
 //
 //   $ ./domain_ring [--nodes 300]
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "analysis/graph_analysis.hpp"
-#include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
+#include "analysis/scenario.hpp"
 #include "common/cli.hpp"
-#include "gossip/cyclon.hpp"
 #include "gossip/domain_key.hpp"
-#include "gossip/vicinity.hpp"
-#include "net/transport.hpp"
-#include "sim/bootstrap.hpp"
-#include "sim/engine.hpp"
-#include "sim/network.hpp"
-#include "sim/router.hpp"
 
 using namespace vs07;
+using cast::Strategy;
 
 int main(int argc, char** argv) {
   CliParser parser("Domain-sorted RingCast ring (paper §8).");
   parser.option("nodes", "population size (default 300)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto nodes =
       static_cast<std::uint32_t>(args->getUint("nodes", 300));
@@ -47,9 +41,11 @@ int main(int argc, char** argv) {
                                           : domain.substr(secondDot + 1);
   };
 
-  // Wire the stack manually (instead of ProtocolStack) to override each
-  // node's sequence id with its domain key before gossip starts.
-  sim::Network network(nodes, 21);
+  // Defer the warm-up so each node's sequence id can be replaced with its
+  // domain key before gossip starts copying profiles into views.
+  auto scenario =
+      analysis::Scenario::builder().nodes(nodes).seed(21).noWarmup().build();
+  auto& network = scenario.network();
   Rng rng(22);
   std::map<NodeId, std::string> domainOf;
   for (NodeId id = 0; id < nodes; ++id) {
@@ -58,19 +54,10 @@ int main(int argc, char** argv) {
     network.setSeqId(id, gossip::domainSequenceId(
                              domain, static_cast<std::uint16_t>(rng())));
   }
+  scenario.warmup();
 
-  sim::MessageRouter router(network);
-  net::ImmediateTransport transport(
-      [&router](NodeId to, const net::Message& m) { router.deliver(to, m); });
-  gossip::Cyclon cyclon(network, transport, router, {20, 8}, 23);
-  gossip::Vicinity vicinity(network, transport, router, cyclon, {}, 24);
-  sim::Engine engine(network, 25);
-  engine.addProtocol(cyclon);
-  engine.addProtocol(vicinity);
-  sim::bootstrapStar(network, cyclon);
-  engine.run(100);
-
-  const auto convergence = analysis::ringConvergence(network, vicinity);
+  const auto convergence =
+      analysis::ringConvergence(network, scenario.vicinity());
   std::printf("ring converged: %.1f%% of nodes know both neighbours\n\n",
               100.0 * convergence.bothAccuracy);
 
@@ -109,7 +96,7 @@ int main(int argc, char** argv) {
   std::uint32_t localSucc = 0;
   std::uint32_t resolved = 0;
   for (NodeId id = 0; id < nodes; ++id) {
-    const NodeId succ = vicinity.ringNeighbors(id).successor;
+    const NodeId succ = scenario.vicinity().ringNeighbors(id).successor;
     if (succ == kNoNode) continue;
     ++resolved;
     localSucc += orgOf(domainOf[succ]) == orgOf(domainOf[id]);
@@ -120,12 +107,9 @@ int main(int argc, char** argv) {
       100.0 * localSucc / resolved, changes);
 
   // Dissemination still completes over the domain-sorted ring.
-  const auto overlay = cast::snapshotRing(network, cyclon, vicinity);
-  const cast::RingCastSelector ringCast;
-  cast::DisseminationParams params;
-  params.fanout = 3;
-  params.seed = 3;
-  const auto report = cast::disseminate(overlay, ringCast, 0, params);
+  auto session = scenario.snapshotSession(
+      {.strategy = Strategy::kRingCast, .fanout = 3, .seed = 3});
+  const auto report = session.publish(0);
   std::printf(
       "\nRingCast at fanout 3 notified %llu/%u nodes in %u hops over the "
       "domain-sorted ring.\n",

@@ -11,7 +11,7 @@
 #include <string>
 #include <vector>
 
-#include "cast/selector.hpp"
+#include "cast/strategy.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "pubsub/topic.hpp"
@@ -23,7 +23,7 @@ using namespace vs07;
 int main(int argc, char** argv) {
   CliParser parser("Topic-based pub/sub over per-topic RingCast overlays.");
   parser.option("nodes", "population size (default 400)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
 
   const auto nodes =
@@ -52,15 +52,14 @@ int main(int argc, char** argv) {
 
   std::printf("%-10s %-12s %-10s %-10s %-9s %-8s\n", "topic",
               "subscribers", "notified", "complete", "last-hop", "msgs");
-  const cast::RingCastSelector ringCast;
   for (const auto& name : pubsub.topicNames()) {
     auto& topic = pubsub.topic(name);
     // Publish from the lowest-id subscriber.
     NodeId origin = kNoNode;
     for (NodeId id = 0; id < nodes && origin == kNoNode; ++id)
       if (topic.isSubscribed(id)) origin = id;
-    const auto report = topic.publish(origin, ringCast, /*fanout=*/3,
-                                      /*seed=*/rng());
+    const auto report = topic.publish(origin, cast::Strategy::kRingCast,
+                                      /*fanout=*/3, /*seed=*/rng());
     std::printf("%-10s %-12u %-10llu %-10s %-9u %-8llu\n", name.c_str(),
                 topic.subscriberCount(),
                 static_cast<unsigned long long>(report.notified),
@@ -80,7 +79,8 @@ int main(int argc, char** argv) {
   NodeId origin = kNoNode;
   for (NodeId id = 0; id < nodes && origin == kNoNode; ++id)
     if (sports.isSubscribed(id)) origin = id;
-  const auto report = sports.publish(origin, ringCast, 3, rng());
+  const auto report =
+      sports.publish(origin, cast::Strategy::kRingCast, 3, rng());
   std::printf(
       "sports now has %u subscribers; next event reached %llu (%s)\n",
       sports.subscriberCount(),

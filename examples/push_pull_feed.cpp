@@ -7,49 +7,28 @@
 #include <cstdio>
 #include <vector>
 
-#include "cast/live.hpp"
+#include "analysis/scenario.hpp"
 #include "common/cli.hpp"
-#include "gossip/cyclon.hpp"
-#include "gossip/vicinity.hpp"
-#include "net/transport.hpp"
-#include "sim/bootstrap.hpp"
-#include "sim/engine.hpp"
-#include "sim/failures.hpp"
-#include "sim/network.hpp"
-#include "sim/router.hpp"
 
 using namespace vs07;
+using cast::Strategy;
 
 int main(int argc, char** argv) {
   CliParser parser("Live push+pull feed (paper §8 future work).");
   parser.option("nodes", "population size (default 1000)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto nodes =
       static_cast<std::uint32_t>(args->getUint("nodes", 1000));
 
-  sim::Network network(nodes, 61);
-  sim::MessageRouter router(network);
-  net::ImmediateTransport transport(
-      [&router](NodeId to, const net::Message& m) { router.deliver(to, m); });
-  gossip::Cyclon cyclon(network, transport, router, {20, 8}, 62);
-  gossip::Vicinity vicinity(network, transport, router, cyclon, {}, 63);
-
-  cast::LiveCast::Params liveParams;
-  liveParams.fanout = 2;        // deliberately minimal push redundancy
-  liveParams.pullInterval = 1;  // anti-entropy every cycle
-  cast::LiveCast live(network, transport, router, cyclon, &vicinity,
-                      liveParams, 64);
-
-  sim::Engine engine(network, 65);
-  engine.addProtocol(cyclon);
-  engine.addProtocol(vicinity);
-  engine.addProtocol(live);
-  sim::bootstrapStar(network, cyclon);
-  engine.run(100);
+  // A warmed-up scenario plus one live push+pull session: fanout 2 keeps
+  // push redundancy deliberately minimal, anti-entropy runs every cycle.
+  auto scenario = analysis::Scenario::paperStatic(nodes, /*seed=*/61);
+  auto& feed = scenario.liveSession(
+      {.strategy = Strategy::kPushPull, .fanout = 2, .pullInterval = 1});
   std::printf("feed network of %u nodes ready (fanout %u, pull every "
               "cycle)\n\n",
-              nodes, liveParams.fanout);
+              nodes, feed.options().fanout);
 
   std::printf("%-6s %-10s %-14s %-14s %-12s\n", "item", "alive",
               "miss% at push", "miss% +2 cyc", "pull deliveries");
@@ -59,31 +38,30 @@ int main(int argc, char** argv) {
     // Item 4 coincides with a sudden outage of 15% of the network; the
     // overlay gets no healing time before the push (worst case, §7.2).
     if (item == 4) {
-      Rng killRng(67);
-      sim::killRandomFraction(network, 0.15, killRng);
+      scenario.killRandomFraction(0.15);
       std::printf("  -- outage: 15%% of nodes fail --\n");
     }
-    const NodeId origin = network.randomAlive(rng);
-    const auto id = live.publish(origin);
+    const NodeId origin = scenario.network().randomAlive(rng);
+    const auto pushReport = feed.publish(origin);
+    const auto id = feed.lastDataId();
     items.push_back(id);
-    const double missAtPush = live.missRatioPercentNow(id);
-    engine.run(2);
+    scenario.runCycles(2);
+    const auto settled = feed.report(id);
     std::printf("%-6d %-10u %-14.3f %-14.3f %-12llu\n", item,
-                network.aliveCount(), missAtPush,
-                live.missRatioPercentNow(id),
-                static_cast<unsigned long long>(
-                    live.stats(id).pullDelivered));
+                scenario.network().aliveCount(),
+                pushReport.missRatioPercent(), settled.missRatioPercent(),
+                static_cast<unsigned long long>(settled.pullDelivered));
   }
 
-  engine.run(5);
+  scenario.runCycles(5);
   std::printf("\nfinal state after 5 more cycles:\n");
-  for (std::size_t i = 0; i < items.size(); ++i)
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto report = feed.report(items[i]);
     std::printf("  item %zu: miss %.4f%%, %llu of %llu deliveries via pull\n",
-                i + 1, live.missRatioPercentNow(items[i]),
-                static_cast<unsigned long long>(
-                    live.stats(items[i]).pullDelivered),
-                static_cast<unsigned long long>(
-                    live.stats(items[i]).delivered()));
+                i + 1, report.missRatioPercent(),
+                static_cast<unsigned long long>(report.pullDelivered),
+                static_cast<unsigned long long>(report.notified));
+  }
   std::printf(
       "\npush does the bulk instantly; pull erases the misses the outage "
       "caused — the reliability improvement the paper's §8 anticipates.\n");

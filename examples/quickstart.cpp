@@ -1,57 +1,48 @@
 // Quickstart: build a RINGCAST system, let it self-organise, and
-// disseminate a message — the complete public-API tour in ~60 lines of
-// application code.
+// disseminate a message — the complete public-API tour.
 //
 //   $ ./quickstart [--nodes 1000]
 //
 // Steps:
-//   1. ProtocolStack wires network + CYCLON (r-links) + VICINITY (d-links).
-//   2. warmup() bootstraps a star and runs 100 gossip cycles.
-//   3. snapshotRing() freezes the overlay; disseminate() multicasts.
+//   1. Scenario::builder() wires network + CYCLON (r-links) + VICINITY
+//      (d-links) and runs the paper's star bootstrap + 100 warm-up cycles.
+//   2. snapshotSession() freezes the overlay; publish() multicasts.
+//   3. The same DeliveryReport API compares RANDCAST on the same network.
 #include <cstdio>
 
 #include "analysis/graph_analysis.hpp"
-#include "analysis/stack.hpp"
-#include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
+#include "analysis/scenario.hpp"
 #include "common/cli.hpp"
 
 using namespace vs07;
+using cast::Strategy;
 
 int main(int argc, char** argv) {
   CliParser parser("RingCast quickstart: one dissemination, step by step.");
   parser.option("nodes", "population size (default 1000)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
+  const auto nodes = static_cast<std::uint32_t>(args->getUint("nodes", 1000));
 
-  // 1. Build the stack: every node runs CYCLON (random partial view) and
-  //    VICINITY (converges its view to the ring neighbours).
-  analysis::StackConfig config;
-  config.nodes = static_cast<std::uint32_t>(args->getUint("nodes", 1000));
-  config.seed = 2007;  // Middleware 2007
-  analysis::ProtocolStack stack(config);
-
-  // 2. Self-organise: star bootstrap, then 100 cycles of gossip.
-  std::printf("self-organising %u nodes from a star topology...\n",
-              config.nodes);
-  stack.warmup();
+  // 1. One builder call wires and self-organises the whole system: every
+  //    node runs CYCLON (random partial view) and VICINITY (converges its
+  //    view to the ring neighbours).
+  std::printf("self-organising %u nodes from a star topology...\n", nodes);
+  auto scenario =  // seed 2007: Middleware 2007
+      analysis::Scenario::builder().nodes(nodes).seed(2007).build();
 
   const auto convergence =
-      analysis::ringConvergence(stack.network(), stack.vicinity());
+      analysis::ringConvergence(scenario.network(), scenario.vicinity());
   std::printf("ring converged: %.1f%% of nodes know both true neighbours\n",
               100.0 * convergence.bothAccuracy);
 
-  // 3. Freeze the overlay and disseminate from node 0 with fanout 3:
+  // 2. Freeze the overlay and disseminate from node 0 with fanout 3:
   //    each node forwards to its 2 ring neighbours + 1 random peer.
-  const auto overlay = stack.snapshotRing();
-  const cast::RingCastSelector ringCast;
-  cast::DisseminationParams params;
-  params.fanout = 3;
-  params.seed = 1;
-  const auto report = cast::disseminate(overlay, ringCast, /*origin=*/0,
-                                        params);
+  auto ringCast = scenario.snapshotSession(
+      {.strategy = Strategy::kRingCast, .fanout = 3, .seed = 1});
+  const auto report = ringCast.publish(/*origin=*/0);
 
-  std::printf("\ndissemination from node 0 (fanout %u):\n", params.fanout);
+  std::printf("\ndissemination from node 0 (fanout %u):\n", report.fanout);
   std::printf("  notified  : %llu / %llu nodes (miss ratio %.4f%%)\n",
               static_cast<unsigned long long>(report.notified),
               static_cast<unsigned long long>(report.aliveTotal),
@@ -71,10 +62,10 @@ int main(int argc, char** argv) {
                 report.percentNotReachedAfterHop(
                     static_cast<std::uint32_t>(hop)));
 
-  // Contrast with pure RANDCAST at the same fanout on the same network.
-  const cast::RandCastSelector randCast;
-  const auto randReport = cast::disseminate(stack.snapshotRandom(), randCast,
-                                            0, params);
+  // 3. Contrast with pure RANDCAST at the same fanout on the same network.
+  auto randCast = scenario.snapshotSession(
+      {.strategy = Strategy::kRandCast, .fanout = 3, .seed = 1});
+  const auto randReport = randCast.publish(0);
   std::printf(
       "\nfor comparison, RandCast at the same fanout missed %llu nodes "
       "(%.4f%%).\n",

@@ -13,12 +13,12 @@
 #include <cstdio>
 
 #include "analysis/experiment.hpp"
-#include "analysis/stack.hpp"
-#include "cast/selector.hpp"
+#include "analysis/scenario.hpp"
 #include "common/cli.hpp"
 #include "common/histogram.hpp"
 
 using namespace vs07;
+using cast::Strategy;
 
 int main(int argc, char** argv) {
   CliParser parser(
@@ -27,36 +27,30 @@ int main(int argc, char** argv) {
   parser.option("nodes", "population size (default 800)")
       .option("churn", "churn rate per cycle (default 0.005)")
       .option("pushes", "number of update pushes (default 50)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
 
-  analysis::StackConfig config;
-  config.nodes = static_cast<std::uint32_t>(args->getUint("nodes", 800));
-  config.seed = 20070101;
+  const auto nodes =
+      static_cast<std::uint32_t>(args->getUint("nodes", 800));
   const double churnRate = args->getDouble("churn", 0.005);
   const auto pushes =
       static_cast<std::uint32_t>(args->getUint("pushes", 50));
 
-  std::printf("fleet of %u machines; churn %.2f%%/cycle\n", config.nodes,
+  std::printf("fleet of %u machines; churn %.2f%%/cycle\n", nodes,
               churnRate * 100.0);
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
   std::printf("running churn until the original fleet is fully replaced");
-  const auto cycles = stack.runChurnUntilFullTurnover(churnRate, 100'000);
+  auto scenario = analysis::Scenario::paperChurn(churnRate, nodes,
+                                                 /*seed=*/20070101,
+                                                 /*maxChurnCycles=*/100'000);
   std::printf(" ... %llu cycles\n\n",
-              static_cast<unsigned long long>(cycles));
-
-  const auto now = stack.engine().cycle();
-  const auto overlay = stack.snapshotRing();
-  const cast::RingCastSelector ringCast;
+              static_cast<unsigned long long>(scenario.churnCycles()));
 
   // Push `pushes` updates from random origins and classify the misses.
   const auto study = analysis::measureMissLifetimes(
-      overlay, ringCast, stack.network(), now, /*fanout=*/3, pushes,
-      /*seed=*/7);
+      scenario, Strategy::kRingCast, /*fanout=*/3, pushes, /*seed=*/7);
 
   std::printf("pushed %u updates at fanout 3 over %u machines:\n", pushes,
-              overlay.aliveCount());
+              scenario.network().aliveCount());
   std::printf("  avg delivery   : %.4f%% of fleet per push\n",
               100.0 - study.effectiveness.avgMissPercent);
   std::printf("  total misses   : %llu machine-updates\n",

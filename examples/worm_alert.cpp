@@ -10,34 +10,12 @@
 //   $ ./worm_alert [--nodes 2000] [--fanout 3]
 #include <cstdio>
 
-#include "analysis/stack.hpp"
-#include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
+#include "analysis/experiment.hpp"
+#include "analysis/scenario.hpp"
 #include "common/cli.hpp"
-#include "sim/failures.hpp"
 
 using namespace vs07;
-
-namespace {
-
-double averageMissPercent(const cast::OverlaySnapshot& overlay,
-                          const cast::TargetSelector& selector,
-                          std::uint32_t fanout, Rng& rng) {
-  constexpr int kAlerts = 20;
-  double missSum = 0.0;
-  for (int alert = 0; alert < kAlerts; ++alert) {
-    const NodeId origin =
-        overlay.aliveIds()[rng.below(overlay.aliveIds().size())];
-    cast::DisseminationParams params;
-    params.fanout = fanout;
-    params.seed = rng();
-    missSum +=
-        cast::disseminate(overlay, selector, origin, params).missRatioPercent();
-  }
-  return missSum / kAlerts;
-}
-
-}  // namespace
+using cast::Strategy;
 
 int main(int argc, char** argv) {
   CliParser parser(
@@ -45,23 +23,19 @@ int main(int argc, char** argv) {
       "degrades, no time to self-heal.");
   parser.option("nodes", "population size (default 2000)")
       .option("fanout", "alert fanout (default 3)");
-  const auto args = parser.parse(argc, argv);
+  const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
 
-  analysis::StackConfig config;
-  config.nodes = static_cast<std::uint32_t>(args->getUint("nodes", 2000));
-  config.seed = 1337;
+  const auto nodes =
+      static_cast<std::uint32_t>(args->getUint("nodes", 2000));
   const auto fanout =
       static_cast<std::uint32_t>(args->getUint("fanout", 3));
+  constexpr std::uint32_t kAlerts = 20;
 
-  std::printf("deploying %u sensor nodes...\n", config.nodes);
-  analysis::ProtocolStack stack(config);
-  stack.warmup();
+  std::printf("deploying %u sensor nodes...\n", nodes);
+  auto scenario = analysis::Scenario::paperStatic(nodes, /*seed=*/1337);
 
-  const cast::RandCastSelector randCast;
-  const cast::RingCastSelector ringCast;
   Rng rng(99);
-
   std::printf(
       "\nworm spreading; alert waves at increasing damage (fanout %u):\n\n"
       "%-12s %-10s %-22s %-22s\n",
@@ -71,17 +45,17 @@ int main(int argc, char** argv) {
   double cumulativeKill = 0.0;
   for (const double killStep : {0.0, 0.01, 0.02, 0.02, 0.05, 0.10}) {
     if (killStep > 0.0) {
-      Rng killRng(rng());
-      sim::killRandomFraction(stack.network(), killStep, killRng);
+      scenario.killRandomFraction(killStep);
       cumulativeKill += killStep;
     }
     // Freeze the damaged overlay: the worm outpaces view repair.
-    const auto randMiss = averageMissPercent(stack.snapshotRandom(), randCast,
-                                             fanout, rng);
-    const auto ringMiss = averageMissPercent(stack.snapshotRing(), ringCast,
-                                             fanout, rng);
+    const auto randMiss = analysis::measureEffectiveness(
+        scenario, Strategy::kRandCast, fanout, kAlerts, rng());
+    const auto ringMiss = analysis::measureEffectiveness(
+        scenario, Strategy::kRingCast, fanout, kAlerts, rng());
     std::printf("%-12.0f %-10u %-22.4f %-22.4f\n", cumulativeKill * 100.0,
-                stack.network().aliveCount(), randMiss, ringMiss);
+                scenario.network().aliveCount(), randMiss.avgMissPercent,
+                ringMiss.avgMissPercent);
   }
 
   std::printf(

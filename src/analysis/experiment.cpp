@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/scenario.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 
@@ -16,7 +17,7 @@ class EffectivenessAccumulator {
     point_.fanout = fanout;
   }
 
-  void add(const cast::DisseminationReport& report) {
+  void add(const cast::DeliveryReport& report) {
     ++point_.runs;
     missSum_ += report.missRatioPercent();
     completeRuns_ += report.complete() ? 1 : 0;
@@ -52,7 +53,7 @@ class EffectivenessAccumulator {
   double lastHopSum_ = 0.0;
 };
 
-cast::DisseminationReport runOnce(const cast::OverlaySnapshot& overlay,
+cast::DeliveryReport runOnce(const cast::OverlaySnapshot& overlay,
                                   const cast::TargetSelector& selector,
                                   std::uint32_t fanout, Rng& rng) {
   const NodeId origin =
@@ -79,6 +80,24 @@ EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
   return acc.finish();
 }
 
+EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
+                                        cast::Strategy strategy,
+                                        std::uint32_t fanout,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed) {
+  return measureEffectiveness(overlay, cast::selectorFor(strategy), fanout,
+                              runs, seed);
+}
+
+EffectivenessPoint measureEffectiveness(const Scenario& scenario,
+                                        cast::Strategy strategy,
+                                        std::uint32_t fanout,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed) {
+  return measureEffectiveness(scenario.snapshot(strategy), strategy, fanout,
+                              runs, seed);
+}
+
 std::vector<EffectivenessPoint> sweepEffectiveness(
     const cast::OverlaySnapshot& overlay, const cast::TargetSelector& selector,
     const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
@@ -92,6 +111,22 @@ std::vector<EffectivenessPoint> sweepEffectiveness(
   return points;
 }
 
+std::vector<EffectivenessPoint> sweepEffectiveness(
+    const cast::OverlaySnapshot& overlay, cast::Strategy strategy,
+    const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
+    std::uint64_t seed) {
+  return sweepEffectiveness(overlay, cast::selectorFor(strategy), fanouts,
+                            runs, seed);
+}
+
+std::vector<EffectivenessPoint> sweepEffectiveness(
+    const Scenario& scenario, cast::Strategy strategy,
+    const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
+    std::uint64_t seed) {
+  return sweepEffectiveness(scenario.snapshot(strategy), strategy, fanouts,
+                            runs, seed);
+}
+
 ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
                               const cast::TargetSelector& selector,
                               std::uint32_t fanout, std::uint32_t runs,
@@ -102,7 +137,7 @@ ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
   stats.runs = runs;
   Rng rng(seed);
 
-  std::vector<cast::DisseminationReport> reports;
+  std::vector<cast::DeliveryReport> reports;
   reports.reserve(runs);
   std::size_t maxHops = 0;
   for (std::uint32_t r = 0; r < runs; ++r) {
@@ -123,6 +158,20 @@ ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
     }
   }
   return stats;
+}
+
+ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
+                              cast::Strategy strategy, std::uint32_t fanout,
+                              std::uint32_t runs, std::uint64_t seed) {
+  return measureProgress(overlay, cast::selectorFor(strategy), fanout, runs,
+                         seed);
+}
+
+ProgressStats measureProgress(const Scenario& scenario,
+                              cast::Strategy strategy, std::uint32_t fanout,
+                              std::uint32_t runs, std::uint64_t seed) {
+  return measureProgress(scenario.snapshot(strategy), strategy, fanout, runs,
+                         seed);
 }
 
 CountHistogram lifetimeHistogram(const sim::Network& network,
@@ -152,6 +201,27 @@ MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
   }
   study.effectiveness = acc.finish();
   return study;
+}
+
+MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
+                                       cast::Strategy strategy,
+                                       const sim::Network& network,
+                                       std::uint64_t nowCycle,
+                                       std::uint32_t fanout,
+                                       std::uint32_t runs,
+                                       std::uint64_t seed) {
+  return measureMissLifetimes(overlay, cast::selectorFor(strategy), network,
+                              nowCycle, fanout, runs, seed);
+}
+
+MissLifetimeStudy measureMissLifetimes(const Scenario& scenario,
+                                       cast::Strategy strategy,
+                                       std::uint32_t fanout,
+                                       std::uint32_t runs,
+                                       std::uint64_t seed) {
+  return measureMissLifetimes(scenario.snapshot(strategy), strategy,
+                              scenario.network(), scenario.engine().cycle(),
+                              fanout, runs, seed);
 }
 
 }  // namespace vs07::analysis

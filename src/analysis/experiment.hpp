@@ -2,6 +2,11 @@
 // tests: fanout sweeps of dissemination effectiveness (Figs. 6/9/11),
 // per-hop progress aggregation (Figs. 7/10), message-overhead accounting
 // (Fig. 8), and lifetime bookkeeping for the churn study (Figs. 12/13).
+//
+// Each runner has three shapes, most convenient first:
+//   * (Scenario, Strategy, ...)       — snapshots the right overlay itself;
+//   * (OverlaySnapshot, Strategy, ...) — for hand-built overlays (§3 graphs);
+//   * (OverlaySnapshot, TargetSelector, ...) — the raw engine underneath.
 #pragma once
 
 #include <cstdint>
@@ -10,10 +15,13 @@
 #include "cast/disseminator.hpp"
 #include "cast/selector.hpp"
 #include "cast/snapshot.hpp"
+#include "cast/strategy.hpp"
 #include "common/histogram.hpp"
 #include "sim/network.hpp"
 
 namespace vs07::analysis {
+
+class Scenario;
 
 /// Aggregate outcome of `runs` disseminations at one fanout.
 struct EffectivenessPoint {
@@ -42,10 +50,28 @@ EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
                                         std::uint32_t fanout,
                                         std::uint32_t runs,
                                         std::uint64_t seed);
+EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
+                                        cast::Strategy strategy,
+                                        std::uint32_t fanout,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed);
+EffectivenessPoint measureEffectiveness(const Scenario& scenario,
+                                        cast::Strategy strategy,
+                                        std::uint32_t fanout,
+                                        std::uint32_t runs,
+                                        std::uint64_t seed);
 
 /// measureEffectiveness over a list of fanouts (one seed stream).
 std::vector<EffectivenessPoint> sweepEffectiveness(
     const cast::OverlaySnapshot& overlay, const cast::TargetSelector& selector,
+    const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
+    std::uint64_t seed);
+std::vector<EffectivenessPoint> sweepEffectiveness(
+    const cast::OverlaySnapshot& overlay, cast::Strategy strategy,
+    const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
+    std::uint64_t seed);
+std::vector<EffectivenessPoint> sweepEffectiveness(
+    const Scenario& scenario, cast::Strategy strategy,
     const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
     std::uint64_t seed);
 
@@ -63,6 +89,12 @@ ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
                               const cast::TargetSelector& selector,
                               std::uint32_t fanout, std::uint32_t runs,
                               std::uint64_t seed);
+ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
+                              cast::Strategy strategy, std::uint32_t fanout,
+                              std::uint32_t runs, std::uint64_t seed);
+ProgressStats measureProgress(const Scenario& scenario,
+                              cast::Strategy strategy, std::uint32_t fanout,
+                              std::uint32_t runs, std::uint64_t seed);
 
 /// Lifetime (in cycles) of every alive node at `nowCycle` — Fig. 12.
 CountHistogram lifetimeHistogram(const sim::Network& network,
@@ -80,6 +112,17 @@ MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
                                        const cast::TargetSelector& selector,
                                        const sim::Network& network,
                                        std::uint64_t nowCycle,
+                                       std::uint32_t fanout,
+                                       std::uint32_t runs, std::uint64_t seed);
+MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
+                                       cast::Strategy strategy,
+                                       const sim::Network& network,
+                                       std::uint64_t nowCycle,
+                                       std::uint32_t fanout,
+                                       std::uint32_t runs, std::uint64_t seed);
+/// `nowCycle` is the scenario's current engine cycle.
+MissLifetimeStudy measureMissLifetimes(const Scenario& scenario,
+                                       cast::Strategy strategy,
                                        std::uint32_t fanout,
                                        std::uint32_t runs, std::uint64_t seed);
 

@@ -1,0 +1,314 @@
+#include "analysis/scenario.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+#include "sim/bootstrap.hpp"
+#include "sim/failures.hpp"
+
+namespace vs07::analysis {
+
+namespace {
+
+/// Ticks a delayed dissemination transport once per engine cycle, so
+/// in-flight LiveSession traffic advances with simulated time.
+class TransportPump final : public sim::Control {
+ public:
+  explicit TransportPump(net::DelayedTransport& transport)
+      : transport_(transport) {}
+  void execute(std::uint64_t /*cycle*/) override { transport_.tick(); }
+
+ private:
+  net::DelayedTransport& transport_;
+};
+
+}  // namespace
+
+/// All the wiring, heap-allocated so Scenario moves cheaply and the
+/// this-capturing delivery lambdas stay valid. Member order mirrors the
+/// construction dependencies (and the former ProtocolStack, preserving
+/// its seed derivation so results stay reproducible across the refactor).
+struct Scenario::Core {
+  Config config;
+  sim::Network network;
+  sim::MessageRouter router;
+  net::ImmediateTransport transport;
+  std::unique_ptr<net::DelayedTransport> delayed;
+  std::unique_ptr<net::LossyTransport> lossy;
+  gossip::Cyclon cyclon;
+  gossip::MultiRing rings;
+  sim::Engine engine;
+  std::unique_ptr<TransportPump> pump;
+  std::unique_ptr<sim::ChurnControl> churn;
+  std::unique_ptr<sim::SessionChurnControl> sessionChurn;
+  std::unique_ptr<cast::LiveSession> live;
+  Rng killRng;
+  std::uint64_t churnCycles = 0;
+  double installedChurnRate = 0.0;
+
+  explicit Core(const Config& c)
+      : config(c),
+        network(c.nodes, mix64(c.seed ^ 0x6E6F646573ULL)),
+        router(network),
+        transport([this](NodeId to, const net::Message& m) {
+          router.deliver(to, m);
+        }),
+        cyclon(network, transport, router, c.cyclon,
+               mix64(c.seed ^ 0x6379636CULL)),
+        rings(network, transport, router, cyclon, c.vicinity, c.rings,
+              mix64(c.seed ^ 0x72696E67ULL)),
+        engine(network, mix64(c.seed ^ 0x656E67ULL)),
+        killRng(mix64(c.seed ^ 0xFA11EDULL)) {
+    engine.addProtocol(cyclon);
+    engine.addProtocol(rings);
+    if (c.delayedTransport) {
+      delayed = std::make_unique<net::DelayedTransport>(
+          [this](NodeId to, const net::Message& m) { router.deliver(to, m); },
+          c.minLatencyTicks, c.maxLatencyTicks,
+          mix64(c.seed ^ 0x64656C6179ULL));
+      pump = std::make_unique<TransportPump>(*delayed);
+      engine.addControl(*pump);
+    }
+    if (c.dropProbability > 0.0) {
+      net::Transport& base = delayed ? static_cast<net::Transport&>(*delayed)
+                                     : transport;
+      lossy = std::make_unique<net::LossyTransport>(
+          base, c.dropProbability, mix64(c.seed ^ 0x6C6F7373ULL));
+    }
+  }
+
+  net::Transport& castTransport() {
+    if (lossy) return *lossy;
+    if (delayed) return *delayed;
+    return transport;
+  }
+
+  void installChurn(double rate) {
+    VS07_EXPECT(!sessionChurn && "scenario already churns by session length");
+    if (churn) {
+      // Never silently keep churning at a different rate than asked for.
+      VS07_EXPECT(rate == installedChurnRate &&
+                  "churn already installed at a different rate");
+      return;
+    }
+    churn = std::make_unique<sim::ChurnControl>(
+        network, rate, mix64(config.seed ^ 0x636875726EULL));
+    installedChurnRate = rate;
+    churn->addJoinHandler(cyclon);
+    churn->addJoinHandler(rings);
+    engine.addControl(*churn);
+  }
+
+  void installSessionChurn(const sim::SessionDistribution& distribution) {
+    VS07_EXPECT(!churn && "scenario already churns per cycle");
+    if (sessionChurn) return;
+    sessionChurn = std::make_unique<sim::SessionChurnControl>(
+        network, distribution, mix64(config.seed ^ 0x636875726EULL));
+    sessionChurn->addJoinHandler(cyclon);
+    sessionChurn->addJoinHandler(rings);
+    engine.addControl(*sessionChurn);
+  }
+};
+
+Scenario::Scenario(const Config& config)
+    : core_(std::make_unique<Core>(config)) {}
+
+Scenario::Scenario(Scenario&&) noexcept = default;
+Scenario& Scenario::operator=(Scenario&&) noexcept = default;
+Scenario::~Scenario() = default;
+
+ScenarioBuilder Scenario::builder() { return ScenarioBuilder{}; }
+
+Scenario Scenario::paperStatic(std::uint32_t nodes, std::uint64_t seed) {
+  return builder().nodes(nodes).seed(seed).build();
+}
+
+Scenario Scenario::paperCatastrophic(double killFraction, std::uint32_t nodes,
+                                     std::uint64_t seed) {
+  Scenario scenario = builder().nodes(nodes).seed(seed).build();
+  scenario.killRandomFraction(killFraction);
+  return scenario;
+}
+
+Scenario Scenario::paperChurn(double rate, std::uint32_t nodes,
+                              std::uint64_t seed,
+                              std::uint64_t maxChurnCycles) {
+  Scenario scenario = builder().nodes(nodes).seed(seed).build();
+  scenario.runChurnUntilFullTurnover(rate, maxChurnCycles);
+  return scenario;
+}
+
+void Scenario::warmup() {
+  sim::bootstrapStar(core_->network, core_->cyclon, /*hub=*/0);
+  core_->engine.run(core_->config.warmupCycles);
+}
+
+void Scenario::runCycles(std::uint64_t cycles) { core_->engine.run(cycles); }
+
+std::uint64_t Scenario::runChurnUntilFullTurnover(double rate,
+                                                  std::uint64_t maxCycles) {
+  core_->installChurn(rate);
+  const auto ran = core_->engine.runUntil(
+      [this] { return core_->network.initialSurvivors() == 0; }, maxCycles);
+  core_->churnCycles += ran;
+  return ran;
+}
+
+std::uint64_t Scenario::churnCycles() const noexcept {
+  return core_->churnCycles;
+}
+
+std::vector<NodeId> Scenario::killRandomFraction(double fraction) {
+  return sim::killRandomFraction(core_->network, fraction, core_->killRng);
+}
+
+std::vector<NodeId> Scenario::killContiguousArc(double fraction) {
+  return sim::killContiguousArc(core_->network, fraction, core_->killRng);
+}
+
+const Scenario::Config& Scenario::config() const noexcept {
+  return core_->config;
+}
+sim::Network& Scenario::network() noexcept { return core_->network; }
+const sim::Network& Scenario::network() const noexcept {
+  return core_->network;
+}
+sim::Engine& Scenario::engine() noexcept { return core_->engine; }
+const sim::Engine& Scenario::engine() const noexcept { return core_->engine; }
+sim::MessageRouter& Scenario::router() noexcept { return core_->router; }
+gossip::Cyclon& Scenario::cyclon() noexcept { return core_->cyclon; }
+const gossip::Cyclon& Scenario::cyclon() const noexcept {
+  return core_->cyclon;
+}
+gossip::MultiRing& Scenario::rings() noexcept { return core_->rings; }
+const gossip::MultiRing& Scenario::rings() const noexcept {
+  return core_->rings;
+}
+const gossip::Vicinity& Scenario::vicinity() const {
+  return core_->rings.ring(0);
+}
+net::Transport& Scenario::castTransport() noexcept {
+  return core_->castTransport();
+}
+net::DelayedTransport* Scenario::delayedTransport() noexcept {
+  return core_->delayed.get();
+}
+
+cast::OverlaySnapshot Scenario::snapshot(cast::Strategy strategy) const {
+  switch (strategy) {
+    case cast::Strategy::kRandCast:
+      return snapshotRandom();
+    case cast::Strategy::kMultiRing:
+      return snapshotMultiRing();
+    case cast::Strategy::kFlood:
+    case cast::Strategy::kRingCast:
+    case cast::Strategy::kPushPull:
+      return snapshotRing();
+  }
+  VS07_EXPECT(false && "unknown Strategy");
+  return snapshotRing();  // unreachable
+}
+
+cast::OverlaySnapshot Scenario::snapshotRandom() const {
+  return cast::snapshotRandom(core_->network, core_->cyclon);
+}
+
+cast::OverlaySnapshot Scenario::snapshotRing() const {
+  return cast::snapshotRing(core_->network, core_->cyclon,
+                            core_->rings.ring(0));
+}
+
+cast::OverlaySnapshot Scenario::snapshotMultiRing() const {
+  return cast::snapshotMultiRing(core_->network, core_->cyclon, core_->rings);
+}
+
+cast::OverlaySnapshot Scenario::snapshotBand(std::uint32_t bandWidth) const {
+  return cast::snapshotBand(core_->network, core_->cyclon,
+                            core_->rings.ring(0), bandWidth);
+}
+
+cast::SnapshotSession Scenario::snapshotSession(
+    cast::CastOptions options) const {
+  return cast::SnapshotSession(snapshot(options.strategy), options);
+}
+
+cast::LiveSession& Scenario::liveSession(cast::CastOptions options) {
+  VS07_EXPECT(!core_->live &&
+              "one live session per scenario (it owns the Data routes)");
+  core_->live = std::make_unique<cast::LiveSession>(
+      core_->network, core_->castTransport(), core_->router, core_->engine,
+      core_->cyclon, &core_->rings.ring(0), &core_->rings, options);
+  return *core_->live;
+}
+
+// -- ScenarioBuilder -----------------------------------------------------
+
+ScenarioBuilder& ScenarioBuilder::nodes(std::uint32_t n) {
+  config_.nodes = n;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t s) {
+  config_.seed = s;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::rings(std::uint32_t count) {
+  config_.rings = count;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::warmupCycles(std::uint32_t cycles) {
+  config_.warmupCycles = cycles;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::cyclonParams(gossip::Cyclon::Params params) {
+  config_.cyclon = params;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::vicinityParams(
+    gossip::Vicinity::Params params) {
+  config_.vicinity = params;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::delayedTransport(
+    std::uint32_t minLatencyTicks, std::uint32_t maxLatencyTicks) {
+  VS07_EXPECT(minLatencyTicks <= maxLatencyTicks);
+  config_.delayedTransport = true;
+  config_.minLatencyTicks = minLatencyTicks;
+  config_.maxLatencyTicks = maxLatencyTicks;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::lossyTransport(double dropProbability) {
+  VS07_EXPECT(dropProbability >= 0.0 && dropProbability <= 1.0);
+  config_.dropProbability = dropProbability;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::churn(double ratePerCycle) {
+  VS07_EXPECT(ratePerCycle > 0.0 && ratePerCycle < 1.0);
+  VS07_EXPECT(!config_.sessionChurn && "pick one churn model");
+  config_.churnRate = ratePerCycle;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::sessionChurn(
+    sim::SessionDistribution distribution) {
+  VS07_EXPECT(config_.churnRate == 0.0 && "pick one churn model");
+  config_.sessionChurn = true;
+  config_.sessions = distribution;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::noWarmup() {
+  config_.warmOnBuild = false;
+  return *this;
+}
+
+Scenario ScenarioBuilder::build() {
+  VS07_EXPECT(config_.nodes >= 1);
+  Scenario scenario(config_);
+  if (config_.warmOnBuild) scenario.warmup();
+  // Churn starts only after the clean §7 self-organisation phase.
+  if (config_.sessionChurn)
+    scenario.core_->installSessionChurn(config_.sessions);
+  else if (config_.churnRate > 0.0)
+    scenario.core_->installChurn(config_.churnRate);
+  return scenario;
+}
+
+}  // namespace vs07::analysis

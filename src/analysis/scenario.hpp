@@ -1,0 +1,207 @@
+// Scenario — one fully wired simulated system behind a fluent builder.
+//
+// A Scenario composes everything an experiment needs: the population,
+// CYCLON (r-links), one-or-more VICINITY rings (d-links), the simulation
+// engine, the dissemination transport (immediate / delayed / lossy), and
+// an optional churn model; `build()` also runs the paper's §7 star
+// bootstrap + warm-up so the returned object is ready to disseminate.
+// Dissemination itself goes through cast::CastSession: snapshotSession()
+// freezes the overlay for the paper's §7.1 model, liveSession() runs
+// push (+ optional §8 pull) through the transport. Presets reproduce the
+// paper's three evaluation settings.
+//
+//   auto scenario = analysis::Scenario::builder()
+//                       .nodes(10'000).seed(42).build();
+//   auto session = scenario.snapshotSession(
+//       {.strategy = cast::Strategy::kRingCast, .fanout = 3});
+//   const auto report = session.publishFromRandom();
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cast/session.hpp"
+#include "cast/snapshot.hpp"
+#include "cast/strategy.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/multiring.hpp"
+#include "gossip/vicinity.hpp"
+#include "net/transport.hpp"
+#include "sim/churn.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/router.hpp"
+#include "sim/session_churn.hpp"
+
+namespace vs07::analysis {
+
+class ScenarioBuilder;
+
+/// A ready-to-run simulated system (see file comment). Movable value
+/// type; the wiring lives on the heap, so references into it (engine,
+/// network, live sessions) stay valid across moves.
+class Scenario {
+ public:
+  /// The knobs ScenarioBuilder sets (defaults = the paper's settings,
+  /// except the population size which each caller chooses).
+  struct Config {
+    std::uint32_t nodes = 10'000;
+    gossip::Cyclon::Params cyclon{};      ///< view 20 (the paper's cyc)
+    gossip::Vicinity::Params vicinity{};  ///< view 20 (the paper's vic)
+    /// Cycles of self-organisation from the star topology (§7: 100).
+    std::uint32_t warmupCycles = 100;
+    /// Number of VICINITY rings (1 = plain RINGCAST; >1 = §8 extension).
+    std::uint32_t rings = 1;
+    std::uint64_t seed = 42;
+    /// build() runs bootstrap + warm-up unless cleared (noWarmup()).
+    bool warmOnBuild = true;
+
+    // -- dissemination transport (gossip always runs on the paper's
+    //    immediate cycle model; these shape LiveSession traffic) --------
+    bool delayedTransport = false;
+    std::uint32_t minLatencyTicks = 1;
+    std::uint32_t maxLatencyTicks = 1;
+    /// Probability that a dissemination message is dropped (0 = none).
+    double dropProbability = 0.0;
+
+    // -- churn installed at build time (post-warm-up cycles churn) ------
+    double churnRate = 0.0;       ///< per-cycle replacement fraction
+    bool sessionChurn = false;    ///< heavy-tailed session-length model
+    sim::SessionDistribution sessions{};
+  };
+
+  static ScenarioBuilder builder();
+
+  // -- the paper's three evaluation settings as one-call presets --------
+
+  /// §7.1: static failure-free network, warmed up.
+  static Scenario paperStatic(std::uint32_t nodes = 10'000,
+                              std::uint64_t seed = 42);
+  /// §7.2: warmed up, then `killFraction` of the population fails at
+  /// once with gossip stalled (no healing before dissemination).
+  static Scenario paperCatastrophic(double killFraction,
+                                    std::uint32_t nodes = 10'000,
+                                    std::uint64_t seed = 42);
+  /// §7.3: warmed up, then churned at `rate` until the entire initial
+  /// population has been replaced (capped at `maxChurnCycles`); churn
+  /// keeps running during subsequent cycles.
+  static Scenario paperChurn(double rate = 0.002,
+                             std::uint32_t nodes = 10'000,
+                             std::uint64_t seed = 42,
+                             std::uint64_t maxChurnCycles = 50'000);
+
+  Scenario(Scenario&&) noexcept;
+  Scenario& operator=(Scenario&&) noexcept;
+  ~Scenario();
+
+  // -- the paper's §7 procedures ----------------------------------------
+
+  /// Star bootstrap + warm-up cycles (already done by build() unless
+  /// noWarmup() was requested).
+  void warmup();
+
+  /// Runs additional gossip cycles (under whatever churn is installed).
+  void runCycles(std::uint64_t cycles);
+
+  /// Continues gossiping under churn (per-cycle replacement `rate`) until
+  /// the entire initial population has been replaced at least once (§7.3)
+  /// or `maxCycles` elapse. Installs the churn control on first use.
+  /// Returns cycles run in this phase.
+  std::uint64_t runChurnUntilFullTurnover(double rate,
+                                          std::uint64_t maxCycles);
+
+  /// Cycles spent inside runChurnUntilFullTurnover so far.
+  std::uint64_t churnCycles() const noexcept;
+
+  // -- failure injection (§7.2; gossip is NOT stalled automatically —
+  //    simply don't run cycles before snapshotting) ---------------------
+
+  /// Kills round(fraction * alive) random nodes; returns their ids.
+  std::vector<NodeId> killRandomFraction(double fraction);
+  /// Kills a contiguous arc of the ring (the §5.1 adversarial case).
+  std::vector<NodeId> killContiguousArc(double fraction);
+
+  // -- access ------------------------------------------------------------
+
+  const Config& config() const noexcept;
+  sim::Network& network() noexcept;
+  const sim::Network& network() const noexcept;
+  sim::Engine& engine() noexcept;
+  const sim::Engine& engine() const noexcept;
+  sim::MessageRouter& router() noexcept;
+  gossip::Cyclon& cyclon() noexcept;
+  const gossip::Cyclon& cyclon() const noexcept;
+  gossip::MultiRing& rings() noexcept;
+  const gossip::MultiRing& rings() const noexcept;
+  /// Ring 0's VICINITY instance (the RINGCAST ring).
+  const gossip::Vicinity& vicinity() const;
+  /// The transport dissemination traffic rides on (immediate unless the
+  /// builder chose delayed/lossy; gossip always uses the cycle model).
+  net::Transport& castTransport() noexcept;
+  /// Non-null when the builder chose a delayed transport (tick/drain).
+  net::DelayedTransport* delayedTransport() noexcept;
+
+  // -- frozen overlays ---------------------------------------------------
+
+  /// The overlay snapshot `strategy` disseminates over: r-links only for
+  /// kRandCast, + single-ring d-links for kRingCast/kPushPull/kFlood,
+  /// + the union of all rings for kMultiRing.
+  cast::OverlaySnapshot snapshot(cast::Strategy strategy) const;
+  cast::OverlaySnapshot snapshotRandom() const;
+  cast::OverlaySnapshot snapshotRing() const;
+  cast::OverlaySnapshot snapshotMultiRing() const;
+  /// Harary band of width `w` as d-links (§8 extension).
+  cast::OverlaySnapshot snapshotBand(std::uint32_t bandWidth) const;
+
+  // -- dissemination sessions -------------------------------------------
+
+  /// Freezes the overlay for `options.strategy` now and returns a
+  /// snapshot-path session over it (the paper's §7.1 model).
+  cast::SnapshotSession snapshotSession(cast::CastOptions options = {}) const;
+
+  /// Creates (once) the transport-driven session; the Scenario owns it.
+  /// Engine cycles from now on also run its pull heartbeat.
+  cast::LiveSession& liveSession(cast::CastOptions options = {});
+
+ private:
+  friend class ScenarioBuilder;
+  struct Core;
+  explicit Scenario(const Config& config);
+
+  std::unique_ptr<Core> core_;
+};
+
+/// Fluent composer of Scenarios. Every setter returns *this; build()
+/// wires the system and (by default) runs the paper's warm-up.
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& nodes(std::uint32_t n);
+  ScenarioBuilder& seed(std::uint64_t s);
+  ScenarioBuilder& rings(std::uint32_t count);
+  ScenarioBuilder& warmupCycles(std::uint32_t cycles);
+  ScenarioBuilder& cyclonParams(gossip::Cyclon::Params params);
+  ScenarioBuilder& vicinityParams(gossip::Vicinity::Params params);
+
+  /// Dissemination messages take a uniform-random [min,max] tick latency.
+  ScenarioBuilder& delayedTransport(std::uint32_t minLatencyTicks,
+                                    std::uint32_t maxLatencyTicks);
+  /// Dissemination messages are dropped with probability `p` (composes
+  /// with delayedTransport: drop happens before the delay queue).
+  ScenarioBuilder& lossyTransport(double dropProbability);
+
+  /// Per-cycle replacement churn (§7.3's model) from build() onwards.
+  ScenarioBuilder& churn(double ratePerCycle);
+  /// Heavy-tailed session-length churn instead (bounded Pareto).
+  ScenarioBuilder& sessionChurn(sim::SessionDistribution distribution);
+
+  /// Skip the §7 bootstrap+warm-up; call Scenario::warmup() manually.
+  ScenarioBuilder& noWarmup();
+
+  Scenario build();
+
+ private:
+  Scenario::Config config_;
+};
+
+}  // namespace vs07::analysis

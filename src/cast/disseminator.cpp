@@ -6,25 +6,14 @@
 
 namespace vs07::cast {
 
-double DisseminationReport::percentNotReachedAfterHop(
-    std::uint32_t hop) const noexcept {
-  if (aliveTotal == 0) return 0.0;
-  std::uint64_t reached = 0;
-  for (std::uint32_t h = 0;
-       h < newlyNotifiedPerHop.size() && h <= hop; ++h)
-    reached += newlyNotifiedPerHop[h];
-  return 100.0 * static_cast<double>(aliveTotal - reached) /
-         static_cast<double>(aliveTotal);
-}
-
-DisseminationReport disseminate(const OverlaySnapshot& overlay,
-                                const TargetSelector& selector, NodeId origin,
-                                const DisseminationParams& params) {
+DeliveryReport disseminate(const OverlaySnapshot& overlay,
+                           const TargetSelector& selector, NodeId origin,
+                           const DisseminationParams& params) {
   VS07_EXPECT(origin < overlay.totalIds());
   VS07_EXPECT(overlay.isAlive(origin));
   VS07_EXPECT(params.fanout >= 1);
 
-  DisseminationReport report;
+  DeliveryReport report;
   report.fanout = params.fanout;
   report.origin = origin;
   report.aliveTotal = overlay.aliveCount();
@@ -87,6 +76,7 @@ DisseminationReport disseminate(const OverlaySnapshot& overlay,
 
   for (const NodeId id : overlay.aliveIds())
     if (!notified[id]) report.missed.push_back(id);
+  report.pushDelivered = report.notified;
   VS07_ENSURE(report.notified + report.missed.size() == report.aliveTotal);
   VS07_ENSURE(report.messagesTotal == report.messagesVirgin +
                                           report.messagesRedundant +

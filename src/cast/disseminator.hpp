@@ -1,4 +1,4 @@
-// Hop-synchronous dissemination engine and its measurement report.
+// Hop-synchronous dissemination engine over frozen overlays.
 //
 // Reproduces the paper's dissemination model (§7): the origin's send is
 // hop 1's deliveries; each hop, every node that was first notified in the
@@ -6,11 +6,15 @@
 // is assumed — the paper argues (and §7.1 verifies) this does not change
 // any macroscopic metric. Nodes forward a message exactly once (first
 // reception); duplicate receptions are counted as redundant overhead.
+//
+// This is the internal engine behind cast::SnapshotSession — experiment
+// code should normally go through the Scenario/CastSession API
+// (analysis/scenario.hpp, cast/session.hpp) rather than call it directly.
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "cast/report.hpp"
 #include "cast/selector.hpp"
 #include "cast/snapshot.hpp"
 #include "common/rng.hpp"
@@ -28,56 +32,12 @@ struct DisseminationParams {
   bool recordLoad = false;
 };
 
-/// Everything measured during one dissemination (§2's metrics).
-struct DisseminationReport {
-  std::uint32_t fanout = 0;
-  NodeId origin = kNoNode;
-
-  /// Alive nodes at freeze time — the hit-ratio denominator.
-  std::uint64_t aliveTotal = 0;
-  /// Alive nodes that received (or originated) the message.
-  std::uint64_t notified = 0;
-
-  /// newlyNotifiedPerHop[h] = nodes first notified at hop h
-  /// (index 0 is the origin itself).
-  std::vector<std::uint64_t> newlyNotifiedPerHop;
-
-  /// Message overhead split (Fig. 8): total = virgin + redundant + toDead.
-  std::uint64_t messagesTotal = 0;
-  std::uint64_t messagesVirgin = 0;     ///< first delivery to an alive node
-  std::uint64_t messagesRedundant = 0;  ///< duplicate to an alive node
-  std::uint64_t messagesToDead = 0;     ///< absorbed by dead nodes
-
-  /// Hop at which the last node was notified (dissemination latency).
-  std::uint32_t lastHop = 0;
-
-  /// Alive nodes never notified (the misses behind Figs. 6/9/11/13).
-  std::vector<NodeId> missed;
-
-  /// Per-node load counters, sized totalIds; filled when recordLoad.
-  std::vector<std::uint32_t> forwardsPerNode;
-  std::vector<std::uint32_t> receivedPerNode;
-
-  bool complete() const noexcept { return notified == aliveTotal; }
-
-  /// Miss ratio in percent, the paper's headline metric
-  /// (MissRatio = 1 - HitRatio).
-  double missRatioPercent() const noexcept {
-    if (aliveTotal == 0) return 0.0;
-    return 100.0 *
-           static_cast<double>(aliveTotal - notified) /
-           static_cast<double>(aliveTotal);
-  }
-
-  /// Percentage of alive nodes *not yet* reached after `hop` completes —
-  /// the y-axis of Figs. 7/10.
-  double percentNotReachedAfterHop(std::uint32_t hop) const noexcept;
-};
-
 /// Runs one dissemination from `origin` (must be alive) over a frozen
-/// overlay. Deterministic given (overlay, selector, origin, params).
-DisseminationReport disseminate(const OverlaySnapshot& overlay,
-                                const TargetSelector& selector, NodeId origin,
-                                const DisseminationParams& params);
+/// overlay. Deterministic given (overlay, selector, origin, params). The
+/// returned report's `strategy` field is left at its default; sessions
+/// stamp it.
+DeliveryReport disseminate(const OverlaySnapshot& overlay,
+                           const TargetSelector& selector, NodeId origin,
+                           const DisseminationParams& params);
 
 }  // namespace vs07::cast

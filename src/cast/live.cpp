@@ -45,6 +45,10 @@ LiveCast::LiveCast(sim::Network& network, net::Transport& transport,
       vicinity_(vicinity),
       params_(params),
       rng_(seed) {
+  registerHandlers(router);
+}
+
+void LiveCast::registerHandlers(sim::MessageRouter& router) {
   VS07_EXPECT(params_.fanout >= 1);
   VS07_EXPECT(params_.digestLength >= 1);
   VS07_EXPECT(params_.bufferCapacity >= 1);
@@ -57,13 +61,15 @@ LiveCast::LiveCast(sim::Network& network, net::Transport& transport,
                [this](NodeId to, const net::Message& m) {
                  handlePullRequest(to, m);
                });
-  network.addObserver(*this);
+  network_.addObserver(*this);
 }
 
 void LiveCast::onSpawn(NodeId node) {
   if (node >= stores_.size()) {
     stores_.resize(node + 1, MessageStore(params_.bufferCapacity));
     stepCount_.resize(node + 1, 0);
+    forwardsPerNode_.resize(node + 1, 0);
+    receivedPerNode_.resize(node + 1, 0);
   }
   stores_[node] = MessageStore(params_.bufferCapacity);
   stepCount_[node] = 0;
@@ -74,9 +80,11 @@ void LiveCast::onKill(NodeId node) { stores_[node].clear(); }
 std::uint64_t LiveCast::publish(NodeId origin) {
   VS07_EXPECT(network_.isAlive(origin));
   const std::uint64_t dataId = nextDataId_++;
-  stats_[dataId] = LiveMessageStats{dataId, origin, 0, 0, 0};
+  auto& stats = stats_[dataId];
+  stats.dataId = dataId;
+  stats.origin = origin;
   deliveredTo_[dataId].assign(network_.totalCreated(), 0);
-  deliverLocally(origin, dataId, /*viaPull=*/false);
+  deliverLocally(origin, dataId, /*viaPull=*/false, /*hop=*/0);
   forward(origin, kNoNode, dataId, /*hop=*/0);
   drainOutbox();
   return dataId;
@@ -102,35 +110,44 @@ void LiveCast::step(NodeId self) {
 
 void LiveCast::handleData(NodeId self, const net::Message& msg) {
   const bool viaPull = (msg.flags & net::kFlagPullAnswer) != 0;
+  receivedPerNode_[self] += 1;
   auto& store = stores_[self];
   if (store.hasSeen(msg.dataId)) {
+    ++redundant_;
     auto it = stats_.find(msg.dataId);
     if (it != stats_.end()) ++it->second.redundantDeliveries;
     return;
   }
   store.remember(msg.dataId);
-  deliverLocally(self, msg.dataId, viaPull);
+  deliverLocally(self, msg.dataId, viaPull, msg.hop);
   forward(self, msg.from, msg.dataId, msg.hop);
 }
 
 void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
-                              bool viaPull) {
+                              bool viaPull, std::uint32_t hop) {
   stores_[self].remember(dataId);
   auto statsIt = stats_.find(dataId);
   if (statsIt == stats_.end()) return;  // unknown id: nothing to account
+  auto& stats = statsIt->second;
   auto& bitmap = deliveredTo_[dataId];
   if (bitmap.size() < network_.totalCreated())
     bitmap.resize(network_.totalCreated(), 0);
   if (bitmap[self]) {
     // Re-delivery after buffer eviction: the node already counted.
-    ++statsIt->second.redundantDeliveries;
+    ++redundant_;
+    ++stats.redundantDeliveries;
     return;
   }
   bitmap[self] = 1;
-  if (viaPull)
-    ++statsIt->second.pullDelivered;
-  else
-    ++statsIt->second.pushDelivered;
+  if (viaPull) {
+    ++stats.pullDelivered;
+  } else {
+    ++stats.pushDelivered;
+    if (stats.newlyNotifiedPerHop.size() <= hop)
+      stats.newlyNotifiedPerHop.resize(hop + 1, 0);
+    ++stats.newlyNotifiedPerHop[hop];
+    if (hop > stats.lastHop) stats.lastHop = hop;
+  }
 }
 
 void LiveCast::forward(NodeId self, NodeId receivedFrom,
@@ -144,24 +161,40 @@ void LiveCast::forward(NodeId self, NodeId receivedFrom,
     rlinks.push_back(e.node);
 
   std::vector<NodeId> targets;
-  if (vicinity_ != nullptr) {
-    const auto ring = vicinity_->ringNeighbors(self);
+  if (vicinity_ != nullptr || multiRing_ != nullptr) {
     std::vector<NodeId> dlinks;
-    if (ring.successor != kNoNode) dlinks.push_back(ring.successor);
-    if (ring.predecessor != kNoNode && ring.predecessor != ring.successor)
-      dlinks.push_back(ring.predecessor);
+    auto addNeighbors = [&dlinks](const gossip::RingNeighbors& ring) {
+      auto add = [&dlinks](NodeId n) {
+        if (n != kNoNode &&
+            std::find(dlinks.begin(), dlinks.end(), n) == dlinks.end())
+          dlinks.push_back(n);
+      };
+      add(ring.successor);
+      add(ring.predecessor);
+    };
+    if (multiRing_ != nullptr) {
+      for (const auto& ring : multiRing_->allRingNeighbors(self))
+        addNeighbors(ring);
+    } else {
+      addNeighbors(vicinity_->ringNeighbors(self));
+    }
     selectHybridTargets(rlinks, dlinks, self, receivedFrom, params_.fanout,
                         rng_, targets);
   } else {
     selectRandomTargets(rlinks, self, receivedFrom, params_.fanout, rng_,
                         targets);
   }
+  forwardsPerNode_[self] += static_cast<std::uint32_t>(targets.size());
   for (const NodeId target : targets)
     enqueueData(target, self, dataId, hop + 1, /*viaPull=*/false);
 }
 
 void LiveCast::enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
                            std::uint32_t hop, bool viaPull) {
+  if (auto it = stats_.find(dataId); it != stats_.end()) {
+    ++it->second.messagesSent;
+    if (!network_.isAlive(to)) ++it->second.messagesToDead;
+  }
   net::Message msg;
   msg.kind = net::MessageKind::Data;
   msg.from = from;

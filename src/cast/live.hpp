@@ -24,6 +24,7 @@
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "gossip/cyclon.hpp"
+#include "gossip/multiring.hpp"
 #include "gossip/vicinity.hpp"
 #include "net/transport.hpp"
 #include "sim/engine.hpp"
@@ -70,6 +71,15 @@ struct LiveMessageStats {
   /// Nodes that got it later through pull.
   std::uint64_t pullDelivered = 0;
   std::uint64_t redundantDeliveries = 0;
+  /// Data messages sent for this id (push forwards + pull answers).
+  std::uint64_t messagesSent = 0;
+  /// Of messagesSent: messages addressed to a node dead at send time.
+  std::uint64_t messagesToDead = 0;
+  /// Nodes first notified per push hop (index 0 = the origin); pull
+  /// deliveries are not hop-tagged and excluded.
+  std::vector<std::uint64_t> newlyNotifiedPerHop;
+  /// Highest push hop that notified a node.
+  std::uint32_t lastHop = 0;
 
   std::uint64_t delivered() const noexcept {
     return pushDelivered + pullDelivered;
@@ -96,7 +106,8 @@ class LiveCast final : public sim::CycleProtocol,
   };
 
   /// `vicinity` may be null: then forwarding is pure RANDCAST; otherwise
-  /// the hybrid Fig. 5 rule over the current ring neighbours is used.
+  /// the hybrid Fig. 5 rule over the current ring neighbours is used
+  /// (see useMultiRing for the §8 multi-ring d-link union).
   LiveCast(sim::Network& network, net::Transport& transport,
            sim::MessageRouter& router, const gossip::Cyclon& cyclon,
            const gossip::Vicinity* vicinity, Params params,
@@ -126,6 +137,10 @@ class LiveCast final : public sim::CycleProtocol,
     return stores_[node];
   }
 
+  /// Switches d-link selection to the union of `rings`' current
+  /// neighbours (§8 multi-ring forwarding). Call before publishing.
+  void useMultiRing(const gossip::MultiRing& rings) { multiRing_ = &rings; }
+
   /// Has `node` received message `dataId`?
   bool hasDelivered(std::uint64_t dataId, NodeId node) const;
 
@@ -138,13 +153,28 @@ class LiveCast final : public sim::CycleProtocol,
   std::uint64_t pullAnswersSent() const noexcept { return pullAnswers_; }
   /// Total Data messages sent by push forwarding.
   std::uint64_t pushMessagesSent() const noexcept { return pushSent_; }
+  /// Total redundant Data deliveries (duplicates to alive nodes).
+  std::uint64_t redundantDeliveries() const noexcept { return redundant_; }
+
+  /// Cumulative per-node load counters over every message so far, sized
+  /// Network::totalCreated(). Sessions diff them around a publish to
+  /// report load; under interleaved messages the attribution is
+  /// approximate by construction.
+  const std::vector<std::uint32_t>& forwardsPerNode() const noexcept {
+    return forwardsPerNode_;
+  }
+  const std::vector<std::uint32_t>& receivedPerNode() const noexcept {
+    return receivedPerNode_;
+  }
 
   const Params& params() const noexcept { return params_; }
 
  private:
+  void registerHandlers(sim::MessageRouter& router);
   void handleData(NodeId self, const net::Message& msg);
   void handlePullRequest(NodeId self, const net::Message& msg);
-  void deliverLocally(NodeId self, std::uint64_t dataId, bool viaPull);
+  void deliverLocally(NodeId self, std::uint64_t dataId, bool viaPull,
+                      std::uint32_t hop);
   void forward(NodeId self, NodeId receivedFrom, std::uint64_t dataId,
                std::uint32_t hop);
   void enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
@@ -157,11 +187,14 @@ class LiveCast final : public sim::CycleProtocol,
   net::Transport& transport_;
   const gossip::Cyclon& cyclon_;
   const gossip::Vicinity* vicinity_;
+  const gossip::MultiRing* multiRing_ = nullptr;
   Params params_;
   Rng rng_;
 
   std::vector<MessageStore> stores_;
   std::vector<std::uint64_t> stepCount_;
+  std::vector<std::uint32_t> forwardsPerNode_;
+  std::vector<std::uint32_t> receivedPerNode_;
   /// Per message: bitmap of nodes that have it (index = dataId order).
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> deliveredTo_;
   std::unordered_map<std::uint64_t, LiveMessageStats> stats_;
@@ -177,6 +210,7 @@ class LiveCast final : public sim::CycleProtocol,
   std::uint64_t pullsSent_ = 0;
   std::uint64_t pullAnswers_ = 0;
   std::uint64_t pushSent_ = 0;
+  std::uint64_t redundant_ = 0;
 };
 
 }  // namespace vs07::cast

@@ -1,0 +1,19 @@
+#include "cast/report.hpp"
+
+namespace vs07::cast {
+
+double DeliveryReport::percentNotReachedAfterHop(
+    std::uint32_t hop) const noexcept {
+  if (aliveTotal == 0) return 0.0;
+  std::uint64_t reached = 0;
+  for (std::uint32_t h = 0;
+       h < newlyNotifiedPerHop.size() && h <= hop; ++h)
+    reached += newlyNotifiedPerHop[h];
+  // Live reports measure aliveTotal *now* but the hop series at push
+  // time; churn/failures in between can make reached exceed it.
+  if (reached >= aliveTotal) return 0.0;
+  return 100.0 * static_cast<double>(aliveTotal - reached) /
+         static_cast<double>(aliveTotal);
+}
+
+}  // namespace vs07::cast

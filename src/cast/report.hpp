@@ -1,0 +1,74 @@
+// DeliveryReport — the one measurement record every dissemination
+// produces, whether it ran over a frozen snapshot (cast::disseminate) or
+// through the transport against live views (cast::LiveCast). It merges
+// the formerly separate DisseminationReport and LiveMessageStats: per-hop
+// coverage, miss ratio, the push/pull/redundant/to-dead message split,
+// and the per-node load counters, so experiment code aggregates one type
+// regardless of which execution path produced it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cast/strategy.hpp"
+#include "net/node_id.hpp"
+
+namespace vs07::cast {
+
+/// Everything measured about one message's dissemination (§2's metrics).
+struct DeliveryReport {
+  /// Which forwarding rule produced this report.
+  Strategy strategy = Strategy::kRingCast;
+  std::uint32_t fanout = 0;
+  NodeId origin = kNoNode;
+
+  /// Alive nodes at measurement time — the hit-ratio denominator.
+  std::uint64_t aliveTotal = 0;
+  /// Alive nodes that received (or originated) the message.
+  std::uint64_t notified = 0;
+  /// Of `notified`: nodes reached by the push wave (snapshot path: all).
+  std::uint64_t pushDelivered = 0;
+  /// Of `notified`: nodes backfilled later by anti-entropy pull.
+  std::uint64_t pullDelivered = 0;
+
+  /// newlyNotifiedPerHop[h] = nodes first notified at push hop h
+  /// (index 0 is the origin itself; pull deliveries are not hop-tagged).
+  std::vector<std::uint64_t> newlyNotifiedPerHop;
+
+  /// Message overhead split (Fig. 8): total = virgin + redundant + toDead.
+  std::uint64_t messagesTotal = 0;
+  std::uint64_t messagesVirgin = 0;     ///< first delivery to an alive node
+  std::uint64_t messagesRedundant = 0;  ///< duplicate to an alive node
+  std::uint64_t messagesToDead = 0;     ///< absorbed by dead nodes
+  /// PullRequest digests sent while this report was being measured
+  /// (live path only; the §8 pull-overhead numerator).
+  std::uint64_t pullRequests = 0;
+
+  /// Push hop at which the last node was notified (dissemination latency).
+  std::uint32_t lastHop = 0;
+
+  /// Alive nodes never notified (the misses behind Figs. 6/9/11/13).
+  std::vector<NodeId> missed;
+
+  /// Per-node load counters, sized totalIds; filled when load recording
+  /// was requested (empty otherwise).
+  std::vector<std::uint32_t> forwardsPerNode;
+  std::vector<std::uint32_t> receivedPerNode;
+
+  bool complete() const noexcept { return notified == aliveTotal; }
+
+  /// Miss ratio in percent, the paper's headline metric
+  /// (MissRatio = 1 - HitRatio).
+  double missRatioPercent() const noexcept {
+    if (aliveTotal == 0) return 0.0;
+    return 100.0 *
+           static_cast<double>(aliveTotal - notified) /
+           static_cast<double>(aliveTotal);
+  }
+
+  /// Percentage of alive nodes *not yet* reached after push hop `hop`
+  /// completes — the y-axis of Figs. 7/10.
+  double percentNotReachedAfterHop(std::uint32_t hop) const noexcept;
+};
+
+}  // namespace vs07::cast

@@ -1,0 +1,35 @@
+#include "cast/strategy.hpp"
+
+#include "cast/selector.hpp"
+#include "common/expect.hpp"
+
+namespace vs07::cast {
+
+std::string_view strategyName(Strategy strategy) noexcept {
+  switch (strategy) {
+    case Strategy::kFlood: return "Flood";
+    case Strategy::kRandCast: return "RandCast";
+    case Strategy::kRingCast: return "RingCast";
+    case Strategy::kMultiRing: return "MultiRingCast";
+    case Strategy::kPushPull: return "PushPull";
+  }
+  return "?";
+}
+
+const TargetSelector& selectorFor(Strategy strategy) {
+  static const FloodSelector flood;
+  static const RandCastSelector randCast;
+  static const RingCastSelector ringCast;
+  static const MultiRingCastSelector multiRing;
+  switch (strategy) {
+    case Strategy::kFlood: return flood;
+    case Strategy::kRandCast: return randCast;
+    case Strategy::kRingCast: return ringCast;
+    case Strategy::kMultiRing: return multiRing;
+    case Strategy::kPushPull: return ringCast;  // the push component
+  }
+  VS07_EXPECT(false && "unknown Strategy");
+  return ringCast;  // unreachable
+}
+
+}  // namespace vs07::cast

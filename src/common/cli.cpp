@@ -1,10 +1,44 @@
 #include "common/cli.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 namespace vs07 {
+
+namespace {
+
+/// The one source of truth for boolean option literals: nullopt = not a
+/// recognised boolean. An empty value (bare `--flag`) means true.
+std::optional<bool> parseBool(const std::string& value) {
+  if (value.empty() || value == "1" || value == "true" || value == "yes")
+    return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  return std::nullopt;
+}
+
+/// Levenshtein distance, for "did you mean --nodes?" suggestions.
+std::size_t editDistance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t previous = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diagonal = previous;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
 
 bool CliArgs::has(const std::string& name) const {
   return values_.count(name) != 0;
@@ -39,10 +73,12 @@ double CliArgs::getDouble(const std::string& name, double fallback) const {
 bool CliArgs::getBool(const std::string& name, bool fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  if (v->empty() || *v == "1" || *v == "true" || *v == "yes") return true;
-  if (*v == "0" || *v == "false" || *v == "no") return false;
-  throw std::invalid_argument("bad boolean for --" + name + ": " + *v);
+  const auto parsed = parseBool(*v);
+  if (!parsed)
+    throw std::invalid_argument("bad boolean for --" + name + ": " + *v);
+  return *parsed;
 }
+
 
 CliParser::CliParser(std::string programDescription)
     : description_(std::move(programDescription)) {}
@@ -91,13 +127,36 @@ std::optional<CliArgs> CliParser::parse(int argc,
       inlineValue = token.substr(eq + 1);
     }
     const Option* opt = findOption(name);
-    if (!opt) throw std::invalid_argument("unknown option: --" + name);
+    if (!opt) {
+      // Typos must fail loudly, not silently run the default experiment:
+      // name the closest registered option and list the alternatives.
+      std::string message = "unknown option: --" + name;
+      const Option* closest = nullptr;
+      auto best = std::numeric_limits<std::size_t>::max();
+      for (const auto& candidate : options_) {
+        const auto distance = editDistance(name, candidate.name);
+        if (distance < best) {
+          best = distance;
+          closest = &candidate;
+        }
+      }
+      if (closest != nullptr && best <= 2)  // only plausible typos
+        message += " (did you mean --" + closest->name + "?)";
+      message += "; run with --help to list the options";
+      throw std::invalid_argument(message);
+    }
 
     if (!opt->takesValue) {
-      if (inlineValue)
-        args.values_[name] = *inlineValue;  // allow --flag=true
-      else
+      if (inlineValue) {
+        // Allow --flag=true, but reject junk here rather than letting
+        // getBool() blow up long after parsing succeeded.
+        if (!parseBool(*inlineValue))
+          throw std::invalid_argument("bad boolean for --" + name + ": " +
+                                      *inlineValue);
+        args.values_[name] = *inlineValue;
+      } else {
         args.values_[name] = "";
+      }
     } else if (inlineValue) {
       args.values_[name] = *inlineValue;
     } else {
@@ -107,6 +166,17 @@ std::optional<CliArgs> CliParser::parse(int argc,
     }
   }
   return args;
+}
+
+std::optional<CliArgs> CliParser::parseOrExit(
+    int argc, const char* const* argv) const {
+  try {
+    return parse(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "program",
+                 error.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace vs07

@@ -43,6 +43,12 @@ class CliParser {
   /// (caller should exit 0). Throws std::invalid_argument on bad input.
   std::optional<CliArgs> parse(int argc, const char* const* argv) const;
 
+  /// parse() for main(): invalid input prints the error (including the
+  /// did-you-mean suggestion) to stderr and exits with status 2 instead
+  /// of unwinding into std::terminate. nullopt still means --help.
+  std::optional<CliArgs> parseOrExit(int argc,
+                                     const char* const* argv) const;
+
   /// The generated usage text.
   std::string usage(const std::string& program) const;
 

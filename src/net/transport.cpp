@@ -36,27 +36,28 @@ void DelayedTransport::send(NodeId to, Message msg) {
           ? minLatency_
           : minLatency_ + static_cast<std::uint32_t>(rng_.below(
                               maxLatency_ - minLatency_ + 1));
-  queue_.push_back({now_ + latency, to, std::move(msg)});
+  heap_.push({now_ + latency, nextSeq_++, to, std::move(msg)});
 }
 
 void DelayedTransport::tick() {
   ++now_;
-  // Swap the queue out before delivering: handlers may send() from inside
-  // deliver_ (forwarding chains), and those new messages must land on the
-  // live queue_, not be lost or invalidate our iteration. Processing the
-  // snapshot in order keeps FIFO among messages due the same tick.
-  std::deque<Pending> current;
-  current.swap(queue_);
-  for (auto& pending : current) {
-    if (pending.dueTick <= now_)
-      deliver_(pending.to, pending.msg);
-    else
-      queue_.push_back(std::move(pending));
+  // Handlers may send() from inside deliver_ (forwarding chains); those
+  // messages join the heap directly but carry a sequence number past this
+  // cutoff, so even a zero-latency re-entrant send waits for the next
+  // tick — the same semantics the old snapshot-and-swap loop had.
+  const std::uint64_t cutoff = nextSeq_;
+  while (!heap_.empty() && heap_.top().dueTick <= now_ &&
+         heap_.top().seq < cutoff) {
+    // priority_queue::top() is const; the message is moved out via pop
+    // order anyway, so copy-free extraction needs the const_cast idiom.
+    Pending pending = std::move(const_cast<Pending&>(heap_.top()));
+    heap_.pop();
+    deliver_(pending.to, pending.msg);
   }
 }
 
 void DelayedTransport::drain() {
-  while (!queue_.empty()) tick();
+  while (!heap_.empty()) tick();
 }
 
 LossyTransport::LossyTransport(Transport& inner, double dropProbability,

@@ -12,9 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
+#include <queue>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "net/message.hpp"
@@ -55,6 +56,12 @@ class ImmediateTransport final : public Transport {
 
 /// Queues messages and delivers them `latencyTicks` calls to tick() later.
 /// Per-message latency can also be randomised within [min,max] ticks.
+///
+/// The queue is a min-heap keyed on (dueTick, enqueue sequence): tick()
+/// pops only the messages actually due — O(due log n) instead of the full
+/// O(n) queue scan per tick — and the sequence tiebreak keeps delivery
+/// FIFO among messages due the same tick, so randomized-latency runs stay
+/// bit-for-bit deterministic.
 class DelayedTransport final : public Transport {
  public:
   DelayedTransport(DeliverFn deliver, std::uint32_t minLatencyTicks,
@@ -62,23 +69,33 @@ class DelayedTransport final : public Transport {
 
   void send(NodeId to, Message msg) override;
 
-  /// Advances time one tick, delivering everything that is due.
+  /// Advances time one tick, delivering everything that is due. Messages
+  /// sent from inside a delivery handler are queued for a *later* tick
+  /// (their latency counts from now), never delivered re-entrantly.
   void tick();
 
   /// Delivers everything still queued (used at test teardown).
   void drain();
 
-  std::size_t inFlight() const noexcept { return queue_.size(); }
+  std::size_t inFlight() const noexcept { return heap_.size(); }
 
  private:
   struct Pending {
     std::uint64_t dueTick;
+    std::uint64_t seq;  ///< FIFO tiebreak among equal dueTicks
     NodeId to;
     Message msg;
   };
+  /// Min-heap order on (dueTick, seq).
+  struct Later {
+    bool operator()(const Pending& a, const Pending& b) const noexcept {
+      return a.dueTick != b.dueTick ? a.dueTick > b.dueTick : a.seq > b.seq;
+    }
+  };
   DeliverFn deliver_;
-  std::deque<Pending> queue_;  // kept sorted by insertion; due checked on tick
+  std::priority_queue<Pending, std::vector<Pending>, Later> heap_;
   std::uint64_t now_ = 0;
+  std::uint64_t nextSeq_ = 0;
   std::uint32_t minLatency_;
   std::uint32_t maxLatency_;
   Rng rng_;

@@ -103,7 +103,7 @@ cast::OverlaySnapshot TopicOverlay::snapshot() const {
   return {std::move(links), std::move(alive)};
 }
 
-cast::DisseminationReport TopicOverlay::publish(
+cast::DeliveryReport TopicOverlay::publish(
     NodeId origin, const cast::TargetSelector& selector, std::uint32_t fanout,
     std::uint64_t seed) {
   VS07_EXPECT(isSubscribed(origin));
@@ -112,6 +112,15 @@ cast::DisseminationReport TopicOverlay::publish(
   params.fanout = fanout;
   params.seed = seed;
   return cast::disseminate(snapshot(), selector, origin, params);
+}
+
+cast::DeliveryReport TopicOverlay::publish(NodeId origin,
+                                           cast::Strategy strategy,
+                                           std::uint32_t fanout,
+                                           std::uint64_t seed) {
+  auto report = publish(origin, cast::selectorFor(strategy), fanout, seed);
+  report.strategy = strategy;
+  return report;
 }
 
 PubSub::PubSub(sim::Network& network, std::uint64_t seed)

@@ -74,10 +74,14 @@ class TopicOverlay final : public sim::CycleProtocol {
   cast::OverlaySnapshot snapshot() const;
 
   /// Publishes an event from `origin` (must be an alive subscriber) with
-  /// the given selector semantics; returns the dissemination report.
-  cast::DisseminationReport publish(NodeId origin,
-                                    const cast::TargetSelector& selector,
-                                    std::uint32_t fanout, std::uint64_t seed);
+  /// the given selector semantics; returns the delivery report.
+  cast::DeliveryReport publish(NodeId origin,
+                               const cast::TargetSelector& selector,
+                               std::uint32_t fanout, std::uint64_t seed);
+
+  /// As above, keyed on the shared Strategy plug-point.
+  cast::DeliveryReport publish(NodeId origin, cast::Strategy strategy,
+                               std::uint32_t fanout, std::uint64_t seed);
 
  private:
   sim::Network& network_;

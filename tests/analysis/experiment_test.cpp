@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "cast/snapshot.hpp"
 #include "common/expect.hpp"
 #include "overlay/graph.hpp"

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "cast/snapshot.hpp"
 #include "overlay/graph.hpp"
 
@@ -82,32 +82,28 @@ TEST(AliveIndegrees, CountsIncomingLinks) {
 }
 
 TEST(RingConvergence, PerfectAfterWarmup) {
-  StackConfig config;
-  config.nodes = 150;
-  config.seed = 5;
-  ProtocolStack stack(config);
-  stack.warmup();
-  const auto convergence = ringConvergence(stack.network(), stack.vicinity());
+  const auto scenario = Scenario::builder().nodes(150).seed(5).build();
+  const auto convergence =
+      ringConvergence(scenario.network(), scenario.vicinity());
   EXPECT_GE(convergence.bothAccuracy, 0.98);
   EXPECT_GE(convergence.successorAccuracy, convergence.bothAccuracy);
   EXPECT_GE(convergence.predecessorAccuracy, convergence.bothAccuracy);
 }
 
 TEST(RingConvergence, ZeroBeforeAnyGossip) {
-  StackConfig config;
-  config.nodes = 50;
-  config.seed = 6;
-  ProtocolStack stack(config);  // no warmup: views empty
-  const auto convergence = ringConvergence(stack.network(), stack.vicinity());
+  // noWarmup: views stay empty.
+  const auto scenario =
+      Scenario::builder().nodes(50).seed(6).noWarmup().build();
+  const auto convergence =
+      ringConvergence(scenario.network(), scenario.vicinity());
   EXPECT_EQ(convergence.bothAccuracy, 0.0);
 }
 
 TEST(RingConvergence, TrivialPopulations) {
-  StackConfig config;
-  config.nodes = 1;
-  config.seed = 7;
-  ProtocolStack stack(config);
-  const auto convergence = ringConvergence(stack.network(), stack.vicinity());
+  const auto scenario =
+      Scenario::builder().nodes(1).seed(7).noWarmup().build();
+  const auto convergence =
+      ringConvergence(scenario.network(), scenario.vicinity());
   EXPECT_EQ(convergence.bothAccuracy, 1.0);  // vacuously converged
 }
 

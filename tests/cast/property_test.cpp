@@ -9,27 +9,14 @@
 #include <numeric>
 #include <tuple>
 
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
-#include "sim/failures.hpp"
+#include "cast/strategy.hpp"
 
 namespace vs07::cast {
 namespace {
 
-enum class Protocol { RandCast, RingCast, MultiRingCast, Flood };
-
-const char* protocolName(Protocol p) {
-  switch (p) {
-    case Protocol::RandCast: return "RandCast";
-    case Protocol::RingCast: return "RingCast";
-    case Protocol::MultiRingCast: return "MultiRingCast";
-    case Protocol::Flood: return "Flood";
-  }
-  return "?";
-}
-
-using Param = std::tuple<Protocol, std::uint32_t /*fanout*/,
+using Param = std::tuple<Strategy, std::uint32_t /*fanout*/,
                          double /*killFraction*/>;
 
 /// One warmed 2-ring stack shared across the whole sweep (read-only use):
@@ -37,12 +24,8 @@ using Param = std::tuple<Protocol, std::uint32_t /*fanout*/,
 class DisseminationProperties : public ::testing::TestWithParam<Param> {
  protected:
   static void SetUpTestSuite() {
-    analysis::StackConfig config;
-    config.nodes = 600;
-    config.rings = 2;
-    config.seed = 1234;
-    stack_ = new analysis::ProtocolStack(config);
-    stack_->warmup();
+    stack_ = new analysis::Scenario(
+        analysis::Scenario::builder().nodes(600).rings(2).seed(1234).build());
   }
 
   static void TearDownTestSuite() {
@@ -52,12 +35,8 @@ class DisseminationProperties : public ::testing::TestWithParam<Param> {
 
   /// Snapshot with the requested kill fraction applied on a *copy* of the
   /// alive mask (the shared stack itself is never mutated).
-  OverlaySnapshot makeOverlay(Protocol protocol, double killFraction) {
-    OverlaySnapshot base = protocol == Protocol::RandCast
-                               ? stack_->snapshotRandom()
-                               : protocol == Protocol::MultiRingCast
-                                     ? stack_->snapshotMultiRing()
-                                     : stack_->snapshotRing();
+  OverlaySnapshot makeOverlay(Strategy strategy, double killFraction) {
+    OverlaySnapshot base = stack_->snapshot(strategy);
     if (killFraction == 0.0) return base;
     // Re-derive an alive mask with victims cleared.
     std::vector<std::uint8_t> alive(base.totalIds(), 0);
@@ -79,28 +58,14 @@ class DisseminationProperties : public ::testing::TestWithParam<Param> {
     return {std::move(links), std::move(alive)};
   }
 
-  const TargetSelector& selector(Protocol protocol) {
-    switch (protocol) {
-      case Protocol::RandCast: return randCast_;
-      case Protocol::RingCast: return ringCast_;
-      case Protocol::MultiRingCast: return multiRingCast_;
-      case Protocol::Flood: return flood_;
-    }
-    return flood_;
-  }
-
-  static analysis::ProtocolStack* stack_;
-  RandCastSelector randCast_;
-  RingCastSelector ringCast_;
-  MultiRingCastSelector multiRingCast_;
-  FloodSelector flood_;
+  static analysis::Scenario* stack_;
 };
 
-analysis::ProtocolStack* DisseminationProperties::stack_ = nullptr;
+analysis::Scenario* DisseminationProperties::stack_ = nullptr;
 
 TEST_P(DisseminationProperties, ReportInvariantsHold) {
-  const auto [protocol, fanout, killFraction] = GetParam();
-  const auto overlay = makeOverlay(protocol, killFraction);
+  const auto [strategy, fanout, killFraction] = GetParam();
+  const auto overlay = makeOverlay(strategy, killFraction);
 
   Rng originRng(fanout * 7919 + static_cast<std::uint64_t>(killFraction * 100));
   for (int run = 0; run < 5; ++run) {
@@ -110,7 +75,7 @@ TEST_P(DisseminationProperties, ReportInvariantsHold) {
     params.recordLoad = true;
     const NodeId origin =
         overlay.aliveIds()[originRng.below(overlay.aliveIds().size())];
-    const auto report = disseminate(overlay, selector(protocol), origin,
+    const auto report = disseminate(overlay, selectorFor(strategy), origin,
                                     params);
 
     // Conservation: every message is exactly one of virgin/redundant/dead.
@@ -147,22 +112,22 @@ TEST_P(DisseminationProperties, ReportInvariantsHold) {
 }
 
 TEST_P(DisseminationProperties, HybridProtocolsCompleteWhenFailFree) {
-  const auto [protocol, fanout, killFraction] = GetParam();
+  const auto [strategy, fanout, killFraction] = GetParam();
   if (killFraction > 0.0) GTEST_SKIP() << "fail-free property only";
-  if (protocol == Protocol::RandCast) GTEST_SKIP() << "hybrid-only property";
-  const auto overlay = makeOverlay(protocol, 0.0);
+  if (strategy == Strategy::kRandCast) GTEST_SKIP() << "hybrid-only property";
+  const auto overlay = makeOverlay(strategy, 0.0);
   DisseminationParams params;
   params.fanout = fanout;
   params.seed = 5;
-  const auto report =
-      disseminate(overlay, selector(protocol), overlay.aliveIds()[0], params);
+  const auto report = disseminate(overlay, selectorFor(strategy),
+                                  overlay.aliveIds()[0], params);
   EXPECT_TRUE(report.complete())
-      << protocolName(protocol) << " fanout " << fanout;
+      << strategyName(strategy) << " fanout " << fanout;
 }
 
 TEST_P(DisseminationProperties, FanoutBoundsRespected) {
-  const auto [protocol, fanout, killFraction] = GetParam();
-  const auto overlay = makeOverlay(protocol, killFraction);
+  const auto [strategy, fanout, killFraction] = GetParam();
+  const auto overlay = makeOverlay(strategy, killFraction);
   Rng rng(3);
   std::vector<NodeId> targets;
   // The per-node forward count never exceeds fanout except for the
@@ -174,9 +139,9 @@ TEST_P(DisseminationProperties, FanoutBoundsRespected) {
   for (int probe = 0; probe < 200; ++probe) {
     const NodeId self =
         overlay.aliveIds()[rng.below(overlay.aliveIds().size())];
-    selector(protocol).selectTargets(overlay, self, kNoNode, fanout, rng,
-                                     targets);
-    if (protocol == Protocol::Flood) continue;
+    selectorFor(strategy).selectTargets(overlay, self, kNoNode, fanout, rng,
+                                        targets);
+    if (strategy == Strategy::kFlood) continue;
     EXPECT_LE(targets.size(),
               std::max<std::size_t>(fanout, dlinkFloor));
     for (const NodeId t : targets) EXPECT_NE(t, self);
@@ -186,14 +151,14 @@ TEST_P(DisseminationProperties, FanoutBoundsRespected) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, DisseminationProperties,
     ::testing::Combine(
-        ::testing::Values(Protocol::RandCast, Protocol::RingCast,
-                          Protocol::MultiRingCast, Protocol::Flood),
+        ::testing::Values(Strategy::kRandCast, Strategy::kRingCast,
+                          Strategy::kMultiRing, Strategy::kFlood),
         ::testing::Values(1u, 2u, 3u, 5u, 10u, 20u),
         ::testing::Values(0.0, 0.05, 0.25)),
     [](const ::testing::TestParamInfo<Param>& info) {
       // No structured bindings here: their commas are not protected from
       // the INSTANTIATE_TEST_SUITE_P macro's argument splitting.
-      return std::string(protocolName(std::get<0>(info.param))) + "_F" +
+      return std::string(strategyName(std::get<0>(info.param))) + "_F" +
              std::to_string(std::get<1>(info.param)) + "_kill" +
              std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
     });

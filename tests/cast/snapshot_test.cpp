@@ -4,19 +4,15 @@
 
 #include <algorithm>
 
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "common/expect.hpp"
 #include "overlay/graph.hpp"
 
 namespace vs07::cast {
 namespace {
 
-analysis::StackConfig smallConfig(std::uint32_t n, std::uint32_t rings = 1) {
-  analysis::StackConfig config;
-  config.nodes = n;
-  config.rings = rings;
-  config.seed = 99;
-  return config;
+analysis::Scenario smallStack(std::uint32_t n, std::uint32_t rings = 1) {
+  return analysis::Scenario::builder().nodes(n).rings(rings).seed(99).build();
 }
 
 TEST(Snapshot, GraphWrapUsesDlinks) {
@@ -48,8 +44,7 @@ TEST(Snapshot, MaskSizeMismatchRejected) {
 }
 
 TEST(Snapshot, RandomSnapshotMirrorsCyclonViews) {
-  analysis::ProtocolStack stack(smallConfig(100));
-  stack.warmup();
+  auto stack = smallStack(100);
   const auto snapshot = stack.snapshotRandom();
   for (const NodeId id : stack.network().aliveIds()) {
     const auto& view = stack.cyclon().view(id);
@@ -64,8 +59,7 @@ TEST(Snapshot, RandomSnapshotMirrorsCyclonViews) {
 }
 
 TEST(Snapshot, RingSnapshotHoldsSuccessorAndPredecessor) {
-  analysis::ProtocolStack stack(smallConfig(100));
-  stack.warmup();
+  auto stack = smallStack(100);
   const auto snapshot = stack.snapshotRing();
   for (const NodeId id : stack.network().aliveIds()) {
     const auto ring = stack.vicinity().ringNeighbors(id);
@@ -80,8 +74,7 @@ TEST(Snapshot, RingSnapshotHoldsSuccessorAndPredecessor) {
 }
 
 TEST(Snapshot, MultiRingSnapshotUnionsAllRings) {
-  analysis::ProtocolStack stack(smallConfig(80, /*rings=*/3));
-  stack.warmup();
+  auto stack = smallStack(80, /*rings=*/3);
   const auto snapshot = stack.snapshotMultiRing();
   for (const NodeId id : stack.network().aliveIds()) {
     const auto& dlinks = snapshot.dlinks(id);
@@ -98,8 +91,7 @@ TEST(Snapshot, MultiRingSnapshotUnionsAllRings) {
 }
 
 TEST(Snapshot, DeadNodesExcludedFromAliveIds) {
-  analysis::ProtocolStack stack(smallConfig(50));
-  stack.warmup();
+  auto stack = smallStack(50);
   stack.network().kill(7);
   stack.network().kill(9);
   const auto snapshot = stack.snapshotRing();
@@ -110,8 +102,7 @@ TEST(Snapshot, DeadNodesExcludedFromAliveIds) {
 }
 
 TEST(Snapshot, StaleLinksToDeadNodesAreKept) {
-  analysis::ProtocolStack stack(smallConfig(60));
-  stack.warmup();
+  auto stack = smallStack(60);
   // Kill a node *after* freezing would be the usual order; here we kill
   // first and snapshot second without gossip, so links still point at it.
   const NodeId victim = stack.network().aliveIds().front();

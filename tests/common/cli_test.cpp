@@ -44,8 +44,8 @@ TEST(Cli, BooleanFlag) {
 TEST(Cli, BooleanWithExplicitValue) {
   EXPECT_TRUE(parse({"--paper=true"})->getBool("paper"));
   EXPECT_FALSE(parse({"--paper=false"})->getBool("paper"));
-  EXPECT_THROW(parse({"--paper=banana"})->getBool("paper"),
-               std::invalid_argument);
+  // Junk is rejected at parse time, before the experiment starts.
+  EXPECT_THROW(parse({"--paper=banana"}), std::invalid_argument);
 }
 
 TEST(Cli, DefaultsWhenAbsent) {
@@ -63,6 +63,40 @@ TEST(Cli, DoubleParsing) {
 
 TEST(Cli, UnknownOptionThrows) {
   EXPECT_THROW(parse({"--bogus", "1"}), std::invalid_argument);
+}
+
+TEST(Cli, UnknownOptionIsReportedByName) {
+  // A typo must be named in the error, never silently ignored.
+  try {
+    parse({"--bogus", "1"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--bogus"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("--help"), std::string::npos);
+  }
+}
+
+TEST(Cli, UnknownOptionSuggestsClosestRegisteredOption) {
+  try {
+    parse({"--node", "5"});  // typo of --nodes
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean --nodes?"),
+              std::string::npos);
+  }
+}
+
+TEST(Cli, UnknownOptionFarFromEverythingGetsNoSuggestion) {
+  try {
+    parse({"--zzzzzzzzz"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos);
+  }
+}
+
+TEST(Cli, UnknownFlagInEqualsFormRejected) {
+  EXPECT_THROW(parse({"--bogus=7"}), std::invalid_argument);
 }
 
 TEST(Cli, MissingValueThrows) {

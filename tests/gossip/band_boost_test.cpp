@@ -7,7 +7,7 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/graph_analysis.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "cast/selector.hpp"
 #include "cast/snapshot.hpp"
 #include "common/expect.hpp"
@@ -17,16 +17,15 @@
 namespace vs07 {
 namespace {
 
-analysis::StackConfig smallConfig(std::uint32_t n, std::uint64_t seed) {
-  analysis::StackConfig config;
-  config.nodes = n;
-  config.seed = seed;
-  return config;
+analysis::Scenario smallStack(std::uint32_t n, std::uint64_t seed,
+                              bool warm = true) {
+  auto builder = analysis::Scenario::builder().nodes(n).seed(seed);
+  if (!warm) builder.noWarmup();
+  return builder.build();
 }
 
 TEST(RingBand, WidthOneEqualsRingNeighbors) {
-  analysis::ProtocolStack stack(smallConfig(150, 41));
-  stack.warmup();
+  auto stack = smallStack(150, 41);
   for (const NodeId id : stack.network().aliveIds()) {
     const auto band = stack.vicinity().ringBand(id, 1);
     const auto ring = stack.vicinity().ringNeighbors(id);
@@ -37,8 +36,7 @@ TEST(RingBand, WidthOneEqualsRingNeighbors) {
 }
 
 TEST(RingBand, MatchesGroundTruthCirculant) {
-  analysis::ProtocolStack stack(smallConfig(200, 42));
-  stack.warmup();
+  auto stack = smallStack(200, 42);
   const auto& network = stack.network();
 
   // Ground truth ring order.
@@ -67,19 +65,17 @@ TEST(RingBand, MatchesGroundTruthCirculant) {
 }
 
 TEST(RingBand, SmallViewReturnsWhatExists) {
-  analysis::ProtocolStack stack(smallConfig(30, 43));
-  // No warmup: views empty.
+  auto stack = smallStack(30, 43, /*warm=*/false);  // views empty
   EXPECT_TRUE(stack.vicinity().ringBand(0, 2).empty());
 }
 
 TEST(RingBand, WidthZeroRejected) {
-  analysis::ProtocolStack stack(smallConfig(30, 44));
+  auto stack = smallStack(30, 44, /*warm=*/false);
   EXPECT_THROW(stack.vicinity().ringBand(0, 0), ContractViolation);
 }
 
 TEST(SnapshotBand, DlinkGraphIsStronglyConnectedAndWide) {
-  analysis::ProtocolStack stack(smallConfig(300, 45));
-  stack.warmup();
+  auto stack = smallStack(300, 45);
   const auto snapshot =
       cast::snapshotBand(stack.network(), stack.cyclon(), stack.vicinity(), 2);
   for (const NodeId id : snapshot.aliveIds())
@@ -99,10 +95,8 @@ TEST(SnapshotBand, BandReliabilityDependsOnKeepingRlinks) {
   //    nodes partitions the dissemination — width 3 gets *worse*, not
   //    better. Determinism alone is not enough (that's §3's lesson).
   auto missesAt = [](std::uint32_t width, std::uint32_t fanout) {
-    analysis::ProtocolStack stack(smallConfig(500, 46));
-    stack.warmup();
-    Rng killRng(5);
-    sim::killRandomFraction(stack.network(), 0.20, killRng);
+    auto stack = smallStack(500, 46);
+    stack.killRandomFraction(0.20);
     const auto snapshot = cast::snapshotBand(stack.network(), stack.cyclon(),
                                              stack.vicinity(), width);
     const cast::RingCastSelector selector;  // hybrid rule over the band
@@ -142,9 +136,7 @@ TEST(JoinerBoost, AcceleratesJoinWarmup) {
   // a fresh joiner's r-link indegree after a few cycles with and without
   // the boost.
   auto indegreeAfterJoin = [](bool boosted) {
-    analysis::StackConfig config = smallConfig(300, 50);
-    analysis::ProtocolStack stack(config);
-    stack.warmup();
+    auto stack = smallStack(300, 50);
     if (boosted)
       stack.engine().setStepBoost(sim::joinerBoost(stack.network(), 4, 10));
     const NodeId joiner = stack.network().spawn(stack.engine().cycle());

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/graph_analysis.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "cast/snapshot.hpp"
 #include "common/stats.hpp"
 #include "net/transport.hpp"

@@ -4,7 +4,7 @@
 #include <set>
 
 #include "analysis/graph_analysis.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "common/expect.hpp"
 #include "gossip/domain_key.hpp"
 #include "gossip/multiring.hpp"
@@ -12,23 +12,22 @@
 namespace vs07::gossip {
 namespace {
 
-analysis::StackConfig ringsConfig(std::uint32_t n, std::uint32_t rings) {
-  analysis::StackConfig config;
-  config.nodes = n;
-  config.rings = rings;
-  config.seed = 31;
-  return config;
+analysis::Scenario ringsStack(std::uint32_t n, std::uint32_t rings,
+                              bool warm = true) {
+  auto builder = analysis::Scenario::builder().nodes(n).rings(rings).seed(31);
+  if (!warm) builder.noWarmup();
+  return builder.build();
 }
 
 TEST(MultiRing, RingZeroUsesPlainSequenceIds) {
-  analysis::ProtocolStack stack(ringsConfig(50, 2));
+  const auto stack = ringsStack(50, 2, /*warm=*/false);
   const auto& rings = stack.rings();
   for (NodeId id = 0; id < 50; ++id)
     EXPECT_EQ(rings.ring(0).profileOf(id), stack.network().seqId(id));
 }
 
 TEST(MultiRing, FurtherRingsUseIndependentOrders) {
-  analysis::ProtocolStack stack(ringsConfig(50, 3));
+  const auto stack = ringsStack(50, 3, /*warm=*/false);
   const auto& rings = stack.rings();
   std::uint32_t sameAsPlain = 0;
   std::set<SequenceId> ring1Profiles;
@@ -44,8 +43,7 @@ TEST(MultiRing, FurtherRingsUseIndependentOrders) {
 }
 
 TEST(MultiRing, AllRingsConvergeIndependently) {
-  analysis::ProtocolStack stack(ringsConfig(150, 2));
-  stack.warmup();
+  const auto stack = ringsStack(150, 2);
   for (std::uint32_t r = 0; r < 2; ++r) {
     const auto convergence =
         analysis::ringConvergence(stack.network(), stack.rings().ring(r));
@@ -54,8 +52,7 @@ TEST(MultiRing, AllRingsConvergeIndependently) {
 }
 
 TEST(MultiRing, NeighborSetsDifferAcrossRings) {
-  analysis::ProtocolStack stack(ringsConfig(150, 2));
-  stack.warmup();
+  const auto stack = ringsStack(150, 2);
   std::uint32_t distinctNeighbors = 0;
   for (const NodeId id : stack.network().aliveIds()) {
     const auto all = stack.rings().allRingNeighbors(id);
@@ -68,9 +65,8 @@ TEST(MultiRing, NeighborSetsDifferAcrossRings) {
 }
 
 TEST(MultiRing, RingCountLimits) {
-  analysis::StackConfig config = ringsConfig(20, 1);
-  config.rings = 0;
-  EXPECT_THROW(analysis::ProtocolStack{config}, ContractViolation);
+  auto builder = analysis::Scenario::builder().nodes(20).rings(0).seed(31);
+  EXPECT_THROW(builder.build(), ContractViolation);
 }
 
 TEST(DomainKey, ReverseDomainBasics) {

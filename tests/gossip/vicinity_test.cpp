@@ -5,7 +5,7 @@
 #include <algorithm>
 
 #include "analysis/graph_analysis.hpp"
-#include "analysis/stack.hpp"
+#include "analysis/scenario.hpp"
 #include "gossip/cyclon.hpp"
 #include "net/transport.hpp"
 #include "sim/bootstrap.hpp"

@@ -5,52 +5,61 @@
 
 #include "analysis/experiment.hpp"
 #include "analysis/graph_analysis.hpp"
-#include "analysis/stack.hpp"
-#include "cast/disseminator.hpp"
-#include "cast/selector.hpp"
-#include "sim/failures.hpp"
+#include "analysis/scenario.hpp"
+#include "cast/session.hpp"
+#include "cast/strategy.hpp"
 
 namespace vs07 {
 namespace {
 
 using analysis::measureEffectiveness;
-using analysis::ProtocolStack;
-using analysis::StackConfig;
+using analysis::Scenario;
+using cast::Strategy;
 
-StackConfig config(std::uint32_t nodes, std::uint64_t seed,
-                   std::uint32_t rings = 1) {
-  StackConfig c;
-  c.nodes = nodes;
-  c.seed = seed;
-  c.rings = rings;
-  return c;
+Scenario buildStack(std::uint32_t nodes, std::uint64_t seed,
+                    std::uint32_t rings = 1) {
+  return Scenario::builder().nodes(nodes).seed(seed).rings(rings).build();
 }
 
 // §7.1 / Fig. 6: RINGCAST achieves complete dissemination for *any*
 // fanout in a static failure-free network.
 TEST(PaperStatic, RingCastCompleteAtEveryFanout) {
-  ProtocolStack stack(config(800, 11));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRing();
-  const cast::RingCastSelector ringCast;
+  const auto stack = buildStack(800, 11);
+  const auto snapshot = stack.snapshot(Strategy::kRingCast);
   for (const std::uint32_t fanout : {1u, 2u, 3u, 5u, 10u}) {
-    const auto point =
-        measureEffectiveness(snapshot, ringCast, fanout, 20, 100 + fanout);
+    const auto point = measureEffectiveness(snapshot, Strategy::kRingCast,
+                                            fanout, 20, 100 + fanout);
     EXPECT_EQ(point.avgMissPercent, 0.0) << "fanout " << fanout;
     EXPECT_EQ(point.completePercent, 100.0) << "fanout " << fanout;
+  }
+}
+
+// §7.1 at the paper's full scale, through the redesigned experiment API:
+// a 10k-node static network built by one preset call, disseminated over
+// by a SnapshotSession — RINGCAST at the paper's F=3 misses nothing.
+TEST(PaperStatic, FullScaleRingCastZeroMissThroughSessionApi) {
+  auto scenario = Scenario::paperStatic(/*nodes=*/10'000, /*seed=*/2007);
+  auto session = scenario.snapshotSession(
+      {.strategy = Strategy::kRingCast, .fanout = 3, .seed = 1});
+  for (int publishes = 0; publishes < 5; ++publishes) {
+    const auto report = session.publishFromRandom();
+    EXPECT_EQ(report.missRatioPercent(), 0.0);
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(report.notified, 10'000u);
   }
 }
 
 // §7.1 / Fig. 6: RANDCAST misses nodes at low fanout even without
 // failures, and the miss ratio falls steeply with the fanout.
 TEST(PaperStatic, RandCastMissesAtLowFanoutAndImprovesWithIt) {
-  ProtocolStack stack(config(800, 12));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRandom();
-  const cast::RandCastSelector randCast;
-  const auto f2 = measureEffectiveness(snapshot, randCast, 2, 30, 200);
-  const auto f4 = measureEffectiveness(snapshot, randCast, 4, 30, 201);
-  const auto f8 = measureEffectiveness(snapshot, randCast, 8, 30, 202);
+  const auto stack = buildStack(800, 12);
+  const auto snapshot = stack.snapshot(Strategy::kRandCast);
+  const auto f2 =
+      measureEffectiveness(snapshot, Strategy::kRandCast, 2, 30, 200);
+  const auto f4 =
+      measureEffectiveness(snapshot, Strategy::kRandCast, 4, 30, 201);
+  const auto f8 =
+      measureEffectiveness(snapshot, Strategy::kRandCast, 8, 30, 202);
   EXPECT_GT(f2.avgMissPercent, 2.0);   // paper: ~10% at F=2, 10k nodes
   EXPECT_LT(f4.avgMissPercent, f2.avgMissPercent);
   EXPECT_LT(f8.avgMissPercent, f4.avgMissPercent);
@@ -60,13 +69,11 @@ TEST(PaperStatic, RandCastMissesAtLowFanoutAndImprovesWithIt) {
 // §7.1 / Fig. 8: message overhead is proportional to the fanout —
 // total sends ≈ F × notified, virgin ≈ notified.
 TEST(PaperStatic, MessageOverheadProportionalToFanout) {
-  ProtocolStack stack(config(600, 13));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRing();
-  const cast::RingCastSelector ringCast;
+  const auto stack = buildStack(600, 13);
+  const auto snapshot = stack.snapshot(Strategy::kRingCast);
   for (const std::uint32_t fanout : {2u, 4u, 8u}) {
-    const auto point =
-        measureEffectiveness(snapshot, ringCast, fanout, 10, 300 + fanout);
+    const auto point = measureEffectiveness(snapshot, Strategy::kRingCast,
+                                            fanout, 10, 300 + fanout);
     const double n = snapshot.aliveCount();
     EXPECT_NEAR(point.avgMessagesTotal, fanout * n, 0.05 * fanout * n)
         << "fanout " << fanout;
@@ -78,16 +85,11 @@ TEST(PaperStatic, MessageOverheadProportionalToFanout) {
 // allow — concretely, the two protocols track each other early and
 // RINGCAST reaches the last node while RANDCAST still misses nodes.
 TEST(PaperStatic, ProgressSeriesShapes) {
-  ProtocolStack stack(config(800, 14));
-  stack.warmup();
-  const auto ringSnapshot = stack.snapshotRing();
-  const auto randSnapshot = stack.snapshotRandom();
-  const cast::RingCastSelector ringCast;
-  const cast::RandCastSelector randCast;
-  const auto ring = analysis::measureProgress(ringSnapshot, ringCast, 3,
-                                              15, 400);
-  const auto rand = analysis::measureProgress(randSnapshot, randCast, 3,
-                                              15, 401);
+  const auto stack = buildStack(800, 14);
+  const auto ring =
+      analysis::measureProgress(stack, Strategy::kRingCast, 3, 15, 400);
+  const auto rand =
+      analysis::measureProgress(stack, Strategy::kRandCast, 3, 15, 401);
   // Early spreading is alike: after 3 hops both reach a similar share
   // (the probabilistic component dominates, §7.1).
   ASSERT_GT(ring.meanPctRemaining.size(), 3u);
@@ -102,16 +104,12 @@ TEST(PaperStatic, ProgressSeriesShapes) {
 // §7.2 / Fig. 9: after a catastrophic failure (no healing), RINGCAST's
 // miss ratio stays well below RANDCAST's at the same fanout.
 TEST(PaperCatastrophic, RingCastBeatsRandCastAfterMassFailure) {
-  ProtocolStack stack(config(1500, 15));
-  stack.warmup();
-  Rng killRng(1);
-  sim::killRandomFraction(stack.network(), 0.05, killRng);
-  const auto ringSnapshot = stack.snapshotRing();
-  const auto randSnapshot = stack.snapshotRandom();
-  const cast::RingCastSelector ringCast;
-  const cast::RandCastSelector randCast;
-  const auto ring = measureEffectiveness(ringSnapshot, ringCast, 3, 30, 500);
-  const auto rand = measureEffectiveness(randSnapshot, randCast, 3, 30, 501);
+  auto stack = buildStack(1500, 15);
+  stack.killRandomFraction(0.05);
+  const auto ring =
+      measureEffectiveness(stack, Strategy::kRingCast, 3, 30, 500);
+  const auto rand =
+      measureEffectiveness(stack, Strategy::kRandCast, 3, 30, 501);
   EXPECT_LT(ring.avgMissPercent, rand.avgMissPercent);
   EXPECT_GT(rand.avgMissPercent, 1.0);  // RANDCAST F=3 misses plenty
 }
@@ -122,16 +120,12 @@ TEST(PaperCatastrophic, RingCastBeatsRandCastAfterMassFailure) {
 TEST(PaperCatastrophic, GapNarrowsWithFailureVolumeButPersists) {
   double previousRingMiss = -1.0;
   for (const double kill : {0.02, 0.10}) {
-    ProtocolStack stack(config(1500, 16));
-    stack.warmup();
-    Rng killRng(2);
-    sim::killRandomFraction(stack.network(), kill, killRng);
-    const cast::RingCastSelector ringCast;
-    const cast::RandCastSelector randCast;
+    auto stack = buildStack(1500, 16);
+    stack.killRandomFraction(kill);
     const auto ring =
-        measureEffectiveness(stack.snapshotRing(), ringCast, 3, 30, 600);
+        measureEffectiveness(stack, Strategy::kRingCast, 3, 30, 600);
     const auto rand =
-        measureEffectiveness(stack.snapshotRandom(), randCast, 3, 30, 601);
+        measureEffectiveness(stack, Strategy::kRandCast, 3, 30, 601);
     EXPECT_LE(ring.avgMissPercent, rand.avgMissPercent)
         << "kill fraction " << kill;
     EXPECT_GT(ring.avgMissPercent, previousRingMiss);
@@ -142,15 +136,11 @@ TEST(PaperCatastrophic, GapNarrowsWithFailureVolumeButPersists) {
 // §7.3 / Fig. 13: under churn, misses concentrate on young nodes; nodes
 // past the warm-up age are almost always reached by RINGCAST.
 TEST(PaperChurn, MissesConcentrateOnYoungNodes) {
-  ProtocolStack stack(config(600, 17));
-  stack.warmup();
+  auto stack = buildStack(600, 17);
   const auto cycles = stack.runChurnUntilFullTurnover(0.01, 10'000);
   ASSERT_LT(cycles, 10'000u);  // full turnover reached
-  const auto now = stack.engine().cycle();
-  const auto snapshot = stack.snapshotRing();
-  const cast::RingCastSelector ringCast;
   const auto study = analysis::measureMissLifetimes(
-      snapshot, ringCast, stack.network(), now, 3, 60, 700);
+      stack, Strategy::kRingCast, 3, 60, 700);
 
   if (study.missedLifetimes.total() == 0)
     GTEST_SKIP() << "no misses at this scale; nothing to classify";
@@ -172,15 +162,12 @@ TEST(PaperChurn, MissesConcentrateOnYoungNodes) {
 // disseminations at moderate fanout, and RINGCAST has the lower miss
 // ratio at low fanout.
 TEST(PaperChurn, LowFanoutFavoursRingCast) {
-  ProtocolStack stack(config(600, 18));
-  stack.warmup();
+  auto stack = buildStack(600, 18);
   stack.runChurnUntilFullTurnover(0.01, 10'000);
-  const cast::RingCastSelector ringCast;
-  const cast::RandCastSelector randCast;
   const auto ring =
-      measureEffectiveness(stack.snapshotRing(), ringCast, 3, 40, 800);
+      measureEffectiveness(stack, Strategy::kRingCast, 3, 40, 800);
   const auto rand =
-      measureEffectiveness(stack.snapshotRandom(), randCast, 3, 40, 801);
+      measureEffectiveness(stack, Strategy::kRandCast, 3, 40, 801);
   EXPECT_LT(ring.avgMissPercent, rand.avgMissPercent);
 }
 
@@ -191,13 +178,10 @@ TEST(PaperExtensions, SecondRingImprovesFailureResilience) {
   std::uint64_t singleMisses = 0;
   std::uint64_t doubleMisses = 0;
   for (const std::uint32_t rings : {1u, 2u}) {
-    ProtocolStack stack(config(800, 19, rings));
-    stack.warmup();
-    Rng killRng(3);
-    sim::killRandomFraction(stack.network(), killFraction, killRng);
-    const cast::MultiRingCastSelector selector;
-    const auto point = measureEffectiveness(stack.snapshotMultiRing(),
-                                            selector, 2, 40, 900);
+    auto stack = buildStack(800, 19, rings);
+    stack.killRandomFraction(killFraction);
+    const auto point =
+        measureEffectiveness(stack, Strategy::kMultiRing, 2, 40, 900);
     (rings == 1 ? singleMisses : doubleMisses) = point.totalMisses;
   }
   EXPECT_GT(singleMisses, 0u);
@@ -207,9 +191,8 @@ TEST(PaperExtensions, SecondRingImprovesFailureResilience) {
 // §5: the d-link graph alone (no r-links) must already be strongly
 // connected after warm-up — that is the hybrid class's guarantee.
 TEST(PaperStatic, RingDlinksAloneAreStronglyConnected) {
-  ProtocolStack stack(config(500, 20));
-  stack.warmup();
-  const auto snapshot = stack.snapshotRing();
+  const auto stack = buildStack(500, 20);
+  const auto snapshot = stack.snapshot(Strategy::kRingCast);
   const auto adjacency = analysis::aliveAdjacency(
       snapshot, {.rlinks = false, .dlinks = true});
   EXPECT_EQ(analysis::stronglyConnectedComponentCount(adjacency), 1u);
