@@ -28,7 +28,8 @@ namespace {
 using namespace vs07;
 using cast::Strategy;
 
-void arcVsRandom(const bench::Scale& scale) {
+void arcVsRandom(const bench::Scale& scale, analysis::ParallelSweep& sweep,
+                 bench::JsonReport& report) {
   std::printf("--- random kill vs contiguous ring-arc kill (10%% dead), "
               "miss%% ---\n");
   Table table({"protocol", "fanout", "random_kill", "arc_kill"});
@@ -49,7 +50,7 @@ void arcVsRandom(const bench::Scale& scale) {
           scenario.killRandomFraction(0.10);
         const auto strategy =
             multiRing ? Strategy::kMultiRing : Strategy::kRingCast;
-        const auto point = analysis::measureEffectiveness(
+        const auto point = sweep.measureEffectiveness(
             scenario, strategy, fanout, scale.runs, seed + 7);
         row.push_back(fmtLog(point.avgMissPercent));
       }
@@ -66,7 +67,7 @@ void arcVsRandom(const bench::Scale& scale) {
         scenario.killContiguousArc(0.10);
       else
         scenario.killRandomFraction(0.10);
-      const auto point = analysis::measureEffectiveness(
+      const auto point = sweep.measureEffectiveness(
           scenario, Strategy::kRandCast, fanout, scale.runs,
           scale.seed + 55 + 7);
       row.push_back(fmtLog(point.avgMissPercent));
@@ -75,9 +76,11 @@ void arcVsRandom(const bench::Scale& scale) {
   }
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("arc_vs_random_kill", table));
 }
 
-void churnModels(const bench::Scale& scale, double meanLifetime) {
+void churnModels(const bench::Scale& scale, double meanLifetime,
+                 analysis::ParallelSweep& sweep, bench::JsonReport& report) {
   // Fixed cycle budget (3x the mean lifetime) instead of full turnover:
   // Pareto's longest initial sessions would otherwise dominate runtime
   // without changing the comparison.
@@ -107,7 +110,7 @@ void churnModels(const bench::Scale& scale, double meanLifetime) {
 
       const std::array<std::uint32_t, 3> fanouts{2u, 3u, 6u};
       for (std::size_t i = 0; i < fanouts.size(); ++i) {
-        const auto study = analysis::measureMissLifetimes(
+        const auto study = sweep.measureMissLifetimes(
             scenario, Strategy::kRingCast, fanouts[i], runs,
             scenario.config().seed + fanouts[i]);
         missSum[i] += study.effectiveness.avgMissPercent;
@@ -125,6 +128,7 @@ void churnModels(const bench::Scale& scale, double meanLifetime) {
   }
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("churn_models", table));
   std::printf(
       "\nheavy-tailed sessions leave the ring with more stale links at the "
       "same average turnover: deaths concentrate on recently-integrated "
@@ -139,8 +143,12 @@ int run(const bench::Scale& scale, double meanLifetime) {
       "heavy-tailed churn degrades the ring more than geometric churn at "
       "equal mean lifetime",
       scale);
-  arcVsRandom(scale);
-  churnModels(scale, meanLifetime);
+  bench::JsonReport report("adversarial_failures", scale);
+  report.setParam("mean_lifetime", meanLifetime);
+  auto sweep = bench::makeSweep(scale);
+  arcVsRandom(scale, sweep, report);
+  churnModels(scale, meanLifetime, sweep, report);
+  report.write(scale);
   return 0;
 }
 
@@ -157,5 +165,7 @@ int main(int argc, char** argv) {
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'000,
                                          /*quickRuns=*/25);
-  return run(scale, args->getDouble("mean-lifetime", 500.0));
+  return run(scale, bench::argOrExit([&] {
+               return args->getDouble("mean-lifetime", 500.0);
+             }));
 }

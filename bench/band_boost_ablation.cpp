@@ -23,7 +23,8 @@ namespace {
 using namespace vs07;
 using cast::Strategy;
 
-void bandMatrix(const bench::Scale& scale) {
+void bandMatrix(const bench::Scale& scale, analysis::ParallelSweep& sweep,
+                bench::JsonReport& report) {
   std::printf("--- Harary band: miss%% after a 20%% catastrophic failure "
               "(rows: band width; columns: fanout) ---\n");
   Table table({"band_width", "dlinks", "F=2", "F=4", "F=8", "F=12"});
@@ -35,7 +36,7 @@ void bandMatrix(const bench::Scale& scale) {
                                  std::to_string(2 * width)};
     for (const std::uint32_t fanout : {2u, 4u, 8u, 12u}) {
       // The hybrid rule over the band snapshot (RingCast semantics).
-      const auto point = analysis::measureEffectiveness(
+      const auto point = sweep.measureEffectiveness(
           snapshot, Strategy::kRingCast, fanout, scale.runs,
           scale.seed + width + fanout);
       row.push_back(fmtLog(point.avgMissPercent));
@@ -44,13 +45,16 @@ void bandMatrix(const bench::Scale& scale) {
   }
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("harary_band_matrix", table));
   std::printf(
       "\nreading guide: below the diagonal (fanout <= 2*width) every "
       "forward is deterministic and wider bands *hurt*; above it they "
       "add coverage on top of the random bridges and help.\n");
 }
 
-void boostAblation(const bench::Scale& scale, double churnRate) {
+void boostAblation(const bench::Scale& scale, double churnRate,
+                   analysis::ParallelSweep& sweep,
+                   bench::JsonReport& report) {
   std::printf("\n--- joiner gossip boost (%s): young-node misses under "
               "churn, RingCast F=3 ---\n",
               "\"gossip at a higher rate for the first few cycles\"");
@@ -67,7 +71,7 @@ void boostAblation(const bench::Scale& scale, double churnRate) {
     // Let the boost act on the current joiner cohort, with churn still
     // running, then freeze and measure.
     scenario.runCycles(50);
-    const auto study = analysis::measureMissLifetimes(
+    const auto study = sweep.measureMissLifetimes(
         scenario, Strategy::kRingCast, 3, std::max(50u, scale.runs),
         churnScale.seed + 9);
     std::uint64_t young = 0;
@@ -80,6 +84,7 @@ void boostAblation(const bench::Scale& scale, double churnRate) {
   }
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("joiner_boost", table));
 }
 
 int run(const bench::Scale& scale, double churnRate) {
@@ -89,8 +94,12 @@ int run(const bench::Scale& scale, double churnRate) {
       "r-links; boosting fresh joiners' gossip rate removes most "
       "young-node misses",
       scale);
-  bandMatrix(scale);
-  boostAblation(scale, churnRate);
+  bench::JsonReport report("band_boost_ablation", scale);
+  report.setParam("churn_rate", churnRate);
+  auto sweep = bench::makeSweep(scale);
+  bandMatrix(scale, sweep, report);
+  boostAblation(scale, churnRate, sweep, report);
+  report.write(scale);
   return 0;
 }
 
@@ -105,5 +114,6 @@ int main(int argc, char** argv) {
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'000,
                                          /*quickRuns=*/25);
-  return run(scale, args->getDouble("churn", 0.005));
+  return run(scale, bench::argOrExit(
+                        [&] { return args->getDouble("churn", 0.005); }));
 }

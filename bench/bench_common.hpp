@@ -1,17 +1,33 @@
-// Shared scaffolding for the figure benches: scale selection (quick
-// default vs --paper), common CLI options, header printing so every
-// bench output is self-describing, and the two Scenario shorthands
-// (static and churned) every figure builds on.
+// Shared scaffolding for the figure benches: scale selection, the common
+// CLI surface (--nodes/--runs/--seed/--paper/--quick/--csv/--threads/
+// --json), header printing so every bench output is self-describing, the
+// two Scenario shorthands (static and churned) every figure builds on,
+// and the machine-readable BENCH_*.json record every bench emits when
+// --json is given.
+//
+// Scale defaults: the paper-figure benches (fig06..fig13) default to the
+// paper's full scale (10k nodes, 100 runs/point) now that the sweeps run
+// in parallel; --quick drops to each bench's reduced smoke scale. The
+// ablation/stress benches default to their quick scale; --paper raises
+// them. Explicit --nodes/--runs always win.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/experiment.hpp"
+#include "analysis/parallel_sweep.hpp"
 #include "analysis/scenario.hpp"
 #include "common/cli.hpp"
+#include "common/histogram.hpp"
+#include "common/json.hpp"
+#include "common/table.hpp"
+#include "common/task_pool.hpp"
 
 namespace vs07::bench {
 
@@ -20,35 +36,92 @@ struct Scale {
   std::uint32_t nodes = 0;
   std::uint32_t runs = 0;
   std::uint64_t seed = 0;
+  std::uint32_t threads = 1;
   bool paper = false;
+  bool quick = false;
   bool csv = false;
+  std::string jsonPath;  ///< empty = no JSON record requested
 };
+
+/// Which scale a bench runs at when neither --paper nor --quick is given.
+enum class DefaultScale { kQuick, kPaper };
 
 /// Registers the options every figure bench shares.
 inline CliParser makeParser(const std::string& description) {
   CliParser parser(description);
-  parser.option("nodes", "population size (default: quick scale)")
-      .option("runs", "disseminations per data point (default: quick scale)")
+  parser.option("nodes", "population size (default: the bench's scale)")
+      .option("runs", "disseminations per data point (default: the bench's "
+                      "scale)")
       .option("seed", "root random seed (default 42)")
       .option("paper", "run at the paper's full scale (10k nodes, 100 runs)",
               /*takesValue=*/false)
+      .option("quick", "run at the reduced smoke-test scale",
+              /*takesValue=*/false)
       .option("csv", "emit CSV instead of aligned tables",
-              /*takesValue=*/false);
+              /*takesValue=*/false)
+      .option("threads", "worker threads for the sweeps (default: all "
+                         "hardware cores; results are identical for any "
+                         "thread count)")
+      .option("json", "also write a machine-readable BENCH_*.json record "
+                      "to this path");
   return parser;
 }
 
-/// Resolves the scale: explicit flags beat --paper beats quick defaults.
+/// Resolves the scale: explicit flags beat --paper/--quick beat the
+/// bench's default. Malformed values (--threads 0, non-numeric numbers)
+/// print the parse error and exit 2, exactly like unknown options.
 inline Scale resolveScale(const CliArgs& args, std::uint32_t quickNodes,
-                          std::uint32_t quickRuns) {
-  Scale scale;
-  scale.paper = args.getBool("paper");
-  const std::uint32_t defaultNodes = scale.paper ? 10'000 : quickNodes;
-  const std::uint32_t defaultRuns = scale.paper ? 100 : quickRuns;
-  scale.nodes = static_cast<std::uint32_t>(args.getUint("nodes", defaultNodes));
-  scale.runs = static_cast<std::uint32_t>(args.getUint("runs", defaultRuns));
-  scale.seed = args.getUint("seed", 42);
-  scale.csv = args.getBool("csv");
-  return scale;
+                          std::uint32_t quickRuns,
+                          DefaultScale defaultScale = DefaultScale::kQuick) {
+  try {
+    Scale scale;
+    scale.paper = args.getBool("paper");
+    scale.quick = args.getBool("quick");
+    if (scale.paper && scale.quick)
+      throw std::invalid_argument(
+          "--paper and --quick are mutually exclusive");
+    const bool usePaper =
+        scale.paper ||
+        (defaultScale == DefaultScale::kPaper && !scale.quick);
+    const std::uint32_t defaultNodes = usePaper ? 10'000 : quickNodes;
+    const std::uint32_t defaultRuns = usePaper ? 100 : quickRuns;
+    scale.nodes =
+        static_cast<std::uint32_t>(args.getUint("nodes", defaultNodes));
+    scale.runs =
+        static_cast<std::uint32_t>(args.getUint("runs", defaultRuns));
+    scale.seed = args.getUint("seed", 42);
+    const std::uint64_t threads =
+        args.getPositiveUint("threads", TaskPool::defaultThreads());
+    // Explicit cap: a value like 2^32 would otherwise truncate to 0 and
+    // silently bypass the zero rejection.
+    if (threads > 4096)
+      throw std::invalid_argument("--threads must be between 1 and 4096");
+    scale.threads = static_cast<std::uint32_t>(threads);
+    scale.csv = args.getBool("csv");
+    scale.jsonPath = args.get("json").value_or("");
+    return scale;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(2);
+  }
+}
+
+/// The ParallelSweep every bench drives its runners through.
+inline analysis::ParallelSweep makeSweep(const Scale& scale) {
+  return analysis::ParallelSweep({.threads = scale.threads});
+}
+
+/// Runs a bench-specific argument getter (e.g. getDouble("churn", ...))
+/// under the same print-and-exit-2 error path as resolveScale, so a
+/// malformed value never escapes main() as an uncaught exception.
+template <typename Fn>
+auto argOrExit(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(2);
+  }
 }
 
 /// Prints the bench banner: what figure this regenerates and at what scale.
@@ -56,10 +129,11 @@ inline void printHeader(const std::string& figure, const std::string& paperNote,
                         const Scale& scale) {
   std::printf("=== %s ===\n", figure.c_str());
   std::printf("paper: %s\n", paperNote.c_str());
-  std::printf("scale: %u nodes, %u runs/point, seed %llu%s\n\n",
+  std::printf("scale: %u nodes, %u runs/point, seed %llu, %u thread%s%s\n\n",
               scale.nodes, scale.runs,
-              static_cast<unsigned long long>(scale.seed),
-              scale.paper ? " [--paper]" : " [quick; use --paper for 10k/100]");
+              static_cast<unsigned long long>(scale.seed), scale.threads,
+              scale.threads == 1 ? "" : "s",
+              scale.quick ? " [--quick]" : (scale.paper ? " [--paper]" : ""));
 }
 
 /// Stopwatch for phase timing lines.
@@ -99,22 +173,156 @@ inline analysis::Scenario buildStatic(const Scale& scale,
 }
 
 /// The paper's §7.3 churn warm-up: build, warm up, churn at `rate` until
-/// the entire initial population has been replaced (capped), with the
-/// usual progress line. Use scenario.churnCycles() / engine().cycle()
-/// for the churn-phase length and the freeze cycle.
+/// the entire initial population has been replaced (capped). `quiet`
+/// suppresses the progress line (for parallel experiment builds); use
+/// scenario.churnCycles() / engine().cycle() for the churn-phase length
+/// and the freeze cycle.
 inline analysis::Scenario buildChurned(const Scale& scale, double rate,
                                        std::uint64_t extraSeed,
-                                       std::uint64_t maxChurnCycles = 50'000) {
+                                       std::uint64_t maxChurnCycles = 50'000,
+                                       bool quiet = false) {
   Stopwatch timer;
   auto scenario = analysis::Scenario::paperChurn(
       rate, scale.nodes, scale.seed + extraSeed, maxChurnCycles);
-  std::printf(
-      "churn warm-up: %llu churn cycles at %.2f%%/cycle (initial population "
-      "fully replaced: %s) in %.2fs\n",
-      static_cast<unsigned long long>(scenario.churnCycles()), rate * 100.0,
-      scenario.network().initialSurvivors() == 0 ? "yes" : "NO (cap hit)",
-      timer.seconds());
+  if (!quiet)
+    std::printf(
+        "churn warm-up: %llu churn cycles at %.2f%%/cycle (initial population "
+        "fully replaced: %s) in %.2fs\n",
+        static_cast<unsigned long long>(scenario.churnCycles()), rate * 100.0,
+        scenario.network().initialSurvivors() == 0 ? "yes" : "NO (cap hit)",
+        timer.seconds());
   return scenario;
+}
+
+// -- the machine-readable BENCH_*.json record ----------------------------
+
+/// Accumulates the bench's metric series and writes the JSON record
+/// (schema: scripts/check_bench_json.py documents the required keys).
+/// Wall-clock is measured from construction to write().
+class JsonReport {
+ public:
+  JsonReport(std::string bench, const Scale& scale)
+      : root_(Json::object()), series_(Json::array()) {
+    root_.set("bench", std::move(bench))
+        .set("schema_version", 1)
+        .set("scale", Json::object()
+                          .set("nodes", scale.nodes)
+                          .set("runs", scale.runs)
+                          .set("paper", scale.paper)
+                          .set("quick", scale.quick))
+        .set("seed", scale.seed)
+        .set("threads", scale.threads);
+  }
+
+  /// Adds one named series object (whatever shape the bench measures).
+  void addSeries(Json series) { series_.push(std::move(series)); }
+
+  /// Attaches an arbitrary top-level key (e.g. churn parameters).
+  void setParam(std::string key, Json value) {
+    root_.set(std::move(key), std::move(value));
+  }
+
+  /// Writes the record to scale.jsonPath if --json was given; prints a
+  /// confirmation line. No-op otherwise.
+  void write(const Scale& scale) {
+    if (scale.jsonPath.empty()) return;
+    root_.set("wall_clock_seconds", timer_.seconds());
+    root_.set("series", std::move(series_));
+    std::ofstream out(scale.jsonPath);
+    if (!out) {
+      std::fprintf(stderr, "cannot write JSON record to %s\n",
+                   scale.jsonPath.c_str());
+      std::exit(1);
+    }
+    out << root_.dump(2) << '\n';
+    std::printf("\nJSON record written to %s\n", scale.jsonPath.c_str());
+  }
+
+ private:
+  Stopwatch timer_;
+  Json root_;
+  Json series_;
+};
+
+/// One EffectivenessPoint as an ordered JSON object.
+inline Json toJson(const analysis::EffectivenessPoint& p) {
+  return Json::object()
+      .set("fanout", p.fanout)
+      .set("runs", p.runs)
+      .set("avg_miss_percent", p.avgMissPercent)
+      .set("complete_percent", p.completePercent)
+      .set("avg_messages_total", p.avgMessagesTotal)
+      .set("avg_virgin", p.avgVirgin)
+      .set("avg_redundant", p.avgRedundant)
+      .set("avg_to_dead", p.avgToDead)
+      .set("avg_last_hop", p.avgLastHop)
+      .set("total_misses", p.totalMisses);
+}
+
+/// A labelled effectiveness sweep as a series object.
+inline Json effectivenessSeries(
+    std::string label, const std::vector<analysis::EffectivenessPoint>& points) {
+  Json array = Json::array();
+  for (const auto& point : points) array.push(toJson(point));
+  return Json::object()
+      .set("label", std::move(label))
+      .set("kind", "effectiveness")
+      .set("points", std::move(array));
+}
+
+/// A labelled per-hop progress series.
+inline Json progressSeries(std::string label,
+                           const analysis::ProgressStats& stats) {
+  Json mean = Json::array();
+  Json lo = Json::array();
+  Json hi = Json::array();
+  for (std::size_t hop = 0; hop < stats.meanPctRemaining.size(); ++hop) {
+    mean.push(stats.meanPctRemaining[hop]);
+    lo.push(stats.minPctRemaining[hop]);
+    hi.push(stats.maxPctRemaining[hop]);
+  }
+  return Json::object()
+      .set("label", std::move(label))
+      .set("kind", "progress")
+      .set("fanout", stats.fanout)
+      .set("runs", stats.runs)
+      .set("mean_pct_remaining", std::move(mean))
+      .set("min_pct_remaining", std::move(lo))
+      .set("max_pct_remaining", std::move(hi));
+}
+
+/// A labelled exact-count histogram (value/count pairs, ascending).
+inline Json histogramSeries(std::string label, const CountHistogram& h) {
+  Json values = Json::array();
+  Json counts = Json::array();
+  for (const auto& [value, count] : h.sorted()) {
+    values.push(value);
+    counts.push(count);
+  }
+  return Json::object()
+      .set("label", std::move(label))
+      .set("kind", "histogram")
+      .set("total", h.total())
+      .set("values", std::move(values))
+      .set("counts", std::move(counts));
+}
+
+/// Any rendered Table as a generic series (columns + string rows), for
+/// benches whose metrics do not fit the typed shapes above.
+inline Json tableSeries(std::string label, const Table& table) {
+  Json columns = Json::array();
+  for (const auto& cell : table.header()) columns.push(cell);
+  Json rows = Json::array();
+  for (const auto& row : table.rowData()) {
+    Json cells = Json::array();
+    for (const auto& cell : row) cells.push(cell);
+    rows.push(std::move(cells));
+  }
+  return Json::object()
+      .set("label", std::move(label))
+      .set("kind", "table")
+      .set("columns", std::move(columns))
+      .set("rows", std::move(rows));
 }
 
 }  // namespace vs07::bench

@@ -26,13 +26,15 @@ int run(const bench::Scale& scale) {
       "for RandCast, always 100% for RingCast",
       scale);
 
+  bench::JsonReport report("fig06_static_effectiveness", scale);
   const auto scenario = bench::buildStatic(scale);
+  auto sweep = bench::makeSweep(scale);
 
   bench::Stopwatch sweepTimer;
   const auto fanouts = bench::fullFanoutAxis();
-  const auto rand = analysis::sweepEffectiveness(
+  const auto rand = sweep.sweepEffectiveness(
       scenario, Strategy::kRandCast, fanouts, scale.runs, scale.seed + 1);
-  const auto ring = analysis::sweepEffectiveness(
+  const auto ring = sweep.sweepEffectiveness(
       scenario, Strategy::kRingCast, fanouts, scale.runs, scale.seed + 2);
 
   Table table({"fanout", "randcast_miss%", "ringcast_miss%",
@@ -47,6 +49,10 @@ int run(const bench::Scale& scale) {
              stdout);
   std::printf("\nsweep: %zu fanouts x %u runs x 2 protocols in %.2fs\n",
               fanouts.size(), scale.runs, sweepTimer.seconds());
+
+  report.addSeries(bench::effectivenessSeries("randcast", rand));
+  report.addSeries(bench::effectivenessSeries("ringcast", ring));
+  report.write(scale);
   return 0;
 }
 
@@ -59,5 +65,6 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
-                                 /*quickRuns=*/25));
+                                 /*quickRuns=*/25,
+                                 bench::DefaultScale::kPaper));
 }

@@ -26,15 +26,21 @@ int run(const bench::Scale& scale) {
       "fewer hops",
       scale);
 
+  bench::JsonReport report("fig07_static_progress", scale);
   const auto scenario = bench::buildStatic(scale);
+  auto sweep = bench::makeSweep(scale);
 
   for (const std::uint32_t fanout : {2u, 3u, 5u, 10u}) {
-    const auto rand = analysis::measureProgress(
+    const auto rand = sweep.measureProgress(
         scenario, Strategy::kRandCast, fanout, scale.runs,
         scale.seed + fanout);
-    const auto ring = analysis::measureProgress(
+    const auto ring = sweep.measureProgress(
         scenario, Strategy::kRingCast, fanout, scale.runs,
         scale.seed + 100 + fanout);
+    report.addSeries(bench::progressSeries(
+        "randcast_f" + std::to_string(fanout), rand));
+    report.addSeries(bench::progressSeries(
+        "ringcast_f" + std::to_string(fanout), ring));
 
     std::printf("--- fanout %u: %% nodes not reached yet after each hop ---\n",
                 fanout);
@@ -57,6 +63,7 @@ int run(const bench::Scale& scale) {
                stdout);
     std::printf("\n");
   }
+  report.write(scale);
   return 0;
 }
 
@@ -69,5 +76,6 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
-                                 /*quickRuns=*/25));
+                                 /*quickRuns=*/25,
+                                 bench::DefaultScale::kPaper));
 }

@@ -41,16 +41,22 @@ int run(const bench::Scale& scale) {
       "nodes",
       scale);
 
+  bench::JsonReport report("fig08_message_overhead", scale);
   const auto scenario = bench::buildStatic(scale);
+  auto sweep = bench::makeSweep(scale);
 
   const auto fanouts = bench::fullFanoutAxis();
-  const auto rand = analysis::sweepEffectiveness(
+  const auto rand = sweep.sweepEffectiveness(
       scenario, Strategy::kRandCast, fanouts, scale.runs, scale.seed + 1);
-  const auto ring = analysis::sweepEffectiveness(
+  const auto ring = sweep.sweepEffectiveness(
       scenario, Strategy::kRingCast, fanouts, scale.runs, scale.seed + 2);
 
   printProtocol("RANDCAST", rand, scale.csv);
   printProtocol("RINGCAST", ring, scale.csv);
+
+  report.addSeries(bench::effectivenessSeries("randcast", rand));
+  report.addSeries(bench::effectivenessSeries("ringcast", ring));
+  report.write(scale);
   return 0;
 }
 
@@ -63,5 +69,6 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
-                                 /*quickRuns=*/25));
+                                 /*quickRuns=*/25,
+                                 bench::DefaultScale::kPaper));
 }

@@ -25,6 +25,8 @@ int run(const bench::Scale& scale) {
       "narrows as the failure volume grows; no healing allowed",
       scale);
 
+  bench::JsonReport report("fig09_catastrophic_effectiveness", scale);
+  auto sweep = bench::makeSweep(scale);
   const auto fanouts = bench::fullFanoutAxis();
 
   for (const double killPercent : {1.0, 2.0, 5.0, 10.0}) {
@@ -34,10 +36,15 @@ int run(const bench::Scale& scale) {
     auto scenario = analysis::Scenario::paperCatastrophic(
         killPercent / 100.0, scale.nodes, seed);
 
-    const auto rand = analysis::sweepEffectiveness(
+    const auto rand = sweep.sweepEffectiveness(
         scenario, Strategy::kRandCast, fanouts, scale.runs, seed + 1);
-    const auto ring = analysis::sweepEffectiveness(
+    const auto ring = sweep.sweepEffectiveness(
         scenario, Strategy::kRingCast, fanouts, scale.runs, seed + 2);
+    const auto killLabel = std::to_string(static_cast<int>(killPercent));
+    report.addSeries(
+        bench::effectivenessSeries("randcast_kill" + killLabel + "%", rand));
+    report.addSeries(
+        bench::effectivenessSeries("ringcast_kill" + killLabel + "%", ring));
 
     std::printf("--- failed nodes: %.0f%% (alive: %u) ---\n", killPercent,
                 scenario.network().aliveCount());
@@ -53,6 +60,7 @@ int run(const bench::Scale& scale) {
                stdout);
     std::printf("\n");
   }
+  report.write(scale);
   return 0;
 }
 
@@ -65,5 +73,6 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
-                                 /*quickRuns=*/20));
+                                 /*quickRuns=*/20,
+                                 bench::DefaultScale::kPaper));
 }

@@ -25,18 +25,24 @@ int run(const bench::Scale& scale) {
       "still reaches almost everyone and finishes in fewer hops",
       scale);
 
+  bench::JsonReport report("fig10_catastrophic_progress", scale);
   auto scenario =
       analysis::Scenario::paperCatastrophic(0.05, scale.nodes, scale.seed);
   std::printf("killed 5%%: %u nodes remain\n\n",
               scenario.network().aliveCount());
+  auto sweep = bench::makeSweep(scale);
 
   for (const std::uint32_t fanout : {2u, 3u, 5u, 10u}) {
-    const auto rand = analysis::measureProgress(
+    const auto rand = sweep.measureProgress(
         scenario, Strategy::kRandCast, fanout, scale.runs,
         scale.seed + fanout);
-    const auto ring = analysis::measureProgress(
+    const auto ring = sweep.measureProgress(
         scenario, Strategy::kRingCast, fanout, scale.runs,
         scale.seed + 100 + fanout);
+    report.addSeries(bench::progressSeries(
+        "randcast_f" + std::to_string(fanout), rand));
+    report.addSeries(bench::progressSeries(
+        "ringcast_f" + std::to_string(fanout), ring));
 
     std::printf("--- fanout %u: %% nodes not reached yet after each hop ---\n",
                 fanout);
@@ -55,6 +61,7 @@ int run(const bench::Scale& scale) {
                stdout);
     std::printf("\n");
   }
+  report.write(scale);
   return 0;
 }
 
@@ -67,5 +74,6 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   return run(bench::resolveScale(*args, /*quickNodes=*/2'500,
-                                 /*quickRuns=*/25));
+                                 /*quickRuns=*/25,
+                                 bench::DefaultScale::kPaper));
 }

@@ -24,12 +24,15 @@ int run(const bench::Scale& scale, double churnRate) {
       "concentrated on fresh joiners); almost no complete disseminations",
       scale);
 
+  bench::JsonReport report("fig11_churn_effectiveness", scale);
+  report.setParam("churn_rate", churnRate);
   const auto scenario = bench::buildChurned(scale, churnRate, /*extraSeed=*/0);
+  auto sweep = bench::makeSweep(scale);
 
   const auto fanouts = bench::fullFanoutAxis();
-  const auto rand = analysis::sweepEffectiveness(
+  const auto rand = sweep.sweepEffectiveness(
       scenario, Strategy::kRandCast, fanouts, scale.runs, scale.seed + 1);
-  const auto ring = analysis::sweepEffectiveness(
+  const auto ring = sweep.sweepEffectiveness(
       scenario, Strategy::kRingCast, fanouts, scale.runs, scale.seed + 2);
 
   std::printf("\n");
@@ -43,6 +46,10 @@ int run(const bench::Scale& scale, double churnRate) {
                   fmt(ring[i].completePercent, 1)});
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
+
+  report.addSeries(bench::effectivenessSeries("randcast", rand));
+  report.addSeries(bench::effectivenessSeries("ringcast", ring));
+  report.write(scale);
   return 0;
 }
 
@@ -56,6 +63,8 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
-                                         /*quickRuns=*/25);
-  return run(scale, args->getDouble("churn", 0.002));
+                                         /*quickRuns=*/25,
+                                         bench::DefaultScale::kPaper);
+  return run(scale, bench::argOrExit(
+                        [&] { return args->getDouble("churn", 0.002); }));
 }

@@ -25,12 +25,29 @@ int run(const bench::Scale& scale, double churnRate,
       "and decay geometrically for old ones (log-log)",
       scale);
 
+  bench::JsonReport report("fig12_lifetime_distribution", scale);
+  report.setParam("churn_rate", churnRate);
+  report.setParam("experiments", experiments);
+
+  // The churn warm-ups dominate here, and the experiments are mutually
+  // independent — so they run across the pool (quiet builds) and merge
+  // in experiment order.
+  auto sweep = bench::makeSweep(scale);
+  bench::Stopwatch warmTimer;
+  std::vector<CountHistogram> perExperiment(experiments);
+  sweep.pool().parallelFor(experiments, [&](std::size_t e) {
+    const auto scenario =
+        bench::buildChurned(scale, churnRate, 1000 + e,
+                            /*maxChurnCycles=*/50'000, /*quiet=*/true);
+    perExperiment[e] = analysis::lifetimeHistogram(scenario.network(),
+                                                   scenario.engine().cycle());
+  });
+  std::printf("churn warm-up: %u independent networks at %.2f%%/cycle in "
+              "%.2fs\n",
+              experiments, churnRate * 100.0, warmTimer.seconds());
+
   CountHistogram aggregate;
-  for (std::uint32_t e = 0; e < experiments; ++e) {
-    const auto scenario = bench::buildChurned(scale, churnRate, 1000 + e);
-    aggregate.merge(analysis::lifetimeHistogram(scenario.network(),
-                                                scenario.engine().cycle()));
-  }
+  for (const auto& histogram : perExperiment) aggregate.merge(histogram);
 
   std::printf("\nlifetimes aggregated over %u experiment(s), %llu nodes\n\n",
               experiments,
@@ -45,6 +62,9 @@ int run(const bench::Scale& scale, double churnRate,
       table.addRow({std::to_string(lifetime), std::to_string(count)});
     std::fputs(table.renderCsv().c_str(), stdout);
   }
+
+  report.addSeries(bench::histogramSeries("lifetimes", aggregate));
+  report.write(scale);
   return 0;
 }
 
@@ -60,7 +80,10 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
-                                         /*quickRuns=*/1);
-  return run(scale, args->getDouble("churn", 0.002),
-             static_cast<std::uint32_t>(args->getUint("experiments", 2)));
+                                         /*quickRuns=*/1,
+                                         bench::DefaultScale::kPaper);
+  return run(scale,
+             bench::argOrExit([&] { return args->getDouble("churn", 0.002); }),
+             static_cast<std::uint32_t>(bench::argOrExit(
+                 [&] { return args->getPositiveUint("experiments", 2); })));
 }

@@ -33,12 +33,21 @@ int run(const bench::Scale& scale, double churnRate,
       "RandCast misses at every age",
       scale);
 
-  ProtocolMisses rand;
-  ProtocolMisses ring;
+  bench::JsonReport report("fig13_nonnotified_lifetimes", scale);
+  report.setParam("churn_rate", churnRate);
+  report.setParam("experiments", experiments);
 
-  for (std::uint32_t e = 0; e < experiments; ++e) {
-    const auto scenario = bench::buildChurned(scale, churnRate, 2000 + e);
-
+  // Each experiment (own churned network + 4 miss studies) is
+  // independent, so experiments run across the pool and merge in
+  // experiment order.
+  auto sweep = bench::makeSweep(scale);
+  bench::Stopwatch warmTimer;
+  std::vector<ProtocolMisses> randPer(experiments);
+  std::vector<ProtocolMisses> ringPer(experiments);
+  sweep.pool().parallelFor(experiments, [&](std::size_t e) {
+    const auto scenario =
+        bench::buildChurned(scale, churnRate, 2000 + e,
+                            /*maxChurnCycles=*/50'000, /*quiet=*/true);
     auto collect = [&](Strategy strategy, std::uint32_t fanout,
                        CountHistogram& into) {
       const auto study = analysis::measureMissLifetimes(
@@ -46,10 +55,22 @@ int run(const bench::Scale& scale, double churnRate,
           scale.seed + e * 10 + fanout);
       into.merge(study.missedLifetimes);
     };
-    collect(Strategy::kRandCast, 3, rand.fanout3);
-    collect(Strategy::kRandCast, 6, rand.fanout6);
-    collect(Strategy::kRingCast, 3, ring.fanout3);
-    collect(Strategy::kRingCast, 6, ring.fanout6);
+    collect(Strategy::kRandCast, 3, randPer[e].fanout3);
+    collect(Strategy::kRandCast, 6, randPer[e].fanout6);
+    collect(Strategy::kRingCast, 3, ringPer[e].fanout3);
+    collect(Strategy::kRingCast, 6, ringPer[e].fanout6);
+  });
+  std::printf("churn warm-up + studies: %u independent networks at "
+              "%.2f%%/cycle in %.2fs\n",
+              experiments, churnRate * 100.0, warmTimer.seconds());
+
+  ProtocolMisses rand;
+  ProtocolMisses ring;
+  for (std::uint32_t e = 0; e < experiments; ++e) {
+    rand.fanout3.merge(randPer[e].fanout3);
+    rand.fanout6.merge(randPer[e].fanout6);
+    ring.fanout3.merge(ringPer[e].fanout3);
+    ring.fanout6.merge(ringPer[e].fanout6);
   }
 
   auto printPair = [&](const char* title, const CountHistogram& randHist,
@@ -83,6 +104,12 @@ int run(const bench::Scale& scale, double churnRate,
 
   printPair("fanout 3", rand.fanout3, ring.fanout3);
   printPair("fanout 6", rand.fanout6, ring.fanout6);
+
+  report.addSeries(bench::histogramSeries("randcast_f3", rand.fanout3));
+  report.addSeries(bench::histogramSeries("randcast_f6", rand.fanout6));
+  report.addSeries(bench::histogramSeries("ringcast_f3", ring.fanout3));
+  report.addSeries(bench::histogramSeries("ringcast_f6", ring.fanout6));
+  report.write(scale);
   return 0;
 }
 
@@ -98,7 +125,10 @@ int main(int argc, char** argv) {
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/800,
-                                         /*quickRuns=*/50);
-  return run(scale, args->getDouble("churn", 0.002),
-             static_cast<std::uint32_t>(args->getUint("experiments", 2)));
+                                         /*quickRuns=*/50,
+                                         bench::DefaultScale::kPaper);
+  return run(scale,
+             bench::argOrExit([&] { return args->getDouble("churn", 0.002); }),
+             static_cast<std::uint32_t>(bench::argOrExit(
+                 [&] { return args->getPositiveUint("experiments", 2); })));
 }

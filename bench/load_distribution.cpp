@@ -62,6 +62,8 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
       "star overlay concentrates everything on its hub (Gini -> 1)",
       scale);
 
+  bench::JsonReport report("load_distribution", scale);
+  report.setParam("fanout", fanout);
   auto scenario = bench::buildStatic(scale);
   auto sessionFor = [&](Strategy strategy, std::uint64_t seed) {
     return scenario.snapshotSession({.strategy = strategy,
@@ -91,6 +93,9 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
              stdout);
   std::printf("\nfanout %u, %u disseminations per protocol\n", fanout,
               scale.runs);
+
+  report.addSeries(bench::tableSeries("load_summary", table));
+  report.write(scale);
   return 0;
 }
 
@@ -105,5 +110,6 @@ int main(int argc, char** argv) {
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/2'000,
                                          /*quickRuns=*/50);
-  return run(scale, static_cast<std::uint32_t>(args->getUint("fanout", 5)));
+  return run(scale, static_cast<std::uint32_t>(bench::argOrExit(
+                        [&] { return args->getPositiveUint("fanout", 5); })));
 }

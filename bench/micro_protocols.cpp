@@ -2,9 +2,22 @@
 // shuffle cycles, VICINITY proximity cycles, target selection, overlay
 // snapshotting, and end-to-end disseminations. These quantify the cost of
 // the simulator itself — useful when scaling experiments up.
+//
+// Shares the bench-wide CLI surface: --quick restricts the run to the
+// cheap benchmarks (for CI smoke), --json PATH writes the BENCH_*.json
+// record, and --threads N is accepted for interface parity (each micro
+// benchmark is single-threaded by nature). Every other option is passed
+// through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "analysis/scenario.hpp"
+#include "bench_common.hpp"
 #include "cast/session.hpp"
 #include "common/rng.hpp"
 #include "net/codec.hpp"
@@ -104,6 +117,115 @@ void BM_MessageCodec(benchmark::State& state) {
 }
 BENCHMARK(BM_MessageCodec);
 
+/// Console reporter that also captures every run for the JSON record.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double realTime = 0.0;
+    double cpuTime = 0.0;
+    std::string timeUnit;
+    std::int64_t iterations = 0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& run : reports)
+      captured_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
+                           run.GetAdjustedCPUTime(),
+                           benchmark::GetTimeUnitString(run.time_unit),
+                           run.iterations});
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
+[[noreturn]] void badValue(const char* what, const std::string& value) {
+  std::fprintf(stderr, "bad %s: '%s'\n", what, value.c_str());
+  std::exit(2);
+}
+
+std::uint32_t parseThreads(const std::string& value) {
+  std::uint32_t threads = 0;
+  const char* begin = value.c_str();
+  const char* end = begin + value.size();
+  const auto result = std::from_chars(begin, end, threads);
+  if (result.ec != std::errc() || result.ptr != end || threads == 0)
+    badValue("positive integer for --threads", value);
+  return threads;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string jsonPath;
+  std::uint32_t threads = vs07::TaskPool::defaultThreads();
+  bool quick = false;
+
+  // Strip the shared bench options; everything else goes to
+  // google-benchmark untouched.
+  std::vector<std::string> passthroughStore{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto valueOf = [&](const std::string& flag) -> std::string {
+      if (arg.size() > flag.size() && arg.compare(0, flag.size() + 1,
+                                                  flag + "=") == 0)
+        return arg.substr(flag.size() + 1);
+      if (i + 1 >= argc) badValue(("value for " + flag).c_str(), "<missing>");
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      jsonPath = valueOf("--json");
+    } else if (arg == "--threads" || arg.rfind("--threads=", 0) == 0) {
+      threads = parseThreads(valueOf("--threads"));
+    } else {
+      passthroughStore.push_back(arg);
+    }
+  }
+  if (quick)
+    // The 10k-node scenarios take minutes to warm up; CI smoke only
+    // exercises the cheap benchmarks.
+    passthroughStore.push_back(
+        "--benchmark_filter=BM_(MessageCodec|TargetSelection)");
+
+  std::vector<char*> passthrough;
+  for (auto& arg : passthroughStore)
+    passthrough.push_back(arg.data());
+  int passthroughArgc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&passthroughArgc, passthrough.data());
+
+  // Scale metadata: nodes/runs are per-benchmark here (each BENCHMARK
+  // sets its own Args), so the shared record carries 0 = not applicable
+  // and the per-point data carries the real numbers. Seeds are fixed
+  // per benchmark (see warmScenario etc.), so the root seed is 0 too.
+  vs07::bench::Scale scale;
+  scale.quick = quick;
+  scale.threads = threads;
+  scale.jsonPath = jsonPath;
+  vs07::bench::JsonReport report("micro_protocols", scale);
+
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  using vs07::Json;
+  Json points = Json::array();
+  for (const auto& run : reporter.captured())
+    points.push(Json::object()
+                    .set("name", run.name)
+                    .set("real_time", run.realTime)
+                    .set("cpu_time", run.cpuTime)
+                    .set("time_unit", run.timeUnit)
+                    .set("iterations", run.iterations));
+  report.addSeries(Json::object()
+                       .set("label", "microbenchmarks")
+                       .set("kind", "micro")
+                       .set("points", std::move(points)));
+  report.write(scale);
+  benchmark::Shutdown();
+  return 0;
+}

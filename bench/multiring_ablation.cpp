@@ -25,6 +25,10 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
       "catastrophic failures, at higher maintenance cost",
       scale);
 
+  bench::JsonReport report("multiring_ablation", scale);
+  report.setParam("fanout", fanout);
+  auto sweep = bench::makeSweep(scale);
+
   Table table({"rings", "dlinks/node", "miss%_failfree", "miss%_kill5%",
                "miss%_kill10%", "miss%_kill20%"});
 
@@ -48,7 +52,7 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
             fmt(static_cast<double>(dlinks) / snapshot.aliveCount(), 2));
         first = false;
       }
-      const auto point = analysis::measureEffectiveness(
+      const auto point = sweep.measureEffectiveness(
           snapshot, Strategy::kMultiRing, fanout, scale.runs,
           scale.seed + rings + 7);
       row.push_back(fmtLog(point.avgMissPercent));
@@ -59,6 +63,9 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
   std::printf("\nfanout %u, %u runs per cell\n", fanout, scale.runs);
+
+  report.addSeries(bench::tableSeries("multiring_miss", table));
+  report.write(scale);
   return 0;
 }
 
@@ -73,5 +80,6 @@ int main(int argc, char** argv) {
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'500,
                                          /*quickRuns=*/25);
-  return run(scale, static_cast<std::uint32_t>(args->getUint("fanout", 2)));
+  return run(scale, static_cast<std::uint32_t>(bench::argOrExit(
+                        [&] { return args->getPositiveUint("fanout", 2); })));
 }

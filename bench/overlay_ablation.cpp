@@ -36,6 +36,8 @@ int run(const bench::Scale& scale) {
       "ring survives 1 failure; Harary(t) survives t-1; clique survives "
       "anything at O(N^2) cost",
       scale);
+  bench::JsonReport report("overlay_ablation", scale);
+  auto sweep = bench::makeSweep(scale);
 
   const std::vector<OverlayCase> cases = {
       {"tree", [](std::uint32_t n, Rng& rng) {
@@ -65,7 +67,7 @@ int run(const bench::Scale& scale) {
 
     std::vector<std::string> row{testCase.name, fmt(linksPerNode, 1)};
     // Fail-free flood cost.
-    const auto clean = analysis::measureEffectiveness(
+    const auto clean = sweep.measureEffectiveness(
         cast::snapshotGraph(graph), Strategy::kFlood, 1, scale.runs,
         scale.seed + 1);
     row.push_back(fmt(clean.avgMessagesTotal, 0));
@@ -79,11 +81,15 @@ int run(const bench::Scale& scale) {
         {"5%", scale.nodes / 20}};
     for (const auto& [label, count] : kills) {
       (void)label;
-      Rng killRng(scale.seed + count);
-      double missSum = 0.0;
-      for (std::uint32_t rep = 0; rep < scale.runs; ++rep) {
+      // Each repetition (kill pattern + flood) derives its own stream
+      // from (seed + count, rep), so repetitions are independent cells:
+      // they run across the pool and sum in repetition order.
+      std::vector<double> missPerRep(scale.runs, 0.0);
+      const std::uint32_t killCount = count;
+      sweep.pool().parallelFor(scale.runs, [&](std::size_t rep) {
+        Rng killRng(deriveStreamSeed(scale.seed + killCount, rep));
         std::vector<std::uint8_t> alive(scale.nodes, 1);
-        for (std::uint32_t k = 0; k < count;) {
+        for (std::uint32_t k = 0; k < killCount;) {
           const auto victim =
               static_cast<NodeId>(killRng.below(scale.nodes));
           if (alive[victim]) {
@@ -94,8 +100,10 @@ int run(const bench::Scale& scale) {
         const auto point = analysis::measureEffectiveness(
             cast::snapshotGraph(graph, alive), Strategy::kFlood, 1, 1,
             killRng());
-        missSum += point.avgMissPercent;
-      }
+        missPerRep[rep] = point.avgMissPercent;
+      });
+      double missSum = 0.0;
+      for (const double miss : missPerRep) missSum += miss;
       row.push_back(fmtLog(missSum / scale.runs));
     }
     table.addRow(std::move(row));
@@ -106,6 +114,9 @@ int run(const bench::Scale& scale) {
   std::printf(
       "\nNote: clique omitted from kill sweeps by default (O(N^2) links); "
       "its miss ratio is 0 for any failure not killing the origin.\n");
+
+  report.addSeries(bench::tableSeries("overlay_resilience", table));
+  report.write(scale);
   return 0;
 }
 

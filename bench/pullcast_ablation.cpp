@@ -40,6 +40,8 @@ int run(const bench::Scale& scale) {
       "how far back pull can repair",
       scale);
 
+  bench::JsonReport report("pullcast_ablation", scale);
+
   // Part 1: miss ratio vs pull rounds, for increasing failure volumes.
   std::printf("--- miss%% after the push wave and after k pull rounds "
               "(RingCast push, fanout 2, pull every cycle) ---\n");
@@ -74,6 +76,7 @@ int run(const bench::Scale& scale) {
   }
   std::fputs((scale.csv ? progress.renderCsv() : progress.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("pull_rounds", progress));
 
   // Part 2: the §8 knobs — pull frequency and buffer capacity.
   std::printf("\n--- pull frequency: miss%% after 8 cycles, 10%% dead, "
@@ -98,6 +101,7 @@ int run(const bench::Scale& scale) {
   }
   std::fputs((scale.csv ? frequency.renderCsv() : frequency.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("pull_frequency", frequency));
 
   // Part 3: buffer capacity — how many subsequent publishes an old
   // message survives before latecomers can no longer fetch it.
@@ -130,6 +134,8 @@ int run(const bench::Scale& scale) {
   }
   std::fputs((scale.csv ? buffers.renderCsv() : buffers.render()).c_str(),
              stdout);
+  report.addSeries(bench::tableSeries("buffer_capacity", buffers));
+  report.write(scale);
   return 0;
 }
 

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json records emitted by the figure benches.
+
+Every bench invoked with --json PATH writes one record. This checker is
+the machine-readable contract: it fails (exit 1) if a file does not
+parse, misses a required key, or carries a malformed scale/series
+section. CI runs it over every bench's --quick output.
+
+Usage: check_bench_json.py FILE [FILE...]
+"""
+import json
+import sys
+
+REQUIRED_TOP_LEVEL = {
+    "bench": str,
+    "schema_version": int,
+    "scale": dict,
+    "seed": int,
+    "threads": int,
+    "wall_clock_seconds": (int, float),
+    "series": list,
+}
+REQUIRED_SCALE = {
+    "nodes": int,
+    "runs": int,
+    "paper": bool,
+    "quick": bool,
+}
+REQUIRED_SERIES_ENTRY = {
+    "label": str,
+    "kind": str,
+}
+
+
+def fail(path, message):
+    print(f"FAIL {path}: {message}")
+    return False
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return fail(path, f"does not parse: {error}")
+
+    if not isinstance(record, dict):
+        return fail(path, "top level is not an object")
+    for key, kind in REQUIRED_TOP_LEVEL.items():
+        if key not in record:
+            return fail(path, f"missing required key '{key}'")
+        if not isinstance(record[key], kind):
+            return fail(path, f"key '{key}' has type "
+                              f"{type(record[key]).__name__}")
+    for key, kind in REQUIRED_SCALE.items():
+        if key not in record["scale"]:
+            return fail(path, f"missing required key 'scale.{key}'")
+        if not isinstance(record["scale"][key], kind):
+            return fail(path, f"key 'scale.{key}' has type "
+                              f"{type(record['scale'][key]).__name__}")
+    if record["threads"] < 1:
+        return fail(path, f"threads must be >= 1, got {record['threads']}")
+    if record["wall_clock_seconds"] < 0:
+        return fail(path, "wall_clock_seconds is negative")
+    if not record["series"]:
+        return fail(path, "series is empty")
+    for i, entry in enumerate(record["series"]):
+        if not isinstance(entry, dict):
+            return fail(path, f"series[{i}] is not an object")
+        for key, kind in REQUIRED_SERIES_ENTRY.items():
+            if key not in entry or not isinstance(entry[key], kind):
+                return fail(path, f"series[{i}] missing/typed key '{key}'")
+    print(f"OK   {path}: bench={record['bench']} "
+          f"series={len(record['series'])} "
+          f"threads={record['threads']} "
+          f"wall_clock={record['wall_clock_seconds']:.2f}s")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    results = [check(path) for path in argv[1:]]
+    print(f"{sum(results)}/{len(results)} records valid")
+    return 0 if all(results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,83 +1,23 @@
 #include "analysis/experiment.hpp"
 
-#include <algorithm>
-
+#include "analysis/parallel_sweep.hpp"
 #include "analysis/scenario.hpp"
 #include "common/expect.hpp"
-#include "common/rng.hpp"
+
+// The free functions are the sequential face of the cell-based runner in
+// analysis/parallel_sweep.cpp: every call delegates to a one-thread
+// ParallelSweep, so sequential and parallel execution share one code
+// path and one canonical result (bit-identical at any thread count).
 
 namespace vs07::analysis {
-
-namespace {
-
-/// Accumulates reports into an EffectivenessPoint; `finish` divides.
-class EffectivenessAccumulator {
- public:
-  explicit EffectivenessAccumulator(std::uint32_t fanout) {
-    point_.fanout = fanout;
-  }
-
-  void add(const cast::DeliveryReport& report) {
-    ++point_.runs;
-    missSum_ += report.missRatioPercent();
-    completeRuns_ += report.complete() ? 1 : 0;
-    totalSum_ += static_cast<double>(report.messagesTotal);
-    virginSum_ += static_cast<double>(report.messagesVirgin);
-    redundantSum_ += static_cast<double>(report.messagesRedundant);
-    toDeadSum_ += static_cast<double>(report.messagesToDead);
-    lastHopSum_ += static_cast<double>(report.lastHop);
-    point_.totalMisses += report.missed.size();
-  }
-
-  EffectivenessPoint finish() {
-    VS07_EXPECT(point_.runs > 0);
-    const auto runs = static_cast<double>(point_.runs);
-    point_.avgMissPercent = missSum_ / runs;
-    point_.completePercent = 100.0 * completeRuns_ / runs;
-    point_.avgMessagesTotal = totalSum_ / runs;
-    point_.avgVirgin = virginSum_ / runs;
-    point_.avgRedundant = redundantSum_ / runs;
-    point_.avgToDead = toDeadSum_ / runs;
-    point_.avgLastHop = lastHopSum_ / runs;
-    return point_;
-  }
-
- private:
-  EffectivenessPoint point_;
-  double missSum_ = 0.0;
-  double completeRuns_ = 0.0;
-  double totalSum_ = 0.0;
-  double virginSum_ = 0.0;
-  double redundantSum_ = 0.0;
-  double toDeadSum_ = 0.0;
-  double lastHopSum_ = 0.0;
-};
-
-cast::DeliveryReport runOnce(const cast::OverlaySnapshot& overlay,
-                                  const cast::TargetSelector& selector,
-                                  std::uint32_t fanout, Rng& rng) {
-  const NodeId origin =
-      overlay.aliveIds()[rng.below(overlay.aliveIds().size())];
-  cast::DisseminationParams params;
-  params.fanout = fanout;
-  params.seed = rng();
-  return cast::disseminate(overlay, selector, origin, params);
-}
-
-}  // namespace
 
 EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
                                         const cast::TargetSelector& selector,
                                         std::uint32_t fanout,
                                         std::uint32_t runs,
                                         std::uint64_t seed) {
-  VS07_EXPECT(runs > 0);
-  VS07_EXPECT(overlay.aliveCount() > 0);
-  Rng rng(seed);
-  EffectivenessAccumulator acc(fanout);
-  for (std::uint32_t r = 0; r < runs; ++r)
-    acc.add(runOnce(overlay, selector, fanout, rng));
-  return acc.finish();
+  return ParallelSweep().measureEffectiveness(overlay, selector, fanout,
+                                              runs, seed);
 }
 
 EffectivenessPoint measureEffectiveness(const cast::OverlaySnapshot& overlay,
@@ -102,13 +42,8 @@ std::vector<EffectivenessPoint> sweepEffectiveness(
     const cast::OverlaySnapshot& overlay, const cast::TargetSelector& selector,
     const std::vector<std::uint32_t>& fanouts, std::uint32_t runs,
     std::uint64_t seed) {
-  std::vector<EffectivenessPoint> points;
-  points.reserve(fanouts.size());
-  Rng seeder(seed);
-  for (const std::uint32_t fanout : fanouts)
-    points.push_back(
-        measureEffectiveness(overlay, selector, fanout, runs, seeder()));
-  return points;
+  return ParallelSweep().sweepEffectiveness(overlay, selector, fanouts, runs,
+                                            seed);
 }
 
 std::vector<EffectivenessPoint> sweepEffectiveness(
@@ -131,33 +66,8 @@ ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
                               const cast::TargetSelector& selector,
                               std::uint32_t fanout, std::uint32_t runs,
                               std::uint64_t seed) {
-  VS07_EXPECT(runs > 0);
-  ProgressStats stats;
-  stats.fanout = fanout;
-  stats.runs = runs;
-  Rng rng(seed);
-
-  std::vector<cast::DeliveryReport> reports;
-  reports.reserve(runs);
-  std::size_t maxHops = 0;
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    reports.push_back(runOnce(overlay, selector, fanout, rng));
-    maxHops = std::max(maxHops, reports.back().newlyNotifiedPerHop.size());
-  }
-
-  stats.meanPctRemaining.assign(maxHops, 0.0);
-  stats.minPctRemaining.assign(maxHops, 100.0);
-  stats.maxPctRemaining.assign(maxHops, 0.0);
-  for (const auto& report : reports) {
-    for (std::size_t hop = 0; hop < maxHops; ++hop) {
-      const double pct =
-          report.percentNotReachedAfterHop(static_cast<std::uint32_t>(hop));
-      stats.meanPctRemaining[hop] += pct / runs;
-      stats.minPctRemaining[hop] = std::min(stats.minPctRemaining[hop], pct);
-      stats.maxPctRemaining[hop] = std::max(stats.maxPctRemaining[hop], pct);
-    }
-  }
-  return stats;
+  return ParallelSweep().measureProgress(overlay, selector, fanout, runs,
+                                         seed);
 }
 
 ProgressStats measureProgress(const cast::OverlaySnapshot& overlay,
@@ -189,18 +99,8 @@ MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,
                                        std::uint32_t fanout,
                                        std::uint32_t runs,
                                        std::uint64_t seed) {
-  VS07_EXPECT(runs > 0);
-  Rng rng(seed);
-  EffectivenessAccumulator acc(fanout);
-  MissLifetimeStudy study;
-  for (std::uint32_t r = 0; r < runs; ++r) {
-    const auto report = runOnce(overlay, selector, fanout, rng);
-    for (const NodeId missedNode : report.missed)
-      study.missedLifetimes.add(network.lifetime(missedNode, nowCycle));
-    acc.add(report);
-  }
-  study.effectiveness = acc.finish();
-  return study;
+  return ParallelSweep().measureMissLifetimes(overlay, selector, network,
+                                              nowCycle, fanout, runs, seed);
 }
 
 MissLifetimeStudy measureMissLifetimes(const cast::OverlaySnapshot& overlay,

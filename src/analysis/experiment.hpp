@@ -7,6 +7,11 @@
 //   * (Scenario, Strategy, ...)       — snapshots the right overlay itself;
 //   * (OverlaySnapshot, Strategy, ...) — for hand-built overlays (§3 graphs);
 //   * (OverlaySnapshot, TargetSelector, ...) — the raw engine underneath.
+//
+// These free functions are the sequential face of the cell-based runner
+// in analysis/parallel_sweep.hpp (they delegate to a one-thread
+// ParallelSweep), so their results are bit-identical to the same sweep
+// run on any number of threads.
 #pragma once
 
 #include <cstdint>

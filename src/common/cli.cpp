@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -50,24 +51,54 @@ std::optional<std::string> CliArgs::get(const std::string& name) const {
   return it->second;
 }
 
+namespace {
+
+/// Strict full-string numeric parse; anything short of a complete,
+/// in-range number is an error naming the offending option.
+template <typename T>
+T parseNumber(const std::string& name, const std::string& value,
+              const char* shape) {
+  T out{};
+  const char* begin = value.c_str();
+  const char* end = begin + value.size();
+  const auto result = std::from_chars(begin, end, out);
+  if (result.ec != std::errc() || result.ptr != end)
+    throw std::invalid_argument("bad " + std::string(shape) + " for --" +
+                                name + ": '" + value + "'");
+  return out;
+}
+
+}  // namespace
+
 std::uint64_t CliArgs::getUint(const std::string& name,
                                std::uint64_t fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stoull(*v);
+  return parseNumber<std::uint64_t>(name, *v, "non-negative integer");
+}
+
+std::uint64_t CliArgs::getPositiveUint(const std::string& name,
+                                       std::uint64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const auto value =
+      parseNumber<std::uint64_t>(name, *v, "positive integer");
+  if (value == 0)
+    throw std::invalid_argument("--" + name + " must be >= 1 (got 0)");
+  return value;
 }
 
 std::int64_t CliArgs::getInt(const std::string& name,
                              std::int64_t fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stoll(*v);
+  return parseNumber<std::int64_t>(name, *v, "integer");
 }
 
 double CliArgs::getDouble(const std::string& name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stod(*v);
+  return parseNumber<double>(name, *v, "number");
 }
 
 bool CliArgs::getBool(const std::string& name, bool fallback) const {

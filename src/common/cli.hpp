@@ -18,7 +18,15 @@ class CliArgs {
   bool has(const std::string& name) const;
   /// Returns the raw string value (empty string for bare flags).
   std::optional<std::string> get(const std::string& name) const;
+  /// The numeric getters parse strictly: the whole value must be a
+  /// number of the requested shape ("12abc", "-5" for unsigned, "" and
+  /// "1e999" all throw std::invalid_argument naming the option) so a
+  /// malformed value aborts the run instead of silently truncating.
   std::uint64_t getUint(const std::string& name, std::uint64_t fallback) const;
+  /// getUint that additionally rejects 0 ("--threads 0" must not spin up
+  /// an experiment with no workers).
+  std::uint64_t getPositiveUint(const std::string& name,
+                                std::uint64_t fallback) const;
   std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
   double getDouble(const std::string& name, double fallback) const;
   bool getBool(const std::string& name, bool fallback = false) const;

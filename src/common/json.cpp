@@ -1,0 +1,149 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+Json::Json(double value) : type_(Type::kDouble), double_(value) {
+  // JSON has no representation for NaN or infinities; refusing them here
+  // keeps every emitted file parseable.
+  VS07_EXPECT(std::isfinite(value));
+}
+
+Json& Json::push(Json value) {
+  VS07_EXPECT(type_ == Type::kArray);
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::set(std::string key, Json value) {
+  VS07_EXPECT(type_ == Type::kObject);
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const noexcept {
+  if (type_ == Type::kArray) return elements_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+std::string Json::formatDouble(double value) {
+  // Shortest representation that round-trips to the exact same double
+  // ("0", "-0", "0.1", "1e+100", ...). to_chars never emits NaN/Inf here
+  // because the constructor rejects them.
+  char buffer[32];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  VS07_ENSURE(result.ec == std::errc());
+  return std::string(buffer, result.ptr);
+}
+
+void Json::writeString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escape[8];
+          std::snprintf(escape, sizeof(escape), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += escape;
+        } else {
+          // UTF-8 bytes >= 0x80 pass through untouched.
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::write(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline = [&](int level) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * level, ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      out += std::to_string(int_);
+      break;
+    case Type::kUint:
+      out += std::to_string(uint_);
+      break;
+    case Type::kDouble:
+      out += formatDouble(double_);
+      break;
+    case Type::kString:
+      writeString(out, string_);
+      break;
+    case Type::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& element : elements_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        element.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        writeString(out, key);
+        out += pretty ? ": " : ":";
+        value.write(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace vs07

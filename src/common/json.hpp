@@ -1,0 +1,94 @@
+// Minimal ordered JSON writer for the machine-readable bench records
+// (BENCH_*.json). Write-only by design: the library builds a value tree
+// and serialises it; parsing is left to the consumers (plot scripts, the
+// CI checker). Three properties the bench harness depends on:
+//
+//   * object keys keep insertion order, so records serialise stably and
+//     diffs between runs are meaningful;
+//   * doubles are formatted with std::to_chars shortest round-trip form,
+//     so every emitted number parses back to the exact same double and
+//     equal inputs always serialise to equal bytes;
+//   * NaN/Inf are rejected at construction (JSON has no encoding for
+//     them) instead of silently emitting invalid output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vs07 {
+
+/// One JSON value: null, bool, integer, double, string, array, or object.
+/// Objects preserve key insertion order; set() on an existing key
+/// replaces the value in place without moving the key.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  Json() noexcept : type_(Type::kNull) {}
+  Json(std::nullptr_t) noexcept : type_(Type::kNull) {}
+  Json(bool value) noexcept : type_(Type::kBool), bool_(value) {}
+  Json(int value) noexcept
+      : type_(Type::kInt), int_(value) {}
+  Json(long value) noexcept
+      : type_(Type::kInt), int_(value) {}
+  Json(long long value) noexcept
+      : type_(Type::kInt), int_(value) {}
+  Json(unsigned value) noexcept : type_(Type::kUint), uint_(value) {}
+  Json(unsigned long value) noexcept : type_(Type::kUint), uint_(value) {}
+  Json(unsigned long long value) noexcept
+      : type_(Type::kUint), uint_(value) {}
+  /// Rejects NaN and infinities (throws ContractViolation).
+  Json(double value);
+  Json(const char* value) : type_(Type::kString), string_(value) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const noexcept { return type_; }
+
+  /// Appends to an array (the value must be an array). Returns *this for
+  /// chaining.
+  Json& push(Json value);
+
+  /// Sets a key on an object (must be an object), preserving insertion
+  /// order; an existing key is overwritten in place. Returns *this.
+  Json& set(std::string key, Json value);
+
+  /// Number of elements (array) or members (object).
+  std::size_t size() const noexcept;
+
+  /// Serialises the value. indent < 0 renders compact one-line JSON;
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Formats one double exactly as dump() would (shortest round-trip
+  /// form). Exposed so tests can pin the formatting contract directly.
+  static std::string formatDouble(double value);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+  static void writeString(std::string& out, const std::string& s);
+
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> elements_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace vs07

@@ -30,6 +30,26 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   return splitmix64(s);
 }
 
+/// Derives the seed of an independent RNG stream from a root seed and a
+/// two-part stream identity (splitmix-style chained mixing). Used by the
+/// parallel experiment runners: each (strategy-sweep seed, fanout,
+/// replication-chunk) cell seeds its own Rng from this, so a cell's
+/// stream depends only on its identity — never on which thread runs it,
+/// how many threads exist, or what other cells are in flight.
+///
+/// For a fixed root seed, distinct (lane, index) pairs map to distinct
+/// intermediate values at each chaining step (mix64 is a bijection), so
+/// collisions require a cross-step coincidence — negligible over any
+/// realistic grid, and pinned by the seed-derivation property test.
+constexpr std::uint64_t deriveStreamSeed(std::uint64_t seed,
+                                         std::uint64_t lane,
+                                         std::uint64_t index = 0) noexcept {
+  std::uint64_t h = seed;
+  h = mix64(h ^ (0xA0761D6478BD642FULL + mix64(lane)));
+  h = mix64(h ^ (0xE7037ED1A0B428DBULL + mix64(index)));
+  return h;
+}
+
 /// xoshiro256** pseudo-random generator.
 ///
 /// Satisfies std::uniform_random_bit_generator, so it composes with

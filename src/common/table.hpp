@@ -26,6 +26,14 @@ class Table {
   /// Number of data rows.
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// The header cells (for machine-readable re-emission, e.g. JSON).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+
+  /// The data rows, in insertion order.
+  const std::vector<std::vector<std::string>>& rowData() const noexcept {
+    return rows_;
+  }
+
   /// Renders with padded columns and a separator under the header.
   std::string render() const;
 

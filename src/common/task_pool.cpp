@@ -1,0 +1,95 @@
+#include "common/task_pool.hpp"
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+std::uint32_t TaskPool::defaultThreads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : static_cast<std::uint32_t>(n);
+}
+
+TaskPool::TaskPool(std::uint32_t threads)
+    : threads_(threads == 0 ? defaultThreads() : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::uint32_t t = 1; t < threads_; ++t)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void TaskPool::drain(const std::function<void(std::size_t)>& fn,
+                     std::size_t count) {
+  for (;;) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard lock(errorMutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+    }
+  }
+}
+
+void TaskPool::workerLoop() {
+  std::uint64_t seenGeneration = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    {
+      std::unique_lock lock(mutex_);
+      // fn_ != nullptr guards a worker that only wakes after the job has
+      // already been retired by parallelFor: it must keep waiting, not
+      // dereference the dangling pointer.
+      wake_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && generation_ != seenGeneration);
+      });
+      if (stop_) return;
+      seenGeneration = generation_;
+      fn = fn_;
+      count = count_;
+      ++working_;
+    }
+    drain(*fn, count);
+    {
+      std::lock_guard lock(mutex_);
+      --working_;
+    }
+    done_.notify_all();
+  }
+}
+
+void TaskPool::parallelFor(std::size_t count,
+                           const std::function<void(std::size_t)>& fn) {
+  VS07_EXPECT(static_cast<bool>(fn));
+  if (workers_.empty() || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    fn_ = &fn;
+    count_ = count;
+    next_.store(0, std::memory_order_relaxed);
+    firstError_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain(fn, count);
+  {
+    std::unique_lock lock(mutex_);
+    done_.wait(lock, [&] { return working_ == 0; });
+    fn_ = nullptr;
+  }
+  if (firstError_) std::rethrow_exception(firstError_);
+}
+
+}  // namespace vs07

@@ -1,0 +1,71 @@
+// A small persistent worker pool for embarrassingly-parallel index loops.
+//
+// TaskPool::parallelFor(count, fn) runs fn(0) .. fn(count-1) across the
+// pool's threads (the calling thread participates too) and blocks until
+// every index has finished. Scheduling is work-stealing off one atomic
+// counter, so *which* thread runs an index is nondeterministic — callers
+// that need reproducible results must make each index's work independent
+// of execution order (e.g. analysis::ParallelSweep derives one RNG stream
+// per index and merges results in canonical index order).
+//
+// With threadCount() == 1 the loop runs inline on the caller, no workers,
+// no synchronisation — so single-threaded use has zero overhead and is
+// trivially identical to the sequential program.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vs07 {
+
+class TaskPool {
+ public:
+  /// Creates a pool of `threads` total lanes (including the caller's);
+  /// 0 means defaultThreads(). `threads` == 1 spawns no workers.
+  explicit TaskPool(std::uint32_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total lanes (worker threads + the calling thread).
+  std::uint32_t threadCount() const noexcept { return threads_; }
+
+  /// Runs fn(i) for every i in [0, count). Blocks until all complete.
+  /// If any invocation throws, the first exception (in completion order)
+  /// is rethrown here after the loop drains. Not reentrant: one
+  /// parallelFor at a time per pool.
+  void parallelFor(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// hardware_concurrency(), clamped to at least 1.
+  static std::uint32_t defaultThreads() noexcept;
+
+ private:
+  void workerLoop();
+  void drain(const std::function<void(std::size_t)>& fn, std::size_t count);
+
+  const std::uint32_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t working_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::mutex errorMutex_;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace vs07

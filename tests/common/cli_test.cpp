@@ -12,6 +12,7 @@ CliParser makeParser() {
   parser.option("nodes", "population size")
       .option("rate", "churn rate")
       .option("paper", "full scale", /*takesValue=*/false)
+      .option("threads", "worker threads")
       .option("label", "free text");
   return parser;
 }
@@ -59,6 +60,45 @@ TEST(Cli, DefaultsWhenAbsent) {
 TEST(Cli, DoubleParsing) {
   const auto args = parse({"--rate", "0.002"});
   EXPECT_DOUBLE_EQ(args->getDouble("rate", 1.0), 0.002);
+}
+
+TEST(Cli, NonNumericValuesRejectedStrictly) {
+  // Anything short of a complete number is an error, not a silent
+  // truncation: "12abc" must not run a 12-node experiment.
+  EXPECT_THROW(parse({"--nodes", "abc"})->getUint("nodes", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes", "12abc"})->getUint("nodes", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes", "-5"})->getUint("nodes", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes", ""})->getUint("nodes", 0),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--rate", "0.1x"})->getDouble("rate", 0),
+               std::invalid_argument);
+}
+
+TEST(Cli, NonNumericErrorNamesTheOption) {
+  try {
+    parse({"--threads", "two"})->getPositiveUint("threads", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--threads"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("two"), std::string::npos);
+  }
+}
+
+TEST(Cli, PositiveUintRejectsZero) {
+  // "--threads 0" must not spin up an experiment with no workers.
+  EXPECT_THROW(parse({"--threads", "0"})->getPositiveUint("threads", 4),
+               std::invalid_argument);
+  EXPECT_THROW(parse({"--threads=0"})->getPositiveUint("threads", 4),
+               std::invalid_argument);
+}
+
+TEST(Cli, PositiveUintAcceptsNormalValues) {
+  EXPECT_EQ(parse({"--threads", "8"})->getPositiveUint("threads", 1), 8u);
+  // Absent option falls back (the bench default: hardware concurrency).
+  EXPECT_EQ(parse({})->getPositiveUint("threads", 6), 6u);
 }
 
 TEST(Cli, UnknownOptionThrows) {

@@ -1,0 +1,134 @@
+// Unit tests for the minimal ordered JSON writer: escaping, number
+// formatting (shortest round-trip doubles, NaN/Inf rejection), nesting,
+// and key-order stability.
+#include "common/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(0).dump(), "0");
+  EXPECT_EQ(Json(-17).dump(), "-17");
+  EXPECT_EQ(Json(std::uint64_t{18446744073709551615ULL}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json(std::int64_t{-9223372036854775807LL}).dump(),
+            "-9223372036854775807");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json("say \"hi\"").dump(), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(Json("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Json("line\nbreak\ttab\rret").dump(),
+            "\"line\\nbreak\\ttab\\rret\"");
+  EXPECT_EQ(Json(std::string("\b\f")).dump(), "\"\\b\\f\"");
+  // Control characters without shorthand use \u00XX.
+  EXPECT_EQ(Json(std::string("\x01\x1f")).dump(), "\"\\u0001\\u001f\"");
+  // UTF-8 passes through byte-for-byte.
+  EXPECT_EQ(Json("miss‰ — naïve").dump(), "\"miss‰ — naïve\"");
+}
+
+TEST(Json, DoubleFormattingRoundTrips) {
+  for (const double value :
+       {0.0, -0.0, 1.0, -1.0, 0.1, 1.0 / 3.0, 96.92, 1e-300, -1e300,
+        6.02214076e23, std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::denorm_min()}) {
+    const std::string text = Json::formatDouble(value);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::signbit(parsed), std::signbit(value)) << text;
+    EXPECT_EQ(parsed, value) << text;
+  }
+}
+
+TEST(Json, ZeroAndNegativeZero) {
+  EXPECT_EQ(Json(0.0).dump(), "0");
+  EXPECT_EQ(Json(-0.0).dump(), "-0");
+}
+
+TEST(Json, NanAndInfinityRejected) {
+  EXPECT_THROW(Json(std::numeric_limits<double>::quiet_NaN()),
+               ContractViolation);
+  EXPECT_THROW(Json(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+  EXPECT_THROW(Json(-std::numeric_limits<double>::infinity()),
+               ContractViolation);
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json array = Json::array();
+  array.push(1).push("two").push(Json::array().push(3.5)).push(nullptr);
+  EXPECT_EQ(array.dump(), "[1,\"two\",[3.5],null]");
+  EXPECT_EQ(array.size(), 4u);
+  EXPECT_EQ(Json::array().dump(), "[]");
+}
+
+TEST(Json, ObjectsKeepInsertionOrder) {
+  Json object = Json::object();
+  object.set("zulu", 1).set("alpha", 2).set("mike", 3);
+  EXPECT_EQ(object.dump(), "{\"zulu\":1,\"alpha\":2,\"mike\":3}");
+}
+
+TEST(Json, SetExistingKeyReplacesInPlace) {
+  Json object = Json::object();
+  object.set("b", 1).set("a", 2);
+  object.set("b", 99);
+  EXPECT_EQ(object.dump(), "{\"b\":99,\"a\":2}");
+  EXPECT_EQ(object.size(), 2u);
+}
+
+TEST(Json, NestedComposition) {
+  Json root = Json::object();
+  root.set("scale",
+           Json::object().set("nodes", 10'000).set("runs", 100))
+      .set("series", Json::array().push(Json::object()
+                                            .set("label", "randcast")
+                                            .set("points",
+                                                 Json::array().push(1.5))));
+  EXPECT_EQ(root.dump(),
+            "{\"scale\":{\"nodes\":10000,\"runs\":100},"
+            "\"series\":[{\"label\":\"randcast\",\"points\":[1.5]}]}");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json root = Json::object();
+  root.set("a", 1).set("b", Json::array().push(2));
+  EXPECT_EQ(root.dump(2),
+            "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(Json, PushOnNonArrayRejected) {
+  Json object = Json::object();
+  EXPECT_THROW(object.push(1), ContractViolation);
+  Json scalar(1);
+  EXPECT_THROW(scalar.push(1), ContractViolation);
+}
+
+TEST(Json, SetOnNonObjectRejected) {
+  Json array = Json::array();
+  EXPECT_THROW(array.set("k", 1), ContractViolation);
+}
+
+TEST(Json, DumpIsStableAcrossCalls) {
+  Json object = Json::object();
+  object.set("x", 0.1).set("y", Json::array().push(-0.0));
+  const auto first = object.dump();
+  EXPECT_EQ(object.dump(), first);
+  EXPECT_EQ(first, "{\"x\":0.1,\"y\":[-0]}");
+}
+
+}  // namespace
+}  // namespace vs07

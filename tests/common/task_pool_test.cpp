@@ -1,0 +1,84 @@
+// TaskPool unit tests: full coverage of the index space at any thread
+// count, reuse across jobs, inline single-thread mode, and exception
+// propagation out of worker lanes.
+#include "common/task_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace vs07 {
+namespace {
+
+TEST(TaskPool, RunsEveryIndexExactlyOnce) {
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    TaskPool pool(threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallelFor(hits.size(),
+                     [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(TaskPool, ResultsByIndexAreOrderIndependent) {
+  TaskPool pool(4);
+  std::vector<std::uint64_t> out(1000);
+  pool.parallelFor(out.size(), [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(TaskPool, ReusableAcrossJobs) {
+  TaskPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int job = 0; job < 20; ++job)
+    pool.parallelFor(50, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 20u * (49u * 50u / 2u));
+}
+
+TEST(TaskPool, ZeroAndOneCountAreFine) {
+  TaskPool pool(4);
+  int calls = 0;
+  pool.parallelFor(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.parallelFor(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TaskPool, SingleThreadRunsInline) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.parallelFor(ids.size(), [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(TaskPool, PropagatesExceptions) {
+  for (const std::uint32_t threads : {1u, 4u}) {
+    TaskPool pool(threads);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](std::size_t i) {
+                                    if (i == 37)
+                                      throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    // The pool survives a throwing job.
+    std::atomic<int> count{0};
+    pool.parallelFor(10, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 10);
+  }
+}
+
+TEST(TaskPool, DefaultThreadsIsPositive) {
+  EXPECT_GE(TaskPool::defaultThreads(), 1u);
+  TaskPool pool(0);  // 0 = hardware concurrency
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace vs07
