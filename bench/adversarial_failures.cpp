@@ -43,6 +43,7 @@ void arcVsRandom(const bench::Scale& scale, analysis::ParallelSweep& sweep,
                             .nodes(scale.nodes)
                             .rings(multiRing ? 2 : 1)
                             .seed(seed)
+                            .timing(scale.timing)
                             .build();
         if (arc)
           scenario.killContiguousArc(0.10);
@@ -61,8 +62,8 @@ void arcVsRandom(const bench::Scale& scale, analysis::ParallelSweep& sweep,
   for (const std::uint32_t fanout : {3u}) {
     std::vector<std::string> row{"RandCast", std::to_string(fanout)};
     for (const bool arc : {false, true}) {
-      auto scenario =
-          analysis::Scenario::paperStatic(scale.nodes, scale.seed + 55);
+      auto scenario = analysis::Scenario::paperStatic(
+          scale.nodes, scale.seed + 55, scale.timing);
       if (arc)
         scenario.killContiguousArc(0.10);
       else
@@ -100,7 +101,8 @@ void churnModels(const bench::Scale& scale, double meanLifetime,
     for (std::uint32_t net = 0; net < kNetworks; ++net) {
       auto builder = analysis::Scenario::builder()
                          .nodes(scale.nodes)
-                         .seed(scale.seed + (pareto ? 1 : 2) + net * 1000);
+                         .seed(scale.seed + (pareto ? 1 : 2) + net * 1000)
+                         .timing(scale.timing);
       if (pareto)
         builder.sessionChurn(sim::paretoForMeanLifetime(meanLifetime, 1.5));
       else

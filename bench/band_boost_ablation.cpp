@@ -30,7 +30,7 @@ void bandMatrix(const bench::Scale& scale, analysis::ParallelSweep& sweep,
   Table table({"band_width", "dlinks", "F=2", "F=4", "F=8", "F=12"});
   for (const std::uint32_t width : {1u, 2u, 3u}) {
     auto scenario = analysis::Scenario::paperCatastrophic(
-        0.20, scale.nodes, scale.seed + width);
+        0.20, scale.nodes, scale.seed + width, scale.timing);
     const auto snapshot = scenario.snapshotBand(width);
     std::vector<std::string> row{std::to_string(width),
                                  std::to_string(2 * width)};

@@ -28,8 +28,32 @@
 #include "common/json.hpp"
 #include "common/table.hpp"
 #include "common/task_pool.hpp"
+#include "sim/timing.hpp"
 
 namespace vs07::bench {
+
+/// The --timing vocabulary every bench shares. Index order matches
+/// timingPreset(); "cyclesync" is the default (the paper's model).
+inline const std::vector<std::string>& timingChoices() {
+  static const std::vector<std::string> kChoices = {"cyclesync", "jittered",
+                                                    "latency"};
+  return kChoices;
+}
+
+/// The TimingConfig behind each --timing choice: the paper's cycle model,
+/// independent phase-shifted timers, or jittered timers plus a uniform
+/// 1..4-tick delivery latency on all simulated traffic.
+inline sim::TimingConfig timingPreset(std::size_t choice) {
+  switch (choice) {
+    case 1:
+      return sim::TimingConfig::jittered();
+    case 2:
+      return sim::TimingConfig::jitteredLatency(
+          sim::LatencyModel::uniform(1, 4));
+    default:
+      return sim::TimingConfig::cycleSync();
+  }
+}
 
 /// Experiment scale resolved from the command line.
 struct Scale {
@@ -41,6 +65,9 @@ struct Scale {
   bool quick = false;
   bool csv = false;
   std::string jsonPath;  ///< empty = no JSON record requested
+  /// --timing: engine timing model scenarios are built with.
+  sim::TimingConfig timing{};
+  std::string timingName = "cyclesync";
 };
 
 /// Which scale a bench runs at when neither --paper nor --quick is given.
@@ -63,7 +90,9 @@ inline CliParser makeParser(const std::string& description) {
                          "hardware cores; results are identical for any "
                          "thread count)")
       .option("json", "also write a machine-readable BENCH_*.json record "
-                      "to this path");
+                      "to this path")
+      .option("timing", "engine timing model: cyclesync | jittered | "
+                        "latency (default cyclesync, the paper's model)");
   return parser;
 }
 
@@ -99,6 +128,10 @@ inline Scale resolveScale(const CliArgs& args, std::uint32_t quickNodes,
     scale.threads = static_cast<std::uint32_t>(threads);
     scale.csv = args.getBool("csv");
     scale.jsonPath = args.get("json").value_or("");
+    const std::size_t timing =
+        args.getChoice("timing", timingChoices(), /*fallbackIndex=*/0);
+    scale.timing = timingPreset(timing);
+    scale.timingName = timingChoices()[timing];
     return scale;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "%s\n", error.what());
@@ -166,9 +199,11 @@ inline analysis::Scenario buildStatic(const Scale& scale,
                       .nodes(scale.nodes)
                       .seed(scale.seed + extraSeed)
                       .rings(rings)
+                      .timing(scale.timing)
                       .build();
-  std::printf("warm-up: %u cycles over %u nodes in %.2fs\n\n",
-              scenario.config().warmupCycles, scale.nodes, timer.seconds());
+  std::printf("warm-up: %u cycles over %u nodes (%s timing) in %.2fs\n\n",
+              scenario.config().warmupCycles, scale.nodes,
+              scale.timingName.c_str(), timer.seconds());
   return scenario;
 }
 
@@ -182,8 +217,9 @@ inline analysis::Scenario buildChurned(const Scale& scale, double rate,
                                        std::uint64_t maxChurnCycles = 50'000,
                                        bool quiet = false) {
   Stopwatch timer;
-  auto scenario = analysis::Scenario::paperChurn(
-      rate, scale.nodes, scale.seed + extraSeed, maxChurnCycles);
+  auto scenario =
+      analysis::Scenario::paperChurn(rate, scale.nodes, scale.seed + extraSeed,
+                                     maxChurnCycles, scale.timing);
   if (!quiet)
     std::printf(
         "churn warm-up: %llu churn cycles at %.2f%%/cycle (initial population "
@@ -211,7 +247,17 @@ class JsonReport {
                           .set("paper", scale.paper)
                           .set("quick", scale.quick))
         .set("seed", scale.seed)
-        .set("threads", scale.threads);
+        .set("threads", scale.threads)
+        .set("timing", timingJson(scale.timing));
+  }
+
+  /// The timing-model metadata object (also used per-series by benches
+  /// comparing several models in one record).
+  static Json timingJson(const sim::TimingConfig& timing) {
+    return Json::object()
+        .set("mode", timing.modeName())
+        .set("ticks_per_cycle", timing.ticksPerCycle)
+        .set("latency", timing.latency.name());
   }
 
   /// Adds one named series object (whatever shape the bench measures).

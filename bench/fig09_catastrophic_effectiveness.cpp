@@ -34,7 +34,7 @@ int run(const bench::Scale& scale) {
     const auto seed =
         scale.seed + static_cast<std::uint64_t>(killPercent * 10);
     auto scenario = analysis::Scenario::paperCatastrophic(
-        killPercent / 100.0, scale.nodes, seed);
+        killPercent / 100.0, scale.nodes, seed, scale.timing);
 
     const auto rand = sweep.sweepEffectiveness(
         scenario, Strategy::kRandCast, fanouts, scale.runs, seed + 1);

@@ -26,8 +26,8 @@ int run(const bench::Scale& scale) {
       scale);
 
   bench::JsonReport report("fig10_catastrophic_progress", scale);
-  auto scenario =
-      analysis::Scenario::paperCatastrophic(0.05, scale.nodes, scale.seed);
+  auto scenario = analysis::Scenario::paperCatastrophic(
+      0.05, scale.nodes, scale.seed, scale.timing);
   std::printf("killed 5%%: %u nodes remain\n\n",
               scenario.network().aliveCount());
   auto sweep = bench::makeSweep(scale);

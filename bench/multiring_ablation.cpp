@@ -40,6 +40,7 @@ int run(const bench::Scale& scale, std::uint32_t fanout) {
                           .nodes(scale.nodes)
                           .rings(rings)
                           .seed(scale.seed + rings)
+                          .timing(scale.timing)
                           .build();
       if (kill > 0.0) scenario.killRandomFraction(kill);
       const auto snapshot = scenario.snapshot(Strategy::kMultiRing);

@@ -27,8 +27,13 @@ struct Feed {
   analysis::Scenario scenario;
   cast::LiveSession& session;
 
-  Feed(std::uint32_t nodes, cast::CastOptions options, std::uint64_t seed)
-      : scenario(analysis::Scenario::builder().nodes(nodes).seed(seed).build()),
+  Feed(std::uint32_t nodes, cast::CastOptions options, std::uint64_t seed,
+       sim::TimingConfig timing = {})
+      : scenario(analysis::Scenario::builder()
+                     .nodes(nodes)
+                     .seed(seed)
+                     .timing(timing)
+                     .build()),
         session(scenario.liveSession(options)) {}
 };
 
@@ -51,7 +56,8 @@ int run(const bench::Scale& scale) {
     Feed feed(scale.nodes,
               {.strategy = Strategy::kPushPull, .fanout = 2,
                .pullInterval = 1},
-              scale.seed + static_cast<std::uint64_t>(kill * 100));
+              scale.seed + static_cast<std::uint64_t>(kill * 100),
+              scale.timing);
     feed.scenario.killRandomFraction(kill);
 
     const auto report =
@@ -89,7 +95,8 @@ int run(const bench::Scale& scale) {
     options.strategy =
         interval == 0 ? Strategy::kRingCast : Strategy::kPushPull;
     if (interval > 0) options.pullInterval = interval;
-    Feed feed(scale.nodes, options, scale.seed + 77 + interval);
+    Feed feed(scale.nodes, options, scale.seed + 77 + interval,
+              scale.timing);
     feed.scenario.killRandomFraction(0.10);
     feed.session.publish(feed.scenario.network().aliveIds().front());
     const auto id = feed.session.lastDataId();
@@ -105,6 +112,15 @@ int run(const bench::Scale& scale) {
 
   // Part 3: buffer capacity — how many subsequent publishes an old
   // message survives before latecomers can no longer fetch it.
+  //
+  // Always synchronous delivery here (only the timer mode is kept from
+  // --timing): with buffers this tiny and several ids in flight, the §8
+  // evict/re-forward rule is *supercritical* under asynchronous delivery
+  // — each delivery of an evicted id spawns a fresh fanout-wide wave
+  // faster than waves die out, so in-flight traffic grows without bound.
+  // Synchronous cascades terminate, which is what this ablation needs.
+  auto bufferTiming = scale.timing;
+  bufferTiming.latency = sim::LatencyModel::none();
   std::printf("\n--- buffer capacity: can a fresh joiner still pull message "
               "#1 after k more publishes? ---\n");
   Table buffers({"capacity", "publishes_after", "joiner_got_msg1"});
@@ -114,7 +130,7 @@ int run(const bench::Scale& scale) {
                 {.strategy = Strategy::kPushPull, .fanout = 3,
                  .pullInterval = 1, .bufferCapacity = capacity,
                  .pullBudget = 16},
-                scale.seed + 200 + capacity * 10 + extra);
+                scale.seed + 200 + capacity * 10 + extra, bufferTiming);
       feed.session.publish(0);
       const auto first = feed.session.lastDataId();
       for (std::uint32_t i = 0; i < extra; ++i) feed.session.publish(0);

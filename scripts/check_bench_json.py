@@ -17,6 +17,7 @@ REQUIRED_TOP_LEVEL = {
     "scale": dict,
     "seed": int,
     "threads": int,
+    "timing": dict,
     "wall_clock_seconds": (int, float),
     "series": list,
 }
@@ -26,10 +27,37 @@ REQUIRED_SCALE = {
     "paper": bool,
     "quick": bool,
 }
+REQUIRED_TIMING = {
+    "mode": str,
+    "ticks_per_cycle": int,
+    "latency": str,
+}
+TIMING_MODES = {"cyclesync", "jittered"}
+LATENCY_KINDS = {"none", "fixed", "uniform", "exponential"}
 REQUIRED_SERIES_ENTRY = {
     "label": str,
     "kind": str,
 }
+
+
+def check_timing(path, timing, where):
+    """Validates one timing-model metadata object (top-level or series)."""
+    for key, kind in REQUIRED_TIMING.items():
+        if key not in timing:
+            return fail(path, f"missing required key '{where}.{key}'")
+        if not isinstance(timing[key], kind):
+            return fail(path, f"key '{where}.{key}' has type "
+                              f"{type(timing[key]).__name__}")
+    if timing["mode"] not in TIMING_MODES:
+        return fail(path, f"{where}.mode '{timing['mode']}' not in "
+                          f"{sorted(TIMING_MODES)}")
+    if timing["ticks_per_cycle"] < 1:
+        return fail(path, f"{where}.ticks_per_cycle must be >= 1, got "
+                          f"{timing['ticks_per_cycle']}")
+    if timing["latency"] not in LATENCY_KINDS:
+        return fail(path, f"{where}.latency '{timing['latency']}' not in "
+                          f"{sorted(LATENCY_KINDS)}")
+    return True
 
 
 def fail(path, message):
@@ -60,6 +88,8 @@ def check(path):
                               f"{type(record['scale'][key]).__name__}")
     if record["threads"] < 1:
         return fail(path, f"threads must be >= 1, got {record['threads']}")
+    if not check_timing(path, record["timing"], "timing"):
+        return False
     if record["wall_clock_seconds"] < 0:
         return fail(path, "wall_clock_seconds is negative")
     if not record["series"]:
@@ -70,6 +100,13 @@ def check(path):
         for key, kind in REQUIRED_SERIES_ENTRY.items():
             if key not in entry or not isinstance(entry[key], kind):
                 return fail(path, f"series[{i}] missing/typed key '{key}'")
+        # Benches comparing timing models attach per-series metadata too;
+        # when present it must be as well-formed as the top-level object.
+        if "timing" in entry:
+            if not isinstance(entry["timing"], dict):
+                return fail(path, f"series[{i}].timing is not an object")
+            if not check_timing(path, entry["timing"], f"series[{i}].timing"):
+                return False
     print(f"OK   {path}: bench={record['bench']} "
           f"series={len(record['series'])} "
           f"threads={record['threads']} "

@@ -33,11 +33,14 @@ struct Scenario::Core {
   sim::Network network;
   sim::MessageRouter router;
   net::ImmediateTransport transport;
+  sim::Engine engine;
+  /// Built when the timing config carries a latency model; gossip and
+  /// dissemination then both ride the engine's event queue.
+  std::unique_ptr<sim::LatencyTransport> latency;
   std::unique_ptr<net::DelayedTransport> delayed;
   std::unique_ptr<net::LossyTransport> lossy;
   gossip::Cyclon cyclon;
   gossip::MultiRing rings;
-  sim::Engine engine;
   std::unique_ptr<TransportPump> pump;
   std::unique_ptr<sim::ChurnControl> churn;
   std::unique_ptr<sim::SessionChurnControl> sessionChurn;
@@ -53,15 +56,26 @@ struct Scenario::Core {
         transport([this](NodeId to, const net::Message& m) {
           router.deliver(to, m);
         }),
-        cyclon(network, transport, router, c.cyclon,
+        engine(network, mix64(c.seed ^ 0x656E67ULL), c.timing),
+        latency(c.timing.latency.kind == sim::LatencyModel::Kind::kNone
+                    ? nullptr
+                    : std::make_unique<sim::LatencyTransport>(
+                          engine,
+                          [this](NodeId to, const net::Message& m) {
+                            router.deliver(to, m);
+                          },
+                          c.timing.latency, mix64(c.seed ^ 0x6C6174ULL))),
+        cyclon(network, gossipTransport(), router, c.cyclon,
                mix64(c.seed ^ 0x6379636CULL)),
-        rings(network, transport, router, cyclon, c.vicinity, c.rings,
+        rings(network, gossipTransport(), router, cyclon, c.vicinity, c.rings,
               mix64(c.seed ^ 0x72696E67ULL)),
-        engine(network, mix64(c.seed ^ 0x656E67ULL)),
         killRng(mix64(c.seed ^ 0xFA11EDULL)) {
     engine.addProtocol(cyclon);
     engine.addProtocol(rings);
     if (c.delayedTransport) {
+      VS07_EXPECT(!latency &&
+                  "pick one latency mechanism: timing().latency or "
+                  "delayedTransport()");
       delayed = std::make_unique<net::DelayedTransport>(
           [this](NodeId to, const net::Message& m) { router.deliver(to, m); },
           c.minLatencyTicks, c.maxLatencyTicks,
@@ -70,16 +84,27 @@ struct Scenario::Core {
       engine.addControl(*pump);
     }
     if (c.dropProbability > 0.0) {
-      net::Transport& base = delayed ? static_cast<net::Transport&>(*delayed)
-                                     : transport;
+      net::Transport& base = delayed
+                                 ? static_cast<net::Transport&>(*delayed)
+                                 : (latency ? static_cast<net::Transport&>(
+                                                  *latency)
+                                            : transport);
       lossy = std::make_unique<net::LossyTransport>(
           base, c.dropProbability, mix64(c.seed ^ 0x6C6F7373ULL));
     }
   }
 
+  /// The transport the gossip layers ride on: immediate (the paper's
+  /// cycle model) unless the timing config asked for message latency.
+  net::Transport& gossipTransport() {
+    if (latency) return *latency;
+    return transport;
+  }
+
   net::Transport& castTransport() {
     if (lossy) return *lossy;
     if (delayed) return *delayed;
+    if (latency) return *latency;
     return transport;
   }
 
@@ -119,21 +144,24 @@ Scenario::~Scenario() = default;
 
 ScenarioBuilder Scenario::builder() { return ScenarioBuilder{}; }
 
-Scenario Scenario::paperStatic(std::uint32_t nodes, std::uint64_t seed) {
-  return builder().nodes(nodes).seed(seed).build();
+Scenario Scenario::paperStatic(std::uint32_t nodes, std::uint64_t seed,
+                               sim::TimingConfig timing) {
+  return builder().nodes(nodes).seed(seed).timing(timing).build();
 }
 
 Scenario Scenario::paperCatastrophic(double killFraction, std::uint32_t nodes,
-                                     std::uint64_t seed) {
-  Scenario scenario = builder().nodes(nodes).seed(seed).build();
+                                     std::uint64_t seed,
+                                     sim::TimingConfig timing) {
+  Scenario scenario = builder().nodes(nodes).seed(seed).timing(timing).build();
   scenario.killRandomFraction(killFraction);
   return scenario;
 }
 
 Scenario Scenario::paperChurn(double rate, std::uint32_t nodes,
                               std::uint64_t seed,
-                              std::uint64_t maxChurnCycles) {
-  Scenario scenario = builder().nodes(nodes).seed(seed).build();
+                              std::uint64_t maxChurnCycles,
+                              sim::TimingConfig timing) {
+  Scenario scenario = builder().nodes(nodes).seed(seed).timing(timing).build();
   scenario.runChurnUntilFullTurnover(rate, maxChurnCycles);
   return scenario;
 }
@@ -169,6 +197,9 @@ std::vector<NodeId> Scenario::killContiguousArc(double fraction) {
 const Scenario::Config& Scenario::config() const noexcept {
   return core_->config;
 }
+const sim::TimingConfig& Scenario::timing() const noexcept {
+  return core_->config.timing;
+}
 sim::Network& Scenario::network() noexcept { return core_->network; }
 const sim::Network& Scenario::network() const noexcept {
   return core_->network;
@@ -192,6 +223,9 @@ net::Transport& Scenario::castTransport() noexcept {
 }
 net::DelayedTransport* Scenario::delayedTransport() noexcept {
   return core_->delayed.get();
+}
+sim::LatencyTransport* Scenario::latencyTransport() noexcept {
+  return core_->latency.get();
 }
 
 cast::OverlaySnapshot Scenario::snapshot(cast::Strategy strategy) const {
@@ -268,9 +302,28 @@ ScenarioBuilder& ScenarioBuilder::vicinityParams(
   config_.vicinity = params;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::timing(sim::TimingConfig config) {
+  VS07_EXPECT(config.ticksPerCycle >= 1);
+  config_.timing = config;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::jitteredTiming(std::uint32_t ticksPerCycle) {
+  VS07_EXPECT(ticksPerCycle >= 1);
+  config_.timing.mode = sim::TimingMode::kJitteredPeriodic;
+  config_.timing.ticksPerCycle = ticksPerCycle;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::latency(sim::LatencyModel model) {
+  VS07_EXPECT(!config_.delayedTransport &&
+              "pick one latency mechanism: latency() or delayedTransport()");
+  config_.timing.latency = model;
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::delayedTransport(
     std::uint32_t minLatencyTicks, std::uint32_t maxLatencyTicks) {
   VS07_EXPECT(minLatencyTicks <= maxLatencyTicks);
+  VS07_EXPECT(config_.timing.latency.kind == sim::LatencyModel::Kind::kNone &&
+              "pick one latency mechanism: latency() or delayedTransport()");
   config_.delayedTransport = true;
   config_.minLatencyTicks = minLatencyTicks;
   config_.maxLatencyTicks = maxLatencyTicks;

@@ -30,9 +30,11 @@
 #include "net/transport.hpp"
 #include "sim/churn.hpp"
 #include "sim/engine.hpp"
+#include "sim/latency_transport.hpp"
 #include "sim/network.hpp"
 #include "sim/router.hpp"
 #include "sim/session_churn.hpp"
+#include "sim/timing.hpp"
 
 namespace vs07::analysis {
 
@@ -57,8 +59,16 @@ class Scenario {
     /// build() runs bootstrap + warm-up unless cleared (noWarmup()).
     bool warmOnBuild = true;
 
-    // -- dissemination transport (gossip always runs on the paper's
-    //    immediate cycle model; these shape LiveSession traffic) --------
+    // -- timing model (engine timers + optional message latency) --------
+    /// CycleSync by default (the paper's evaluation model). When
+    /// timing.latency is set, *all* simulated traffic — gossip exchanges
+    /// and dissemination alike — rides a LatencyTransport scheduled on
+    /// the engine's event queue, so delay shapes overlay construction
+    /// too, which is exactly the §7 claim worth testing.
+    sim::TimingConfig timing{};
+
+    // -- dissemination transport (legacy pumped path: gossip stays on the
+    //    immediate cycle model; these shape LiveSession traffic only) ----
     bool delayedTransport = false;
     std::uint32_t minLatencyTicks = 1;
     std::uint32_t maxLatencyTicks = 1;
@@ -75,21 +85,26 @@ class Scenario {
 
   // -- the paper's three evaluation settings as one-call presets --------
 
-  /// §7.1: static failure-free network, warmed up.
+  /// §7.1: static failure-free network, warmed up. All presets default
+  /// to the paper's cycle-synchronous timing; pass a TimingConfig to
+  /// re-run the same setting under jittered timers or latency delivery.
   static Scenario paperStatic(std::uint32_t nodes = 10'000,
-                              std::uint64_t seed = 42);
+                              std::uint64_t seed = 42,
+                              sim::TimingConfig timing = {});
   /// §7.2: warmed up, then `killFraction` of the population fails at
   /// once with gossip stalled (no healing before dissemination).
   static Scenario paperCatastrophic(double killFraction,
                                     std::uint32_t nodes = 10'000,
-                                    std::uint64_t seed = 42);
+                                    std::uint64_t seed = 42,
+                                    sim::TimingConfig timing = {});
   /// §7.3: warmed up, then churned at `rate` until the entire initial
   /// population has been replaced (capped at `maxChurnCycles`); churn
   /// keeps running during subsequent cycles.
   static Scenario paperChurn(double rate = 0.002,
                              std::uint32_t nodes = 10'000,
                              std::uint64_t seed = 42,
-                             std::uint64_t maxChurnCycles = 50'000);
+                             std::uint64_t maxChurnCycles = 50'000,
+                             sim::TimingConfig timing = {});
 
   Scenario(Scenario&&) noexcept;
   Scenario& operator=(Scenario&&) noexcept;
@@ -125,6 +140,7 @@ class Scenario {
   // -- access ------------------------------------------------------------
 
   const Config& config() const noexcept;
+  const sim::TimingConfig& timing() const noexcept;
   sim::Network& network() noexcept;
   const sim::Network& network() const noexcept;
   sim::Engine& engine() noexcept;
@@ -141,6 +157,9 @@ class Scenario {
   net::Transport& castTransport() noexcept;
   /// Non-null when the builder chose a delayed transport (tick/drain).
   net::DelayedTransport* delayedTransport() noexcept;
+  /// Non-null when the timing config carries a latency model: the
+  /// engine-queue transport all simulated traffic rides on.
+  sim::LatencyTransport* latencyTransport() noexcept;
 
   // -- frozen overlays ---------------------------------------------------
 
@@ -182,6 +201,17 @@ class ScenarioBuilder {
   ScenarioBuilder& warmupCycles(std::uint32_t cycles);
   ScenarioBuilder& cyclonParams(gossip::Cyclon::Params params);
   ScenarioBuilder& vicinityParams(gossip::Vicinity::Params params);
+
+  /// Full timing-model control (mode, ticks per cycle, latency). The
+  /// presets on sim::TimingConfig cover the common cases.
+  ScenarioBuilder& timing(sim::TimingConfig config);
+  /// Shorthand: independent phase-shifted node timers (JitteredPeriodic).
+  ScenarioBuilder& jitteredTiming(
+      std::uint32_t ticksPerCycle = sim::kDefaultTicksPerCycle);
+  /// Shorthand: per-message delivery latency for *all* simulated traffic
+  /// through the engine queue (composes with either timing mode;
+  /// mutually exclusive with delayedTransport()).
+  ScenarioBuilder& latency(sim::LatencyModel model);
 
   /// Dissemination messages take a uniform-random [min,max] tick latency.
   ScenarioBuilder& delayedTransport(std::uint32_t minLatencyTicks,

@@ -83,6 +83,10 @@ std::uint64_t LiveCast::publish(NodeId origin) {
   auto& stats = stats_[dataId];
   stats.dataId = dataId;
   stats.origin = origin;
+  if (clock_ != nullptr) {
+    stats.publishedAtTick = clock_->tick();
+    stats.lastDeliveryTick = clock_->tick();
+  }
   deliveredTo_[dataId].assign(network_.totalCreated(), 0);
   deliverLocally(origin, dataId, /*viaPull=*/false, /*hop=*/0);
   forward(origin, kNoNode, dataId, /*hop=*/0);
@@ -139,6 +143,8 @@ void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
     return;
   }
   bitmap[self] = 1;
+  if (clock_ != nullptr && clock_->tick() > stats.lastDeliveryTick)
+    stats.lastDeliveryTick = clock_->tick();
   if (viaPull) {
     ++stats.pullDelivered;
   } else {

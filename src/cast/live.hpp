@@ -37,6 +37,13 @@ namespace vs07::cast {
 /// is FIFO: once capacity is exceeded the oldest message is forgotten and
 /// can no longer be served to pulling peers (§8's "duration for which
 /// nodes maintain old messages").
+///
+/// Caveat: forgetting implies re-forwarding on re-reception (pinned by
+/// message_store_test). Under *asynchronous* delivery this rule turns
+/// supercritical when capacity is small relative to the ids in flight —
+/// each delivery of an evicted id spawns a fresh fanout-wide wave —
+/// so latency-model experiments should size buffers above the number of
+/// concurrently circulating messages.
 class MessageStore {
  public:
   explicit MessageStore(std::uint32_t capacity = 64);
@@ -80,6 +87,19 @@ struct LiveMessageStats {
   std::vector<std::uint64_t> newlyNotifiedPerHop;
   /// Highest push hop that notified a node.
   std::uint32_t lastHop = 0;
+  /// Engine ticks of the first (origin) and latest first-time delivery —
+  /// the wave's extent in simulated time. Only meaningful when a clock is
+  /// attached (LiveSession always attaches the engine); under an
+  /// immediate transport both stamps equal the publish tick.
+  std::uint64_t publishedAtTick = 0;
+  std::uint64_t lastDeliveryTick = 0;
+
+  /// Wave duration in ticks (0 for synchronous waves).
+  std::uint64_t spreadTicks() const noexcept {
+    return lastDeliveryTick >= publishedAtTick
+               ? lastDeliveryTick - publishedAtTick
+               : 0;
+  }
 
   std::uint64_t delivered() const noexcept {
     return pushDelivered + pullDelivered;
@@ -141,6 +161,11 @@ class LiveCast final : public sim::CycleProtocol,
   /// neighbours (§8 multi-ring forwarding). Call before publishing.
   void useMultiRing(const gossip::MultiRing& rings) { multiRing_ = &rings; }
 
+  /// Attaches the engine as the simulated clock: deliveries are stamped
+  /// with the tick they landed on (LiveMessageStats::lastDeliveryTick),
+  /// making wave durations measurable under latency-model transports.
+  void attachClock(const sim::Engine& engine) { clock_ = &engine; }
+
   /// Has `node` received message `dataId`?
   bool hasDelivered(std::uint64_t dataId, NodeId node) const;
 
@@ -188,6 +213,7 @@ class LiveCast final : public sim::CycleProtocol,
   const gossip::Cyclon& cyclon_;
   const gossip::Vicinity* vicinity_;
   const gossip::MultiRing* multiRing_ = nullptr;
+  const sim::Engine* clock_ = nullptr;
   Params params_;
   Rng rng_;
 

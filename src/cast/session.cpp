@@ -82,6 +82,7 @@ LiveSession::LiveSession(sim::Network& network, net::Transport& transport,
     // to the multi-ring union is safe before any publish.
     if (rings->ringCount() > 1) live_.useMultiRing(*rings);
   }
+  live_.attachClock(engine_);
   engine_.addProtocol(live_);
 }
 

@@ -39,6 +39,23 @@ std::size_t editDistance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
+/// The candidate within edit distance 2 of `value` (a plausible typo),
+/// or nullptr. Shared by the unknown-option and bad-choice error paths
+/// so both speak the same did-you-mean dialect.
+const std::string* closestMatch(const std::string& value,
+                                const std::vector<std::string>& candidates) {
+  const std::string* closest = nullptr;
+  auto best = std::numeric_limits<std::size_t>::max();
+  for (const auto& candidate : candidates) {
+    const auto distance = editDistance(value, candidate);
+    if (distance < best) {
+      best = distance;
+      closest = &candidate;
+    }
+  }
+  return best <= 2 ? closest : nullptr;
+}
+
 }  // namespace
 
 bool CliArgs::has(const std::string& name) const {
@@ -110,6 +127,27 @@ bool CliArgs::getBool(const std::string& name, bool fallback) const {
   return *parsed;
 }
 
+std::size_t CliArgs::getChoice(const std::string& name,
+                               const std::vector<std::string>& choices,
+                               std::size_t fallbackIndex) const {
+  if (choices.empty() || fallbackIndex >= choices.size())
+    throw std::invalid_argument("--" + name +
+                                ": fallback outside the choice list");
+  const auto v = get(name);
+  if (!v) return fallbackIndex;
+  for (std::size_t i = 0; i < choices.size(); ++i)
+    if (choices[i] == *v) return i;
+
+  // Same contract as unknown options: a typo fails loudly with the
+  // closest registered value named, never silently falls back.
+  std::string message = "bad value for --" + name + ": '" + *v + "'";
+  if (const auto* closest = closestMatch(*v, choices))
+    message += " (did you mean '" + *closest + "'?)";
+  message += "; choices:";
+  for (const auto& choice : choices) message += " " + choice;
+  throw std::invalid_argument(message);
+}
+
 
 CliParser::CliParser(std::string programDescription)
     : description_(std::move(programDescription)) {}
@@ -162,17 +200,11 @@ std::optional<CliArgs> CliParser::parse(int argc,
       // Typos must fail loudly, not silently run the default experiment:
       // name the closest registered option and list the alternatives.
       std::string message = "unknown option: --" + name;
-      const Option* closest = nullptr;
-      auto best = std::numeric_limits<std::size_t>::max();
-      for (const auto& candidate : options_) {
-        const auto distance = editDistance(name, candidate.name);
-        if (distance < best) {
-          best = distance;
-          closest = &candidate;
-        }
-      }
-      if (closest != nullptr && best <= 2)  // only plausible typos
-        message += " (did you mean --" + closest->name + "?)";
+      std::vector<std::string> names;
+      names.reserve(options_.size());
+      for (const auto& candidate : options_) names.push_back(candidate.name);
+      if (const auto* closest = closestMatch(name, names))
+        message += " (did you mean --" + *closest + "?)";
       message += "; run with --help to list the options";
       throw std::invalid_argument(message);
     }

@@ -30,6 +30,14 @@ class CliArgs {
   std::int64_t getInt(const std::string& name, std::int64_t fallback) const;
   double getDouble(const std::string& name, double fallback) const;
   bool getBool(const std::string& name, bool fallback = false) const;
+  /// Enumerated flag: returns the index of the option's value within
+  /// `choices`, or `fallbackIndex` when the option is absent. An
+  /// unrecognised value throws std::invalid_argument naming the option,
+  /// listing the choices, and suggesting the closest match on a
+  /// plausible typo ("did you mean 'cyclesync'?").
+  std::size_t getChoice(const std::string& name,
+                        const std::vector<std::string>& choices,
+                        std::size_t fallbackIndex) const;
 
  private:
   friend class CliParser;

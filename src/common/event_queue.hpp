@@ -1,0 +1,91 @@
+// Deterministic discrete-event scheduler — the one priority structure
+// behind simulated time.
+//
+// Events are keyed on (dueTick, priority, seq): due tick first, then an
+// ordering class within the tick (the simulation engine uses delivery <
+// timer < control), then a monotonically increasing sequence number that
+// makes ties FIFO. Because the key is a pure function of the schedule
+// calls — never of wall-clock, addresses, or container internals — two
+// identically seeded simulations replay the exact same event order,
+// which is what every determinism suite in this repo leans on.
+//
+// Used by sim::Engine as the simulation core and by net::DelayedTransport
+// as its delivery queue (one scheduler implementation, two clocks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace vs07 {
+
+/// Deterministic (dueTick, priority, seq)-ordered event queue. Executing
+/// an event may schedule further events (re-entrancy is the normal case:
+/// a delivered message triggers forwards); see advanceTo for how those
+/// are ordered.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at (dueTick, priority); ties with already
+  /// scheduled events break FIFO. Returns the sequence number assigned.
+  std::uint64_t schedule(std::uint64_t dueTick, std::uint8_t priority,
+                         Action action);
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The current simulated tick: the largest tick ever advanced to.
+  std::uint64_t now() const noexcept { return now_; }
+
+  /// The sequence number the next schedule() call will be assigned
+  /// (advanceTo cutoffs are expressed against this counter).
+  std::uint64_t nextSeq() const noexcept { return nextSeq_; }
+
+  /// Due tick of the earliest pending event. Requires !empty().
+  std::uint64_t nextDueTick() const;
+
+  /// Advances now() to `tick` and executes every event with
+  /// dueTick <= tick in (dueTick, priority, seq) order. Events scheduled
+  /// *during* execution join the same ordering: one due at or before
+  /// `tick` still runs in this call, after the already pending events of
+  /// its (dueTick, priority) class.
+  void advanceTo(std::uint64_t tick);
+
+  /// advanceTo that additionally skips events with seq >= seqCutoff:
+  /// passing nextSeq() taken *before* the call defers everything
+  /// scheduled re-entrantly to a later advance — the "a zero-latency
+  /// send from inside a delivery handler waits for the next tick"
+  /// semantics DelayedTransport promises.
+  void advanceTo(std::uint64_t tick, std::uint64_t seqCutoff);
+
+  /// Executes everything still pending regardless of due tick (test
+  /// teardown / transport drain); now() advances to the last executed
+  /// event's due tick.
+  void drainAll();
+
+ private:
+  struct Event {
+    std::uint64_t dueTick;
+    std::uint8_t priority;
+    std::uint64_t seq;
+    Action action;
+  };
+  /// Min-heap order on (dueTick, priority, seq).
+  struct After {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.dueTick != b.dueTick) return a.dueTick > b.dueTick;
+      if (a.priority != b.priority) return a.priority > b.priority;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, After> heap_;
+  std::uint64_t now_ = 0;
+  std::uint64_t nextSeq_ = 0;
+};
+
+}  // namespace vs07

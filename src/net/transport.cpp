@@ -36,28 +36,20 @@ void DelayedTransport::send(NodeId to, Message msg) {
           ? minLatency_
           : minLatency_ + static_cast<std::uint32_t>(rng_.below(
                               maxLatency_ - minLatency_ + 1));
-  heap_.push({now_ + latency, nextSeq_++, to, std::move(msg)});
+  queue_.schedule(queue_.now() + latency, /*priority=*/0,
+                  [this, to, m = std::move(msg)] { deliver_(to, m); });
 }
 
 void DelayedTransport::tick() {
-  ++now_;
   // Handlers may send() from inside deliver_ (forwarding chains); those
-  // messages join the heap directly but carry a sequence number past this
-  // cutoff, so even a zero-latency re-entrant send waits for the next
-  // tick — the same semantics the old snapshot-and-swap loop had.
-  const std::uint64_t cutoff = nextSeq_;
-  while (!heap_.empty() && heap_.top().dueTick <= now_ &&
-         heap_.top().seq < cutoff) {
-    // priority_queue::top() is const; the message is moved out via pop
-    // order anyway, so copy-free extraction needs the const_cast idiom.
-    Pending pending = std::move(const_cast<Pending&>(heap_.top()));
-    heap_.pop();
-    deliver_(pending.to, pending.msg);
-  }
+  // messages join the queue directly but carry a sequence number past
+  // this cutoff, so even a zero-latency re-entrant send waits for the
+  // next tick — the same semantics the old snapshot-and-swap loop had.
+  queue_.advanceTo(queue_.now() + 1, queue_.nextSeq());
 }
 
 void DelayedTransport::drain() {
-  while (!heap_.empty()) tick();
+  while (!queue_.empty()) tick();
 }
 
 LossyTransport::LossyTransport(Transport& inner, double dropProbability,

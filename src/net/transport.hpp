@@ -8,15 +8,16 @@
 //   * LossyTransport — decorator dropping each message with probability p.
 // The paper's evaluation is hop-based and latency-free (§7: uniform delay
 // does not change macroscopic behaviour); the delayed/lossy variants exist
-// for tests and for the failure-injection experiments.
+// for tests and for the failure-injection experiments. For latency that
+// interleaves with the simulation's own clock, see sim::LatencyTransport,
+// which schedules deliveries on the engine's shared event queue.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
-#include <vector>
 
+#include "common/event_queue.hpp"
 #include "common/rng.hpp"
 #include "net/message.hpp"
 
@@ -57,11 +58,11 @@ class ImmediateTransport final : public Transport {
 /// Queues messages and delivers them `latencyTicks` calls to tick() later.
 /// Per-message latency can also be randomised within [min,max] ticks.
 ///
-/// The queue is a min-heap keyed on (dueTick, enqueue sequence): tick()
-/// pops only the messages actually due — O(due log n) instead of the full
-/// O(n) queue scan per tick — and the sequence tiebreak keeps delivery
-/// FIFO among messages due the same tick, so randomized-latency runs stay
-/// bit-for-bit deterministic.
+/// The queue is a deterministic EventQueue keyed on (dueTick, seq) — the
+/// same scheduler the simulation engine runs on, here with a private
+/// clock. tick() pops only the messages actually due, and the sequence
+/// tiebreak keeps delivery FIFO among messages due the same tick, so
+/// randomized-latency runs stay bit-for-bit deterministic.
 class DelayedTransport final : public Transport {
  public:
   DelayedTransport(DeliverFn deliver, std::uint32_t minLatencyTicks,
@@ -77,25 +78,11 @@ class DelayedTransport final : public Transport {
   /// Delivers everything still queued (used at test teardown).
   void drain();
 
-  std::size_t inFlight() const noexcept { return heap_.size(); }
+  std::size_t inFlight() const noexcept { return queue_.size(); }
 
  private:
-  struct Pending {
-    std::uint64_t dueTick;
-    std::uint64_t seq;  ///< FIFO tiebreak among equal dueTicks
-    NodeId to;
-    Message msg;
-  };
-  /// Min-heap order on (dueTick, seq).
-  struct Later {
-    bool operator()(const Pending& a, const Pending& b) const noexcept {
-      return a.dueTick != b.dueTick ? a.dueTick > b.dueTick : a.seq > b.seq;
-    }
-  };
   DeliverFn deliver_;
-  std::priority_queue<Pending, std::vector<Pending>, Later> heap_;
-  std::uint64_t now_ = 0;
-  std::uint64_t nextSeq_ = 0;
+  EventQueue queue_;
   std::uint32_t minLatency_;
   std::uint32_t maxLatency_;
   Rng rng_;

@@ -1,21 +1,52 @@
-// Cycle-driven simulation engine, modelled after PeerSim's cycle mode,
-// which is what the paper's evaluation runs on.
+// Discrete-event simulation engine with pluggable timing models.
 //
-// Each cycle: every alive node, in fresh random order, takes one active
-// step per registered protocol ("nodes have independent, non-synchronized
-// timers" approximated by random ordering, the standard PeerSim approach);
-// then each Control runs once (churn, observers, convergence probes).
+// The core is a deterministic EventQueue keyed on (dueTick, priority,
+// seq); everything that happens in simulated time — node gossip timers,
+// message deliveries, per-cycle controls — is an event on that queue.
+// Within a tick, deliveries run before timers run before controls.
+//
+// Two timing models drive the gossip timers (sim/timing.hpp):
+//
+//   * CycleSync (default): one global timer, modelled after PeerSim's
+//     cycle mode, which is what the paper's evaluation runs on. Each
+//     cycle every alive node, in fresh random order, takes one active
+//     step per registered protocol; exchanges complete inside the cycle.
+//     This reproduces the pre-event-core engine bit-for-bit.
+//   * JitteredPeriodic: every node owns an independent periodic timer,
+//     phase-shifted by a per-node random offset within the cycle's
+//     ticksPerCycle-tick span ("nodes have independent, non-synchronized
+//     timers", the §7 assumption the cycle model only approximates).
+//
+// A cycle remains the unit of experiment time in both models: run(n)
+// runs n cycles, controls (churn, observers, probes) execute once at the
+// end of each cycle, and cycle() counts completed cycles. Under
+// JitteredPeriodic a cycle simply spans ticksPerCycle ticks instead of
+// one instant.
+//
+// Message latency: transports may schedule deliveries onto the shared
+// queue via scheduleDelivery() (see sim::LatencyTransport), so delayed
+// traffic interleaves deterministically with node timers instead of
+// living in per-transport side heaps.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/event_queue.hpp"
 #include "common/rng.hpp"
 #include "net/node_id.hpp"
 #include "sim/network.hpp"
+#include "sim/timing.hpp"
 
 namespace vs07::sim {
+
+/// Event ordering classes within one tick (EventQueue priority field):
+/// pending message deliveries land first, then node gossip timers, then
+/// end-of-cycle controls.
+inline constexpr std::uint8_t kPriorityDelivery = 0;
+inline constexpr std::uint8_t kPriorityTimer = 1;
+inline constexpr std::uint8_t kPriorityControl = 2;
 
 /// A gossip protocol instance driven by the engine. One object manages the
 /// state of *all* nodes (dense arrays), like a PeerSim protocol array.
@@ -44,7 +75,12 @@ class JoinHandler {
 /// The engine. Non-owning over protocols/controls: caller keeps them alive.
 class Engine {
  public:
-  Engine(Network& network, std::uint64_t seed);
+  /// CycleSync timing (the paper's model) unless `timing` says otherwise.
+  Engine(Network& network, std::uint64_t seed,
+         TimingConfig timing = TimingConfig::cycleSync());
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Registers a protocol; steps run in registration order per node.
   void addProtocol(CycleProtocol& protocol);
@@ -53,9 +89,9 @@ class Engine {
   void addControl(Control& control);
 
   /// Per-node step multiplier: a node for which this returns k takes k
-  /// active steps in a cycle ("gossip at an arbitrarily higher rate", the
-  /// §7.3 join-acceleration optimisation). Pass {} to clear; values of 0
-  /// are treated as 1.
+  /// active steps per timer firing ("gossip at an arbitrarily higher
+  /// rate", the §7.3 join-acceleration optimisation). Pass {} to clear;
+  /// values of 0 are treated as 1.
   using StepBoostFn = std::function<std::uint32_t(NodeId, std::uint64_t)>;
   void setStepBoost(StepBoostFn boost) { boost_ = std::move(boost); }
 
@@ -77,18 +113,64 @@ class Engine {
   /// Current cycle number (count of completed cycles).
   std::uint64_t cycle() const noexcept { return cycle_; }
 
+  /// Current simulated tick. Under CycleSync with ticksPerCycle 1 this
+  /// advances one per cycle; under jittered timing it is the fine-grained
+  /// clock node timers and deliveries are scheduled on.
+  std::uint64_t tick() const noexcept { return tick_; }
+
+  const TimingConfig& timing() const noexcept { return timing_; }
+
+  /// Schedules `action` onto the shared event queue `delayTicks` from the
+  /// current tick, at delivery priority. Latency-model transports use
+  /// this; deliveries due mid-cycle interleave with node timers in
+  /// deterministic (dueTick, priority, seq) order.
+  void scheduleDelivery(std::uint64_t delayTicks, EventQueue::Action action);
+
+  /// Deliveries scheduled but not yet executed.
+  std::size_t pendingDeliveries() const noexcept { return pendingDeliveries_; }
+
   Network& network() noexcept { return network_; }
 
  private:
+  /// Assigns gossip-timer phases on membership changes (joiners get a
+  /// fresh phase the moment they spawn, so churn works in any mode).
+  struct PhaseTracker final : MembershipObserver {
+    explicit PhaseTracker(Engine& engine) : engine(engine) {}
+    void onSpawn(NodeId node) override { engine.assignPhase(node); }
+    void onKill(NodeId /*node*/) override {}
+    Engine& engine;
+  };
+
   void runOneCycle();
+  /// CycleSync: the whole synchronous round as one macro-event.
+  void sweepCycleSync();
+  /// JitteredPeriodic: one node's timer firing.
+  void stepNode(NodeId node);
+  /// End-of-cycle event: advances cycle() and runs the controls.
+  void finishCycle();
+  void assignPhase(NodeId node);
 
   Network& network_;
+  TimingConfig timing_;
   Rng rng_;
+  /// Separate stream for timer phases so CycleSync runs consume rng_
+  /// exactly as the pre-event-core engine did (bit-for-bit regression).
+  Rng phaseRng_;
+  EventQueue queue_;
+  PhaseTracker phases_{*this};
   std::vector<CycleProtocol*> protocols_;
   std::vector<Control*> controls_;
   StepBoostFn boost_;
   std::uint64_t cycle_ = 0;
-  std::vector<NodeId> order_;  // scratch, reused every cycle
+  std::uint64_t tick_ = 0;
+  std::uint64_t nextCycleStart_ = 0;
+  std::size_t pendingDeliveries_ = 0;
+  std::vector<NodeId> order_;          // scratch, reused every cycle
+  std::vector<std::uint32_t> phase_;   // per-node timer offset in ticks
+  /// Jittered-mode scratch: nodes grouped by phase, one bucket per tick
+  /// of the cycle, refilled at each cycle start and consumed by that
+  /// cycle's timer events before the next refill.
+  std::vector<std::vector<NodeId>> buckets_;
 };
 
 /// Boost function for Engine::setStepBoost implementing the §7.3

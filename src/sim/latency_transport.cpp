@@ -1,0 +1,28 @@
+#include "sim/latency_transport.hpp"
+
+#include <utility>
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+
+LatencyTransport::LatencyTransport(Engine& engine, net::DeliverFn deliver,
+                                   LatencyModel latency, std::uint64_t seed)
+    : engine_(engine),
+      deliver_(std::move(deliver)),
+      latency_(latency),
+      rng_(seed) {
+  VS07_EXPECT(deliver_ != nullptr);
+}
+
+void LatencyTransport::send(NodeId to, net::Message msg) {
+  countSend();
+  ++inFlight_;
+  const std::uint64_t delay = latency_.draw(rng_);
+  engine_.scheduleDelivery(delay, [this, to, m = std::move(msg)] {
+    --inFlight_;
+    deliver_(to, m);
+  });
+}
+
+}  // namespace vs07::sim

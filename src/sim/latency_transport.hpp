@@ -1,0 +1,47 @@
+// LatencyTransport — message delivery through the engine's event queue.
+//
+// Every send() draws a latency from a LatencyModel (fixed / uniform /
+// exponential ticks) and schedules the delivery on the engine's shared
+// scheduler at delivery priority, so in-flight traffic interleaves with
+// node gossip timers in deterministic (dueTick, priority, seq) order.
+// This is the event-core replacement for pumping a DelayedTransport once
+// per cycle: no side heap, no separate clock, and latencies are
+// meaningful at sub-cycle granularity under jittered timing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "net/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/timing.hpp"
+
+namespace vs07::sim {
+
+/// net::Transport whose deliveries are events on an Engine's queue.
+/// Non-owning: engine and sink must outlive the transport.
+class LatencyTransport final : public net::Transport {
+ public:
+  LatencyTransport(Engine& engine, net::DeliverFn deliver,
+                   LatencyModel latency, std::uint64_t seed);
+
+  /// Schedules delivery `latency.draw()` ticks from the engine's current
+  /// tick. A zero-tick draw still goes through the queue (it runs at the
+  /// current tick, after already pending same-tick deliveries).
+  void send(NodeId to, net::Message msg) override;
+
+  /// Messages scheduled on the engine but not yet delivered (counts this
+  /// transport's traffic only).
+  std::size_t inFlight() const noexcept { return inFlight_; }
+
+  const LatencyModel& latency() const noexcept { return latency_; }
+
+ private:
+  Engine& engine_;
+  net::DeliverFn deliver_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::size_t inFlight_ = 0;
+};
+
+}  // namespace vs07::sim

@@ -22,7 +22,10 @@ void MessageRouter::deliver(NodeId to, const net::Message& msg) {
     return;
   }
   const auto& handler = handlers_[slot(msg.kind, msg.channel)];
-  VS07_EXPECT(handler != nullptr);
+  if (handler == nullptr) {
+    ++droppedUnroutable_;
+    return;
+  }
   handler(to, msg);
 }
 

@@ -34,6 +34,15 @@ class MessageRouter {
   /// Messages dropped because the destination was dead.
   std::uint64_t droppedDead() const noexcept { return droppedDead_; }
 
+  /// Messages dropped because no handler was registered for their
+  /// (kind, channel) slot. Always zero in a correctly wired system —
+  /// the integration suites assert it — but under latency models a
+  /// message can legitimately outlive the session that owned its slot,
+  /// so delivery must degrade to counting, not to a crash.
+  std::uint64_t droppedUnroutable() const noexcept {
+    return droppedUnroutable_;
+  }
+
  private:
   static constexpr std::size_t kKinds = net::kMessageKinds + 1;
   static std::size_t slot(net::MessageKind kind, std::uint8_t channel);
@@ -41,6 +50,7 @@ class MessageRouter {
   const Network* network_;
   std::array<Handler, kKinds*(net::kMaxChannel + 1)> handlers_{};
   std::uint64_t droppedDead_ = 0;
+  std::uint64_t droppedUnroutable_ = 0;
 };
 
 }  // namespace vs07::sim

@@ -1,0 +1,46 @@
+#include "sim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vs07::sim {
+
+std::uint64_t LatencyModel::draw(Rng& rng) const {
+  switch (kind) {
+    case Kind::kNone:
+      return 0;
+    case Kind::kFixed:
+      return minTicks;
+    case Kind::kUniform:
+      return minTicks == maxTicks
+                 ? minTicks
+                 : minTicks + rng.below(maxTicks - minTicks + 1);
+    case Kind::kExponential: {
+      // Inverse-CDF draw; uniform() < 1 keeps the log argument positive.
+      const double raw = -meanTicks * std::log(1.0 - rng.uniform());
+      const auto ticks = static_cast<std::uint64_t>(std::llround(raw));
+      return std::clamp<std::uint64_t>(ticks, minTicks, maxTicks);
+    }
+  }
+  return 0;  // unreachable
+}
+
+const char* LatencyModel::name() const noexcept {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kFixed:
+      return "fixed";
+    case Kind::kUniform:
+      return "uniform";
+    case Kind::kExponential:
+      return "exponential";
+  }
+  return "none";  // unreachable
+}
+
+const char* TimingConfig::modeName() const noexcept {
+  return mode == TimingMode::kCycleSync ? "cyclesync" : "jittered";
+}
+
+}  // namespace vs07::sim

@@ -1,0 +1,110 @@
+// Pluggable timing models for the discrete-event simulation core.
+//
+// The paper's evaluation runs on a cycle-synchronous model (PeerSim
+// cycles) but argues in §7 that "nodes have independent, non-synchronized
+// timers" and that uniform delay does not change macroscopic behaviour.
+// The engine makes that claim *testable* instead of assumed:
+//
+//   * CycleSync — one global timer; every cycle all alive nodes step in a
+//     fresh random order and an exchange completes inside the cycle.
+//     Reproduces the pre-event-core engine bit-for-bit (the determinism
+//     regression suites pin this).
+//   * JitteredPeriodic — each node owns an independent periodic gossip
+//     timer, phase-shifted by a per-node random offset within the cycle,
+//     which is what the paper actually assumes of deployed nodes.
+//
+// Orthogonally, a LatencyModel assigns every simulated message a delivery
+// latency in ticks (fixed / uniform / exponential); the engine's shared
+// EventQueue schedules the arrival, replacing per-transport ad-hoc heaps.
+#pragma once
+
+#include <cstdint>
+
+#include "common/expect.hpp"
+#include "common/rng.hpp"
+
+namespace vs07::sim {
+
+/// How node gossip timers are driven (see file comment).
+enum class TimingMode : std::uint8_t {
+  kCycleSync = 0,
+  kJitteredPeriodic = 1,
+};
+
+/// Ticks per cycle used by the jittered presets: phases spread across 8
+/// ticks, so "same cycle" no longer means "same instant".
+inline constexpr std::uint32_t kDefaultTicksPerCycle = 8;
+
+/// Per-message delivery latency in ticks. kNone means the transport
+/// delivers synchronously (the paper's latency-free model).
+struct LatencyModel {
+  enum class Kind : std::uint8_t { kNone = 0, kFixed, kUniform, kExponential };
+
+  Kind kind = Kind::kNone;
+  /// kFixed: the latency. kUniform: inclusive bounds. kExponential: draws
+  /// are clamped into [minTicks, maxTicks] (a tail cap keeps simulated
+  /// time bounded).
+  std::uint32_t minTicks = 1;
+  std::uint32_t maxTicks = 1;
+  /// Mean of the exponential distribution (kExponential only).
+  double meanTicks = 1.0;
+
+  static LatencyModel none() noexcept { return {}; }
+  static LatencyModel fixed(std::uint32_t ticks) noexcept {
+    return {Kind::kFixed, ticks, ticks, static_cast<double>(ticks)};
+  }
+  static LatencyModel uniform(std::uint32_t minTicks,
+                              std::uint32_t maxTicks) {
+    VS07_EXPECT(minTicks <= maxTicks);
+    return {Kind::kUniform, minTicks, maxTicks,
+            (minTicks + maxTicks) / 2.0};
+  }
+  static LatencyModel exponential(double meanTicks,
+                                  std::uint32_t capTicks) {
+    VS07_EXPECT(meanTicks > 0.0);
+    VS07_EXPECT(capTicks >= 1);
+    return {Kind::kExponential, 1, capTicks, meanTicks};
+  }
+
+  /// Draws one latency. Deterministic in the rng stream.
+  std::uint64_t draw(Rng& rng) const;
+
+  /// Stable lowercase name ("none" / "fixed" / "uniform" /
+  /// "exponential") — the bench JSON metadata vocabulary.
+  const char* name() const noexcept;
+};
+
+/// The full timing configuration of an Engine.
+struct TimingConfig {
+  TimingMode mode = TimingMode::kCycleSync;
+  /// Ticks a cycle spans. CycleSync conventionally uses 1 (the whole
+  /// cycle is one instant); jittered modes spread node timers across
+  /// [0, ticksPerCycle) phases. Must be >= 1.
+  std::uint32_t ticksPerCycle = 1;
+  /// Delivery latency of simulated traffic, when the scenario routes its
+  /// transports through the engine queue (LatencyTransport).
+  LatencyModel latency{};
+
+  // -- presets ----------------------------------------------------------
+
+  /// The paper's evaluation model (and the engine default).
+  static TimingConfig cycleSync() noexcept { return {}; }
+  /// Independent phase-shifted periodic timers, immediate delivery.
+  static TimingConfig jittered(
+      std::uint32_t ticksPerCycle = kDefaultTicksPerCycle) noexcept {
+    return {TimingMode::kJitteredPeriodic, ticksPerCycle, {}};
+  }
+  /// Jittered timers + per-message latency: the "realistic network"
+  /// preset of the timing-sensitivity bench.
+  static TimingConfig jitteredLatency(
+      LatencyModel latency,
+      std::uint32_t ticksPerCycle = kDefaultTicksPerCycle) noexcept {
+    return {TimingMode::kJitteredPeriodic, ticksPerCycle, latency};
+  }
+
+  /// Stable lowercase mode name ("cyclesync" / "jittered") — the bench
+  /// JSON metadata vocabulary.
+  const char* modeName() const noexcept;
+};
+
+}  // namespace vs07::sim

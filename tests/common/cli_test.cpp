@@ -155,6 +155,72 @@ TEST(Cli, HasAndGet) {
   EXPECT_FALSE(args->get("rate").has_value());
 }
 
+// -- getChoice: enumerated flags ----------------------------------------
+
+const std::vector<std::string> kTimingChoices = {"cyclesync", "jittered",
+                                                 "latency"};
+
+TEST(Cli, GetChoiceMatchesExactValue) {
+  CliParser parser("p");
+  parser.option("timing", "timing model");
+  std::vector<const char*> argv{"prog", "--timing", "jittered"};
+  const auto args =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args->getChoice("timing", kTimingChoices, 0), 1u);
+}
+
+TEST(Cli, GetChoiceFallsBackWhenAbsent) {
+  CliParser parser("p");
+  parser.option("timing", "timing model");
+  std::vector<const char*> argv{"prog"};
+  const auto args =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args->getChoice("timing", kTimingChoices, 2), 2u);
+}
+
+TEST(Cli, GetChoiceTypoSuggestsClosestValue) {
+  CliParser parser("p");
+  parser.option("timing", "timing model");
+  std::vector<const char*> argv{"prog", "--timing", "cyclsync"};
+  const auto args =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  try {
+    args->getChoice("timing", kTimingChoices, 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--timing"), std::string::npos);
+    EXPECT_NE(what.find("did you mean 'cyclesync'?"), std::string::npos);
+  }
+}
+
+TEST(Cli, GetChoiceFarValueListsChoicesWithoutSuggestion) {
+  CliParser parser("p");
+  parser.option("timing", "timing model");
+  std::vector<const char*> argv{"prog", "--timing", "zzzzzzzzzz"};
+  const auto args =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  try {
+    args->getChoice("timing", kTimingChoices, 0);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("did you mean"), std::string::npos);
+    EXPECT_NE(what.find("cyclesync jittered latency"), std::string::npos);
+  }
+}
+
+TEST(Cli, GetChoiceRejectsBadFallback) {
+  CliParser parser("p");
+  parser.option("timing", "timing model");
+  std::vector<const char*> argv{"prog"};
+  const auto args =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_THROW(args->getChoice("timing", kTimingChoices, 3),
+               std::invalid_argument);
+  EXPECT_THROW(args->getChoice("timing", {}, 0), std::invalid_argument);
+}
+
 TEST(Cli, UsageListsOptions) {
   const auto usage = makeParser().usage("prog");
   EXPECT_NE(usage.find("--nodes"), std::string::npos);

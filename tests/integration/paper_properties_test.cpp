@@ -47,6 +47,25 @@ TEST(PaperStatic, FullScaleRingCastZeroMissThroughSessionApi) {
     EXPECT_TRUE(report.complete());
     EXPECT_EQ(report.notified, 10'000u);
   }
+  // A correctly wired system routes every message: the unroutable
+  // counter must never move in any supported configuration.
+  EXPECT_EQ(scenario.router().droppedUnroutable(), 0u);
+}
+
+// Every simulated message reaches a registered handler in all three of
+// the paper's evaluation settings — the router's unroutable counter is a
+// wiring invariant, pinned here across gossip, churn, failures, and a
+// live pull session.
+TEST(PaperWiring, NoMessageIsEverUnroutable) {
+  auto churned = Scenario::paperChurn(/*rate=*/0.005, /*nodes=*/400,
+                                      /*seed=*/77, /*maxChurnCycles=*/4'000);
+  churned.killRandomFraction(0.05);
+  churned.runCycles(20);
+  auto& live = churned.liveSession(
+      {.strategy = Strategy::kPushPull, .fanout = 2, .settleCycles = 4});
+  live.publishFromRandom();
+  EXPECT_GT(churned.router().droppedDead(), 0u);  // churn really happened
+  EXPECT_EQ(churned.router().droppedUnroutable(), 0u);
 }
 
 // §7.1 / Fig. 6: RANDCAST misses nodes at low fanout even without

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/expect.hpp"
 
@@ -117,6 +119,84 @@ TEST(Network, ObserverSeesExistingAndFutureNodes) {
   net.kill(1);
   ASSERT_EQ(obs.killed.size(), 1u);
   EXPECT_EQ(obs.killed[0], 1u);
+}
+
+/// Appends every notification to a shared log — pins the *interleaving*
+/// of spawn/kill callbacks, which the event core's slot bookkeeping
+/// (timer phases, per-node stores) relies on.
+class SequenceObserver final : public MembershipObserver {
+ public:
+  SequenceObserver(std::vector<std::string>& log, std::string tag)
+      : log_(&log), tag_(std::move(tag)) {}
+  void onSpawn(NodeId node) override {
+    log_->push_back(tag_ + ":spawn:" + std::to_string(node));
+  }
+  void onKill(NodeId node) override {
+    log_->push_back(tag_ + ":kill:" + std::to_string(node));
+  }
+
+ private:
+  std::vector<std::string>* log_;
+  std::string tag_;
+};
+
+TEST(Network, ObserversNotifiedInRegistrationOrderPerEvent) {
+  Network net(2, 20);
+  std::vector<std::string> log;
+  SequenceObserver a(log, "a");
+  SequenceObserver b(log, "b");
+  net.addObserver(a);
+  net.addObserver(b);
+  log.clear();  // drop the retroactive announcements
+  net.kill(0);
+  net.spawn(1);
+  EXPECT_EQ(log, (std::vector<std::string>{"a:kill:0", "b:kill:0",
+                                           "a:spawn:2", "b:spawn:2"}));
+}
+
+TEST(Network, SameCycleKillThenSpawnKeepsSlotSemantics) {
+  // The churn controls kill and spawn inside one control execution; the
+  // replacement must be a *fresh* slot announced strictly after the kill
+  // (ids are never reused, so per-node state keyed by id stays valid).
+  Network net(5, 21);
+  std::vector<std::string> log;
+  SequenceObserver obs(log, "o");
+  net.addObserver(obs);
+  log.clear();
+  net.kill(3);
+  const NodeId fresh = net.spawn(/*atCycle=*/9);
+  EXPECT_EQ(fresh, 5u);
+  EXPECT_EQ(log, (std::vector<std::string>{"o:kill:3", "o:spawn:5"}));
+  EXPECT_FALSE(net.isAlive(3));
+  EXPECT_TRUE(net.isAlive(fresh));
+  EXPECT_EQ(net.aliveCount(), 5u);
+}
+
+TEST(Network, SameCycleSpawnThenKillOfTheSpawnedNode) {
+  // The opposite interleaving: a node can be born and die within one
+  // cycle (heavy session churn); observers see it in exact call order.
+  Network net(3, 22);
+  std::vector<std::string> log;
+  SequenceObserver obs(log, "o");
+  net.addObserver(obs);
+  log.clear();
+  const NodeId fresh = net.spawn(4);
+  net.kill(fresh);
+  EXPECT_EQ(log, (std::vector<std::string>{"o:spawn:3", "o:kill:3"}));
+  EXPECT_EQ(net.aliveCount(), 3u);
+  EXPECT_EQ(net.totalCreated(), 4u);
+}
+
+TEST(Network, LateObserverIsToldAboutDeadSlotsToo) {
+  // addObserver announces the whole id space, dead ids included:
+  // protocols size their dense per-node arrays from these calls, and a
+  // dead slot still needs a slot (stale view entries point at it).
+  Network net(4, 23);
+  net.kill(1);
+  RecordingObserver obs;
+  net.addObserver(obs);
+  EXPECT_EQ(obs.spawned, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_FALSE(net.isAlive(1));  // announced, but queryably dead
 }
 
 TEST(Network, SetSeqIdOverrides) {
