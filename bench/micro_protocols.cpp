@@ -19,6 +19,7 @@
 #include "analysis/scenario.hpp"
 #include "bench_common.hpp"
 #include "cast/session.hpp"
+#include "common/alloc_probe.hpp"
 #include "common/rng.hpp"
 #include "net/codec.hpp"
 
@@ -34,9 +35,27 @@ analysis::Scenario warmScenario(std::uint32_t nodes) {
 void BM_GossipCycle(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
   auto scenario = warmScenario(nodes);
+  // One settle cycle brings scratch buffers and queues to their steady
+  // capacity; the timed loop then measures the zero-allocation regime.
+  scenario.runCycles(1);
+  const std::uint64_t sentBefore = scenario.castTransport().sent();
+  const vs07::AllocScope allocs;
   for (auto _ : state) scenario.runCycles(1);
+  // Snapshot before touching state.counters: the counter map itself
+  // allocates and must not pollute the measurement.
+  const std::uint64_t allocDelta = allocs.allocations();
+  const auto cycles = static_cast<double>(state.iterations());
   state.SetItemsProcessed(state.iterations() * nodes * 2);  // 2 protocols
   state.counters["nodes"] = nodes;
+  // The hot-path invariant: steady-state gossip cycles allocate nothing.
+  state.counters["allocs_per_cycle"] =
+      static_cast<double>(allocDelta) / cycles;
+  state.counters["msgs_per_cycle"] =
+      static_cast<double>(scenario.castTransport().sent() - sentBefore) /
+      cycles;
+  state.counters["msgs_per_sec"] = benchmark::Counter(
+      static_cast<double>(scenario.castTransport().sent() - sentBefore),
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_GossipCycle)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
@@ -126,14 +145,20 @@ class CollectingReporter : public benchmark::ConsoleReporter {
     double cpuTime = 0.0;
     std::string timeUnit;
     std::int64_t iterations = 0;
+    std::vector<std::pair<std::string, double>> counters;
   };
 
   void ReportRuns(const std::vector<Run>& reports) override {
-    for (const auto& run : reports)
-      captured_.push_back({run.benchmark_name(), run.GetAdjustedRealTime(),
-                           run.GetAdjustedCPUTime(),
-                           benchmark::GetTimeUnitString(run.time_unit),
-                           run.iterations});
+    for (const auto& run : reports) {
+      Captured captured{run.benchmark_name(), run.GetAdjustedRealTime(),
+                        run.GetAdjustedCPUTime(),
+                        benchmark::GetTimeUnitString(run.time_unit),
+                        run.iterations,
+                        {}};
+      for (const auto& [name, counter] : run.counters)
+        captured.counters.emplace_back(name, counter.value);
+      captured_.push_back(std::move(captured));
+    }
     ConsoleReporter::ReportRuns(reports);
   }
 
@@ -188,10 +213,12 @@ int main(int argc, char** argv) {
     }
   }
   if (quick)
-    // The 10k-node scenarios take minutes to warm up; CI smoke only
-    // exercises the cheap benchmarks.
+    // The 10k-node scenarios take minutes to warm up; CI smoke exercises
+    // the cheap benchmarks plus the 1k-node gossip cycle, whose
+    // allocs_per_cycle counter guards the zero-allocation hot path.
     passthroughStore.push_back(
-        "--benchmark_filter=BM_(MessageCodec|TargetSelection)");
+        "--benchmark_filter=BM_(MessageCodec|TargetSelection)"
+        "|BM_GossipCycle/1000$");
 
   std::vector<char*> passthrough;
   for (auto& arg : passthroughStore)
@@ -214,13 +241,21 @@ int main(int argc, char** argv) {
 
   using vs07::Json;
   Json points = Json::array();
-  for (const auto& run : reporter.captured())
-    points.push(Json::object()
-                    .set("name", run.name)
-                    .set("real_time", run.realTime)
-                    .set("cpu_time", run.cpuTime)
-                    .set("time_unit", run.timeUnit)
-                    .set("iterations", run.iterations));
+  for (const auto& run : reporter.captured()) {
+    Json point = Json::object()
+                     .set("name", run.name)
+                     .set("real_time", run.realTime)
+                     .set("cpu_time", run.cpuTime)
+                     .set("time_unit", run.timeUnit)
+                     .set("iterations", run.iterations);
+    if (!run.counters.empty()) {
+      Json counters = Json::object();
+      for (const auto& [name, value] : run.counters)
+        counters.set(name, value);
+      point.set("counters", std::move(counters));
+    }
+    points.push(std::move(point));
+  }
   report.addSeries(Json::object()
                        .set("label", "microbenchmarks")
                        .set("kind", "micro")

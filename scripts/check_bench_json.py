@@ -19,6 +19,8 @@ REQUIRED_TOP_LEVEL = {
     "threads": int,
     "timing": dict,
     "wall_clock_seconds": (int, float),
+    "wall_clock_ms": (int, float),
+    "peak_rss_bytes": int,
     "series": list,
 }
 REQUIRED_SCALE = {
@@ -92,6 +94,14 @@ def check(path):
         return False
     if record["wall_clock_seconds"] < 0:
         return fail(path, "wall_clock_seconds is negative")
+    if record["wall_clock_ms"] < 0:
+        return fail(path, "wall_clock_ms is negative")
+    # The two clocks are the same stopwatch in different units.
+    if abs(record["wall_clock_ms"] - record["wall_clock_seconds"] * 1000.0) \
+            > max(1.0, record["wall_clock_ms"] * 0.01):
+        return fail(path, "wall_clock_ms disagrees with wall_clock_seconds")
+    if record["peak_rss_bytes"] < 0:
+        return fail(path, "peak_rss_bytes is negative")
     if not record["series"]:
         return fail(path, "series is empty")
     for i, entry in enumerate(record["series"]):
@@ -110,7 +120,8 @@ def check(path):
     print(f"OK   {path}: bench={record['bench']} "
           f"series={len(record['series'])} "
           f"threads={record['threads']} "
-          f"wall_clock={record['wall_clock_seconds']:.2f}s")
+          f"wall_clock={record['wall_clock_seconds']:.2f}s "
+          f"peak_rss={record['peak_rss_bytes'] / (1 << 20):.0f}MiB")
     return True
 
 

@@ -53,17 +53,12 @@ struct Scenario::Core {
       : config(c),
         network(c.nodes, mix64(c.seed ^ 0x6E6F646573ULL)),
         router(network),
-        transport([this](NodeId to, const net::Message& m) {
-          router.deliver(to, m);
-        }),
+        transport(router),  // direct sink: no std::function on the hot path
         engine(network, mix64(c.seed ^ 0x656E67ULL), c.timing),
         latency(c.timing.latency.kind == sim::LatencyModel::Kind::kNone
                     ? nullptr
                     : std::make_unique<sim::LatencyTransport>(
-                          engine,
-                          [this](NodeId to, const net::Message& m) {
-                            router.deliver(to, m);
-                          },
+                          engine, static_cast<net::DeliverySink&>(router),
                           c.timing.latency, mix64(c.seed ^ 0x6C6174ULL))),
         cyclon(network, gossipTransport(), router, c.cyclon,
                mix64(c.seed ^ 0x6379636CULL)),
@@ -77,9 +72,8 @@ struct Scenario::Core {
                   "pick one latency mechanism: timing().latency or "
                   "delayedTransport()");
       delayed = std::make_unique<net::DelayedTransport>(
-          [this](NodeId to, const net::Message& m) { router.deliver(to, m); },
-          c.minLatencyTicks, c.maxLatencyTicks,
-          mix64(c.seed ^ 0x64656C6179ULL));
+          static_cast<net::DeliverySink&>(router), c.minLatencyTicks,
+          c.maxLatencyTicks, mix64(c.seed ^ 0x64656C6179ULL));
       pump = std::make_unique<TransportPump>(*delayed);
       engine.addControl(*pump);
     }

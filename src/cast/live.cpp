@@ -26,8 +26,16 @@ void MessageStore::remember(std::uint64_t dataId) {
 }
 
 std::vector<std::uint64_t> MessageStore::digest(std::size_t limit) const {
+  std::vector<std::uint64_t> out;
+  digestInto(limit, out);
+  return out;
+}
+
+void MessageStore::digestInto(std::size_t limit,
+                              std::vector<std::uint64_t>& out) const {
   const std::size_t take = std::min(limit, buffer_.size());
-  return {buffer_.end() - static_cast<std::ptrdiff_t>(take), buffer_.end()};
+  out.assign(buffer_.end() - static_cast<std::ptrdiff_t>(take),
+             buffer_.end());
 }
 
 void MessageStore::clear() {
@@ -103,10 +111,11 @@ void LiveCast::step(NodeId self) {
   if (view.empty()) return;
   const NodeId target = view.at(rng_.below(view.size())).node;
 
-  net::Message request;
+  net::Message& request = pullScratch_;
+  request.reset();
   request.kind = net::MessageKind::PullRequest;
   request.from = self;
-  request.ids = stores_[self].digest(params_.digestLength);
+  stores_[self].digestInto(params_.digestLength, request.ids);
   ++pullsSent_;
   transport_.send(target, std::move(request));
   drainOutbox();  // pull answers may have queued forwards
@@ -160,15 +169,21 @@ void LiveCast::forward(NodeId self, NodeId receivedFrom,
                        std::uint64_t dataId, std::uint32_t hop) {
   // Targets come from the node's *current* views: r-links from CYCLON,
   // d-links from the ring when a VICINITY layer is attached (Fig. 5),
-  // otherwise pure RANDCAST (Fig. 2).
-  std::vector<NodeId> rlinks;
-  rlinks.reserve(cyclon_.view(self).size());
+  // otherwise pure RANDCAST (Fig. 2). The link scratch is consumed
+  // before the first enqueue; the target list lives until the end of the
+  // enqueue loop (which can re-enter forward() through a synchronous
+  // transport), hence the per-depth buffer.
+  std::vector<NodeId>& rlinks = rlinkScratch_;
+  rlinks.clear();
   for (const auto& e : cyclon_.view(self).entries())
     rlinks.push_back(e.node);
 
-  std::vector<NodeId> targets;
+  if (forwardDepth_ == targetScratch_.size()) targetScratch_.emplace_back();
+  std::vector<NodeId>& targets = targetScratch_[forwardDepth_];
+  ++forwardDepth_;
   if (vicinity_ != nullptr || multiRing_ != nullptr) {
-    std::vector<NodeId> dlinks;
+    std::vector<NodeId>& dlinks = dlinkScratch_;
+    dlinks.clear();
     auto addNeighbors = [&dlinks](const gossip::RingNeighbors& ring) {
       auto add = [&dlinks](NodeId n) {
         if (n != kNoNode &&
@@ -179,8 +194,8 @@ void LiveCast::forward(NodeId self, NodeId receivedFrom,
       add(ring.predecessor);
     };
     if (multiRing_ != nullptr) {
-      for (const auto& ring : multiRing_->allRingNeighbors(self))
-        addNeighbors(ring);
+      for (std::uint32_t r = 0; r < multiRing_->ringCount(); ++r)
+        addNeighbors(multiRing_->ring(r).ringNeighbors(self));
     } else {
       addNeighbors(vicinity_->ringNeighbors(self));
     }
@@ -193,6 +208,7 @@ void LiveCast::forward(NodeId self, NodeId receivedFrom,
   forwardsPerNode_[self] += static_cast<std::uint32_t>(targets.size());
   for (const NodeId target : targets)
     enqueueData(target, self, dataId, hop + 1, /*viaPull=*/false);
+  --forwardDepth_;
 }
 
 void LiveCast::enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
@@ -212,21 +228,34 @@ void LiveCast::enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
   } else {
     ++pushSent_;
   }
-  outbox_.push_back({to, std::move(msg), viaPull});
+  outbox_.push_back({to, std::move(msg)});
   if (!draining_) drainOutbox();
 }
 
 void LiveCast::drainOutbox() {
   if (draining_) return;
   draining_ = true;
-  while (!outbox_.empty()) {
-    Outgoing next = std::move(outbox_.front());
-    outbox_.pop_front();
+  while (outboxHead_ < outbox_.size()) {
+    // Compact the drained prefix once it dominates the buffer, so peak
+    // memory tracks the outstanding backlog (what the frontier still
+    // owes), not the total message count of the wave. Amortized O(1)
+    // per message thanks to the half-full threshold.
+    if (outboxHead_ >= 1024 && outboxHead_ * 2 >= outbox_.size()) {
+      outbox_.erase(outbox_.begin(),
+                    outbox_.begin() + static_cast<std::ptrdiff_t>(outboxHead_));
+      outboxHead_ = 0;
+    }
+    // Moved out before sending: re-entrant enqueues may grow (and
+    // reallocate) the outbox while the transport runs.
+    Outgoing next = std::move(outbox_[outboxHead_]);
+    ++outboxHead_;
     // Synchronous transports re-enter handleData -> enqueueData here;
     // those sends land on the queue instead of the call stack, so even a
     // node-by-node crawl along the whole ring stays at depth one.
     transport_.send(next.to, std::move(next.msg));
   }
+  outbox_.clear();  // backlog-sized capacity retained for the next wave
+  outboxHead_ = 0;
   draining_ = false;
 }
 

@@ -56,6 +56,10 @@ class MessageStore {
   /// The most recent ids, newest last, at most `limit`.
   std::vector<std::uint64_t> digest(std::size_t limit) const;
 
+  /// Allocation-free variant: fills `out` (cleared first, capacity
+  /// reused) with the same ids.
+  void digestInto(std::size_t limit, std::vector<std::uint64_t>& out) const;
+
   /// Ids currently buffered (oldest first).
   const std::deque<std::uint64_t>& buffered() const noexcept {
     return buffer_;
@@ -225,14 +229,29 @@ class LiveCast final : public sim::CycleProtocol,
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> deliveredTo_;
   std::unordered_map<std::uint64_t, LiveMessageStats> stats_;
   std::uint64_t nextDataId_ = 1;
-  /// Marks deliveries as pull-sourced while a pull answer is in flight.
+  /// One queued send; whether it answers a pull travels in the message
+  /// itself (kFlagPullAnswer).
   struct Outgoing {
     NodeId to;
     net::Message msg;
-    bool viaPull;
   };
-  std::deque<Outgoing> outbox_;
+  /// FIFO outbox as a vector plus cursor (capacity is retained across
+  /// drains; Data payloads own no heap buffers, so queueing is
+  /// allocation-free in steady state).
+  std::vector<Outgoing> outbox_;
+  std::size_t outboxHead_ = 0;
   bool draining_ = false;
+  /// forward() scratch. The link buffers are filled and consumed before
+  /// any message is enqueued, so one set per instance suffices; the
+  /// target list must survive the enqueue loop, which can re-enter
+  /// forward() through a synchronous transport, so targets come from a
+  /// per-nesting-depth pool (deque: growth keeps references stable).
+  std::vector<NodeId> rlinkScratch_;
+  std::vector<NodeId> dlinkScratch_;
+  std::deque<std::vector<NodeId>> targetScratch_;
+  std::size_t forwardDepth_ = 0;
+  /// Pull-request scratch message (digest ids buffer recycled per pull).
+  net::Message pullScratch_;
   std::uint64_t pullsSent_ = 0;
   std::uint64_t pullAnswers_ = 0;
   std::uint64_t pushSent_ = 0;

@@ -18,8 +18,11 @@ void appendRandomTargets(std::span<const NodeId> pool, NodeId self,
   if (want == 0) return;
   // The pool is a node's view (≤ ~20 entries), so a copy + partial
   // shuffle is cheap and exact (every eligible subset equally likely).
-  std::vector<NodeId> eligible;
-  eligible.reserve(pool.size());
+  // The copy lands in a thread-local scratch: selection runs per message
+  // on the hot dissemination path (and concurrently from ParallelSweep
+  // workers), so per-call allocation is the one thing it must not do.
+  thread_local std::vector<NodeId> eligible;
+  eligible.clear();
   for (const NodeId candidate : pool) {
     if (candidate == exclude || candidate == self) continue;
     if (alreadyChosen(out, candidate)) continue;

@@ -1,0 +1,95 @@
+// Replacement global allocation operators, counting with relaxed atomics.
+// See alloc_probe.hpp for the activation model (pulled in on reference).
+#include "common/alloc_probe.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocations{0};
+std::atomic<std::uint64_t> gDeallocations{0};
+std::atomic<std::uint64_t> gBytes{0};
+
+void* countedAlloc(std::size_t size) {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  gBytes.fetch_add(size, std::memory_order_relaxed);
+  // Zero-size new must return a unique pointer; malloc(0) may return
+  // nullptr, which operator new must not.
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+void countedFree(void* p) noexcept {
+  if (p == nullptr) return;
+  gDeallocations.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void* countedAlignedAlloc(std::size_t size, std::size_t align) {
+  gAllocations.fetch_add(1, std::memory_order_relaxed);
+  gBytes.fetch_add(size, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded ? rounded : align);
+  if (p == nullptr) throw std::bad_alloc{};
+  return p;
+}
+
+}  // namespace
+
+namespace vs07 {
+
+AllocCounters allocCounters() noexcept {
+  return {gAllocations.load(std::memory_order_relaxed),
+          gDeallocations.load(std::memory_order_relaxed),
+          gBytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace vs07
+
+// -- replacement operators (the complete replaceable set) ----------------
+
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return countedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return countedAlloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return countedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { countedFree(p); }
+void operator delete[](void* p) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { countedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  countedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  countedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { countedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { countedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  countedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  countedFree(p);
+}

@@ -1,0 +1,50 @@
+// Counting-allocator hook — the measurement behind the zero-allocation
+// invariant of the message hot path.
+//
+// Linking anything that calls allocCounters() pulls in replacement global
+// operator new/delete (alloc_probe.cpp) that count every allocation with
+// relaxed atomics before forwarding to malloc/free. The overhead is one
+// atomic increment per call, cheap enough to leave on for benches; code
+// that never references the probe links the default operators and pays
+// nothing. This is deliberately a *hook*, not an allocator swap: the
+// benches read deltas around measured sections (allocations/cycle in
+// micro_protocols and bench/scale_sweep) and the tests pin the hot path
+// at zero.
+#pragma once
+
+#include <cstdint>
+
+namespace vs07 {
+
+/// Snapshot of the process-wide allocation counters.
+struct AllocCounters {
+  std::uint64_t allocations = 0;    ///< operator new calls
+  std::uint64_t deallocations = 0;  ///< operator delete calls
+  std::uint64_t bytes = 0;          ///< total bytes requested
+};
+
+/// Current counter values. Referencing this function activates the
+/// counting operators for the whole binary.
+AllocCounters allocCounters() noexcept;
+
+/// Delta-counter over a scope: construct before the measured section,
+/// read after.
+class AllocScope {
+ public:
+  AllocScope() noexcept : start_(allocCounters()) {}
+
+  std::uint64_t allocations() const noexcept {
+    return allocCounters().allocations - start_.allocations;
+  }
+  std::uint64_t deallocations() const noexcept {
+    return allocCounters().deallocations - start_.deallocations;
+  }
+  std::uint64_t bytes() const noexcept {
+    return allocCounters().bytes - start_.bytes;
+  }
+
+ private:
+  AllocCounters start_;
+};
+
+}  // namespace vs07

@@ -55,11 +55,17 @@ class EventQueue {
   /// its (dueTick, priority) class.
   void advanceTo(std::uint64_t tick);
 
-  /// advanceTo that additionally skips events with seq >= seqCutoff:
-  /// passing nextSeq() taken *before* the call defers everything
+  /// advanceTo that additionally *stops* at the first event (in pop
+  /// order) whose seq >= seqCutoff, leaving it and everything behind it
+  /// queued: passing nextSeq() taken *before* the call defers everything
   /// scheduled re-entrantly to a later advance — the "a zero-latency
   /// send from inside a delivery handler waits for the next tick"
-  /// semantics DelayedTransport promises.
+  /// semantics DelayedTransport promises. Note the cutoff is a stopping
+  /// point, not a filter: an *older* event due later in the pop order is
+  /// deferred along with the newer one in front of it. That is exactly
+  /// right for single-priority FIFO traffic (the only current use);
+  /// callers mixing priorities or widely varying latencies should not
+  /// combine them with a cutoff.
   void advanceTo(std::uint64_t tick, std::uint64_t seqCutoff);
 
   /// Executes everything still pending regardless of due tick (test

@@ -1,0 +1,13 @@
+// Process resource probes for bench metadata.
+#pragma once
+
+#include <cstdint>
+
+namespace vs07 {
+
+/// Peak resident set size of the process in bytes (high-water mark since
+/// process start), or 0 when the platform offers no probe. Every bench
+/// records this next to wall-clock in its JSON metadata.
+std::uint64_t peakRssBytes() noexcept;
+
+}  // namespace vs07

@@ -66,17 +66,17 @@ void Cyclon::step(NodeId self) {
   v.removeAt(qIndex);
 
   // 3. Random subset of g-1 other entries, plus a fresh self-descriptor.
-  auto subset =
-      v.randomEntries(params_.shuffleLength - 1, /*exclude=*/q, rng_);
+  net::Message& request = requestScratch_;
+  request.reset();
+  v.randomEntriesInto(params_.shuffleLength - 1, /*exclude=*/q, rng_,
+                      request.entries);
   auto& sent = pendingSent_[self];
   sent.clear();
-  for (const auto& e : subset) sent.push_back(e.node);
-  subset.push_back(selfDescriptor(self));
+  for (const auto& e : request.entries) sent.push_back(e.node);
+  request.entries.push_back(selfDescriptor(self));
 
-  net::Message request;
   request.kind = net::MessageKind::CyclonRequest;
   request.from = self;
-  request.entries = std::move(subset);
   ++shuffles_;
   transport_.send(q, std::move(request));
   // If q is dead or the message is lost, no reply ever comes back:
@@ -88,16 +88,16 @@ void Cyclon::handleRequest(NodeId self, const net::Message& msg) {
   View& v = views_[self];
   // Reply with up to g random entries (excluding any entry for the
   // initiator: it would be discarded at the other end anyway).
-  auto replyEntries =
-      v.randomEntries(params_.shuffleLength, /*exclude=*/msg.from, rng_);
-  std::vector<NodeId> sentIds;
-  sentIds.reserve(replyEntries.size());
-  for (const auto& e : replyEntries) sentIds.push_back(e.node);
+  net::Message& reply = replyScratch_;
+  reply.reset();
+  v.randomEntriesInto(params_.shuffleLength, /*exclude=*/msg.from, rng_,
+                      reply.entries);
+  auto& sentIds = replySentScratch_;
+  sentIds.clear();
+  for (const auto& e : reply.entries) sentIds.push_back(e.node);
 
-  net::Message reply;
   reply.kind = net::MessageKind::CyclonReply;
   reply.from = self;
-  reply.entries = std::move(replyEntries);
   transport_.send(msg.from, std::move(reply));
 
   merge(self, msg.entries, sentIds);

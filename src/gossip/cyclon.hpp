@@ -91,6 +91,14 @@ class Cyclon final : public sim::CycleProtocol,
   /// Ids sent in the outstanding shuffle request of each node (consumed by
   /// the merge when the reply arrives).
   std::vector<std::vector<NodeId>> pendingSent_;
+  /// Exchange scratch (one set per protocol instance, not per exchange):
+  /// messages are reset()+refilled each time, so their entry buffers are
+  /// recycled and a steady-state shuffle allocates nothing. Safe because
+  /// the simulation is single-threaded and a request chain never nests
+  /// inside another request chain of the same instance.
+  net::Message requestScratch_;
+  net::Message replyScratch_;
+  std::vector<NodeId> replySentScratch_;
   std::uint64_t shuffles_ = 0;
 };
 

@@ -204,36 +204,36 @@ void Vicinity::step(NodeId self) {
   }
   if (q == kNoNode) return;  // no peers at all
 
-  net::Message request;
+  net::Message& request = requestScratch_;
+  request.reset();
   request.kind = net::MessageKind::VicinityRequest;
   request.channel = params_.channel;
   request.from = self;
-  request.entries = offerFor(self, q, profile_(q));
+  offerInto(self, q, profile_(q), request.entries);
   pendingTarget_[self] = q;
   transport_.send(q, std::move(request));
 }
 
-std::vector<PeerDescriptor> Vicinity::offerFor(NodeId self, NodeId target,
-                                               SequenceId targetProfile) const {
-  std::vector<PeerDescriptor> pool;
-  pool.reserve(views_[self].size() + cyclon_.view(self).size() + 1);
+void Vicinity::offerInto(NodeId self, NodeId target,
+                         SequenceId targetProfile,
+                         std::vector<PeerDescriptor>& out) const {
+  out.clear();
   for (const auto& e : views_[self].entries())
-    if (e.node != target) poolInsert(pool, e);
+    if (e.node != target) poolInsert(out, e);
   for (const auto& e : cyclon_.view(self).entries()) {
     if (e.node == target) continue;
     // Translate the random-layer descriptor into this ring's profile
     // space (identity for the default ring; salted for multi-ring).
-    poolInsert(pool, PeerDescriptor{e.node, e.age, profile_(e.node)});
+    poolInsert(out, PeerDescriptor{e.node, e.age, profile_(e.node)});
   }
-  selectRingBand(targetProfile, pool, params_.exchangeLength - 1);
+  selectRingBand(targetProfile, out, params_.exchangeLength - 1);
   // Our own fresh descriptor always travels along: the target must learn
   // about us to ever point a d-link our way.
-  pool.push_back(selfDescriptor(self));
-  return pool;
+  out.push_back(selfDescriptor(self));
 }
 
 void Vicinity::handleRequest(NodeId self, const net::Message& msg) {
-  // The initiator's descriptor is always in the offer (see offerFor).
+  // The initiator's descriptor is always in the offer (see offerInto).
   SequenceId initiatorProfile = profile_(msg.from);
   for (const auto& e : msg.entries)
     if (e.node == msg.from) {
@@ -241,11 +241,12 @@ void Vicinity::handleRequest(NodeId self, const net::Message& msg) {
       break;
     }
 
-  net::Message reply;
+  net::Message& reply = replyScratch_;
+  reply.reset();
   reply.kind = net::MessageKind::VicinityReply;
   reply.channel = params_.channel;
   reply.from = self;
-  reply.entries = offerFor(self, msg.from, initiatorProfile);
+  offerInto(self, msg.from, initiatorProfile, reply.entries);
   transport_.send(msg.from, std::move(reply));
 
   mergeByProximity(self, msg.entries);
@@ -259,8 +260,8 @@ void Vicinity::handleReply(NodeId self, const net::Message& msg) {
 void Vicinity::mergeByProximity(NodeId self,
                                 std::span<const PeerDescriptor> incoming) {
   View& v = views_[self];
-  std::vector<PeerDescriptor> pool;
-  pool.reserve(v.size() + incoming.size());
+  std::vector<PeerDescriptor>& pool = mergePoolScratch_;
+  pool.clear();
   for (const auto& e : v.entries()) poolInsert(pool, e);
   for (const auto& e : incoming)
     if (e.node != self && !isBanned(self, e.node)) poolInsert(pool, e);

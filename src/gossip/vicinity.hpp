@@ -102,9 +102,11 @@ class Vicinity final : public sim::CycleProtocol,
 
   /// Candidates = own vicinity view ∪ own cyclon view ∪ self descriptor,
   /// deduplicated, excluding `target`; the best `exchangeLength` for the
-  /// *target's* profile are returned (best-for-target selection).
-  std::vector<PeerDescriptor> offerFor(NodeId self, NodeId target,
-                                       SequenceId targetProfile) const;
+  /// *target's* profile fill `out` (best-for-target selection). `out` is
+  /// cleared first; callers pass message-entry scratch so assembling an
+  /// offer is allocation-free in steady state.
+  void offerInto(NodeId self, NodeId target, SequenceId targetProfile,
+                 std::vector<PeerDescriptor>& out) const;
 
   /// Keeps the `viewLength` closest candidates to self among view ∪ incoming.
   void mergeByProximity(NodeId self, std::span<const PeerDescriptor> incoming);
@@ -132,6 +134,15 @@ class Vicinity final : public sim::CycleProtocol,
   void ban(NodeId self, NodeId peer);
   std::vector<std::vector<Ban>> bans_;
   std::vector<std::uint64_t> stepCount_;
+
+  /// Exchange scratch (one set per ring instance, not per exchange):
+  /// request/reply messages and the proximity-merge candidate pool are
+  /// reset and refilled each exchange, recycling their buffers. Safe
+  /// under the single-threaded exchange chains: the merge pool is never
+  /// live across a nested send of the same instance.
+  net::Message requestScratch_;
+  net::Message replyScratch_;
+  std::vector<PeerDescriptor> mergePoolScratch_;
 };
 
 }  // namespace vs07::gossip

@@ -45,17 +45,23 @@ std::vector<PeerDescriptor> View::randomEntries(std::size_t count,
                                                 Rng& rng) const {
   std::vector<PeerDescriptor> pool;
   pool.reserve(entries_.size());
+  randomEntriesInto(count, exclude, rng, pool);
+  return pool;
+}
+
+void View::randomEntriesInto(std::size_t count, NodeId exclude, Rng& rng,
+                             std::vector<PeerDescriptor>& out) const {
+  out.clear();
   for (const auto& e : entries_)
-    if (e.node != exclude) pool.push_back(e);
-  if (count < pool.size()) {
+    if (e.node != exclude) out.push_back(e);
+  if (count < out.size()) {
     // Partial Fisher-Yates: the first `count` slots become the sample.
     for (std::size_t i = 0; i < count; ++i) {
-      const std::size_t j = i + rng.below(pool.size() - i);
-      std::swap(pool[i], pool[j]);
+      const std::size_t j = i + rng.below(out.size() - i);
+      std::swap(out[i], out[j]);
     }
-    pool.resize(count);
+    out.resize(count);
   }
-  return pool;
 }
 
 }  // namespace vs07::gossip

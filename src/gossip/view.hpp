@@ -74,6 +74,13 @@ class View {
   std::vector<PeerDescriptor> randomEntries(std::size_t count, NodeId exclude,
                                             Rng& rng) const;
 
+  /// Allocation-free variant: fills `out` (cleared first; capacity is
+  /// reused) with the same sample, consuming `rng` identically to
+  /// randomEntries. Protocols pass a per-instance scratch buffer so a
+  /// steady-state exchange never touches the allocator.
+  void randomEntriesInto(std::size_t count, NodeId exclude, Rng& rng,
+                         std::vector<PeerDescriptor>& out) const;
+
   /// Removes everything (node death / reset).
   void clear() noexcept { entries_.clear(); }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -61,8 +62,37 @@ struct Message {
   /// Digest of recently-seen dissemination ids (PullRequest only).
   std::vector<std::uint64_t> ids;
 
+  /// Resets every field to its default while *retaining* the heap
+  /// capacity of `entries`/`ids` — the primitive behind buffer recycling:
+  /// a reset message is semantically fresh but allocation-free to refill.
+  void reset() noexcept {
+    kind = MessageKind::Data;
+    channel = 0;
+    from = kNoNode;
+    entries.clear();
+    dataId = 0;
+    hop = 0;
+    flags = 0;
+    ids.clear();
+  }
+
   friend bool operator==(const Message&, const Message&) = default;
 };
+
+/// Member-wise swap: exchanges payload buffers without copying or
+/// allocating. Queued transports use this to move a message into a pooled
+/// slot while handing the slot's recycled buffers back to the sender's
+/// scratch message.
+inline void swap(Message& a, Message& b) noexcept {
+  std::swap(a.kind, b.kind);
+  std::swap(a.channel, b.channel);
+  std::swap(a.from, b.from);
+  a.entries.swap(b.entries);
+  std::swap(a.dataId, b.dataId);
+  std::swap(a.hop, b.hop);
+  std::swap(a.flags, b.flags);
+  a.ids.swap(b.ids);
+}
 
 /// Message::flags bit: this Data message answers a PullRequest (it is a
 /// retransmission, not part of the original push wave).

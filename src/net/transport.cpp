@@ -1,43 +1,44 @@
 #include "net/transport.hpp"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/expect.hpp"
 
 namespace vs07::net {
 
-ImmediateTransport::ImmediateTransport(DeliverFn deliver)
-    : deliver_(std::move(deliver)) {
-  VS07_EXPECT(deliver_ != nullptr);
-}
-
-void ImmediateTransport::send(NodeId to, Message msg) {
+void ImmediateTransport::send(NodeId to, Message&& msg) {
   countSend();
-  deliver_(to, msg);
+  sink_->deliver(to, std::move(msg));
 }
 
-DelayedTransport::DelayedTransport(DeliverFn deliver,
+DelayedTransport::DelayedTransport(SinkRef sink,
                                    std::uint32_t minLatencyTicks,
                                    std::uint32_t maxLatencyTicks,
                                    std::uint64_t seed)
-    : deliver_(std::move(deliver)),
+    : sink_(std::move(sink)),
       minLatency_(minLatencyTicks),
       maxLatency_(maxLatencyTicks),
       rng_(seed) {
-  VS07_EXPECT(deliver_ != nullptr);
   VS07_EXPECT(minLatency_ <= maxLatency_);
 }
 
-void DelayedTransport::send(NodeId to, Message msg) {
+void DelayedTransport::send(NodeId to, Message&& msg) {
   countSend();
   const std::uint32_t latency =
       minLatency_ == maxLatency_
           ? minLatency_
           : minLatency_ + static_cast<std::uint32_t>(rng_.below(
                               maxLatency_ - minLatency_ + 1));
+  const MessagePool::Slot slot = pool_.checkIn(to, msg);
+  // The capture is two words, so the action stays in the std::function
+  // small buffer — queueing a message allocates nothing in steady state.
   queue_.schedule(queue_.now() + latency, /*priority=*/0,
-                  [this, to, m = std::move(msg)] { deliver_(to, m); });
+                  [this, slot] { deliverSlot(slot); });
+}
+
+void DelayedTransport::deliverSlot(MessagePool::Slot slot) {
+  sink_->deliver(pool_.destination(slot), std::move(pool_.at(slot)));
+  pool_.release(slot);
 }
 
 void DelayedTransport::tick() {
@@ -58,7 +59,7 @@ LossyTransport::LossyTransport(Transport& inner, double dropProbability,
   VS07_EXPECT(dropProbability_ >= 0.0 && dropProbability_ <= 1.0);
 }
 
-void LossyTransport::send(NodeId to, Message msg) {
+void LossyTransport::send(NodeId to, Message&& msg) {
   countSend();
   if (rng_.chance(dropProbability_)) {
     ++dropped_;

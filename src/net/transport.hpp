@@ -11,20 +11,25 @@
 // for tests and for the failure-injection experiments. For latency that
 // interleaves with the simulation's own clock, see sim::LatencyTransport,
 // which schedules deliveries on the engine's shared event queue.
+//
+// Hot-path contract: send() consumes the message by rvalue reference and
+// never copies it. A synchronous transport hands the same object to the
+// sink; a queueing transport swaps the payload into a MessagePool slot,
+// leaving the caller's message holding recycled buffers — protocols keep
+// one scratch Message per shape and reset()+refill it each exchange, so a
+// steady-state cycle performs zero per-message heap allocations.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <vector>
 
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
+#include "net/delivery_sink.hpp"
 #include "net/message.hpp"
+#include "net/message_pool.hpp"
 
 namespace vs07::net {
-
-/// Receives a message addressed to `to`. Installed by the simulator.
-using DeliverFn = std::function<void(NodeId to, const Message& msg)>;
 
 /// Abstract one-way message channel between simulated nodes.
 class Transport {
@@ -32,8 +37,11 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Attempts delivery of msg to `to`. May drop or delay depending on the
-  /// implementation. `msg.from` must already be set by the caller.
-  virtual void send(NodeId to, Message msg) = 0;
+  /// implementation. `msg.from` must already be set by the caller. The
+  /// message is consumed; on return the caller's object holds either its
+  /// original payload (drop paths) or recycled buffers, and must be
+  /// reset() before reuse.
+  virtual void send(NodeId to, Message&& msg) = 0;
 
   /// Messages handed to send() so far (including ones later dropped).
   std::uint64_t sent() const noexcept { return sent_; }
@@ -48,11 +56,16 @@ class Transport {
 /// Delivers synchronously, inside send(). Matches the paper's cycle model.
 class ImmediateTransport final : public Transport {
  public:
-  explicit ImmediateTransport(DeliverFn deliver);
-  void send(NodeId to, Message msg) override;
+  /// Hot-path wiring: deliver straight into `sink` (borrowed).
+  explicit ImmediateTransport(DeliverySink& sink) : sink_(sink) {}
+  /// Convenience wiring for tests: wraps `deliver` in an owned sink.
+  explicit ImmediateTransport(DeliverFn deliver)
+      : sink_(std::move(deliver)) {}
+
+  void send(NodeId to, Message&& msg) override;
 
  private:
-  DeliverFn deliver_;
+  SinkRef sink_;
 };
 
 /// Queues messages and delivers them `latencyTicks` calls to tick() later.
@@ -62,13 +75,22 @@ class ImmediateTransport final : public Transport {
 /// same scheduler the simulation engine runs on, here with a private
 /// clock. tick() pops only the messages actually due, and the sequence
 /// tiebreak keeps delivery FIFO among messages due the same tick, so
-/// randomized-latency runs stay bit-for-bit deterministic.
+/// randomized-latency runs stay bit-for-bit deterministic. Queued payloads
+/// live in a MessagePool: events capture only a slot index (they stay
+/// inside the std::function small-buffer) and delivered slots recycle
+/// their entry buffers instead of freeing them.
 class DelayedTransport final : public Transport {
  public:
+  DelayedTransport(DeliverySink& sink, std::uint32_t minLatencyTicks,
+                   std::uint32_t maxLatencyTicks, std::uint64_t seed = 1)
+      : DelayedTransport(SinkRef(sink), minLatencyTicks, maxLatencyTicks,
+                         seed) {}
   DelayedTransport(DeliverFn deliver, std::uint32_t minLatencyTicks,
-                   std::uint32_t maxLatencyTicks, std::uint64_t seed = 1);
+                   std::uint32_t maxLatencyTicks, std::uint64_t seed = 1)
+      : DelayedTransport(SinkRef(std::move(deliver)), minLatencyTicks,
+                         maxLatencyTicks, seed) {}
 
-  void send(NodeId to, Message msg) override;
+  void send(NodeId to, Message&& msg) override;
 
   /// Advances time one tick, delivering everything that is due. Messages
   /// sent from inside a delivery handler are queued for a *later* tick
@@ -80,23 +102,33 @@ class DelayedTransport final : public Transport {
 
   std::size_t inFlight() const noexcept { return queue_.size(); }
 
+  /// The payload pool (diagnostics: capacity stops growing once traffic
+  /// reaches steady state).
+  const MessagePool& pool() const noexcept { return pool_; }
+
  private:
-  DeliverFn deliver_;
+  DelayedTransport(SinkRef sink, std::uint32_t minLatencyTicks,
+                   std::uint32_t maxLatencyTicks, std::uint64_t seed);
+
+  void deliverSlot(MessagePool::Slot slot);
+
+  SinkRef sink_;
   EventQueue queue_;
+  MessagePool pool_;
   std::uint32_t minLatency_;
   std::uint32_t maxLatency_;
   Rng rng_;
 };
 
 /// Drops each message with probability `dropProbability`, otherwise
-/// forwards to the wrapped transport. Non-owning: the inner transport must
-/// outlive this decorator.
+/// moves it into the wrapped transport. Non-owning: the inner transport
+/// must outlive this decorator.
 class LossyTransport final : public Transport {
  public:
   LossyTransport(Transport& inner, double dropProbability,
                  std::uint64_t seed = 1);
 
-  void send(NodeId to, Message msg) override;
+  void send(NodeId to, Message&& msg) override;
 
   std::uint64_t dropped() const noexcept { return dropped_; }
 

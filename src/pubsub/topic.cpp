@@ -6,18 +6,18 @@
 
 namespace vs07::pubsub {
 
+void TopicOverlay::FilterSink::deliver(NodeId to, net::Message&& msg) {
+  if (!topic.subscribed_.contains(to)) return;
+  topic.router_.deliver(to, std::move(msg));
+}
+
 TopicOverlay::TopicOverlay(sim::Network& network, std::string name,
                            Params params, std::uint64_t seed)
     : network_(network),
       name_(std::move(name)),
       rng_(seed),
       router_(network),
-      transport_([this](NodeId to, const net::Message& m) {
-        // Unsubscribed nodes are outside this overlay: traffic to them is
-        // dropped exactly like traffic to dead nodes.
-        if (!subscribed_.contains(to)) return;
-        router_.deliver(to, m);
-      }),
+      transport_(sink_),
       cyclon_(network, transport_, router_, params.cyclon, mix64(seed ^ 1)),
       vicinity_(network, transport_, router_, cyclon_, params.vicinity,
                 mix64(seed ^ 2)) {}

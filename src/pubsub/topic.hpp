@@ -84,10 +84,19 @@ class TopicOverlay final : public sim::CycleProtocol {
                                std::uint32_t fanout, std::uint64_t seed);
 
  private:
+  /// Drops traffic to unsubscribed nodes (they are outside this overlay,
+  /// exactly like dead nodes), then routes normally.
+  struct FilterSink final : net::DeliverySink {
+    explicit FilterSink(TopicOverlay& topic) : topic(topic) {}
+    void deliver(NodeId to, net::Message&& msg) override;
+    TopicOverlay& topic;
+  };
+
   sim::Network& network_;
   std::string name_;
   Rng rng_;
   sim::MessageRouter router_;
+  FilterSink sink_{*this};
   net::ImmediateTransport transport_;
   gossip::Cyclon cyclon_;
   gossip::Vicinity vicinity_;

@@ -92,6 +92,25 @@ void Engine::scheduleDelivery(std::uint64_t delayTicks,
                   });
 }
 
+void Engine::scheduleMessageDelivery(std::uint64_t delayTicks, NodeId to,
+                                     net::Message&& msg,
+                                     net::DeliverySink& sink) {
+  ++pendingDeliveries_;
+  const net::MessagePool::Slot slot = pool_.checkIn(to, msg);
+  if (slot >= slotSink_.size()) slotSink_.resize(slot + 1, nullptr);
+  slotSink_[slot] = &sink;
+  // Two-word capture: stays inside the std::function small buffer, so
+  // queueing an in-flight message allocates nothing in steady state.
+  queue_.schedule(tick_ + delayTicks, kPriorityDelivery,
+                  [this, slot] { deliverSlot(slot); });
+}
+
+void Engine::deliverSlot(std::uint32_t slot) {
+  --pendingDeliveries_;
+  slotSink_[slot]->deliver(pool_.destination(slot), std::move(pool_.at(slot)));
+  pool_.release(slot);
+}
+
 void Engine::assignPhase(NodeId node) {
   if (node >= phase_.size()) phase_.resize(node + 1, 0);
   // Drawn for every node in every mode so switching modes never changes

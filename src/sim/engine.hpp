@@ -35,6 +35,8 @@
 
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
+#include "net/delivery_sink.hpp"
+#include "net/message_pool.hpp"
 #include "net/node_id.hpp"
 #include "sim/network.hpp"
 #include "sim/timing.hpp"
@@ -121,13 +123,29 @@ class Engine {
   const TimingConfig& timing() const noexcept { return timing_; }
 
   /// Schedules `action` onto the shared event queue `delayTicks` from the
-  /// current tick, at delivery priority. Latency-model transports use
-  /// this; deliveries due mid-cycle interleave with node timers in
-  /// deterministic (dueTick, priority, seq) order.
+  /// current tick, at delivery priority. Deliveries due mid-cycle
+  /// interleave with node timers in deterministic (dueTick, priority,
+  /// seq) order. For message traffic prefer scheduleMessageDelivery,
+  /// which recycles payload buffers through the engine's pool.
   void scheduleDelivery(std::uint64_t delayTicks, EventQueue::Action action);
+
+  /// Schedules delivery of `msg` to `sink` `delayTicks` from the current
+  /// tick, at delivery priority and in the same deterministic order as
+  /// scheduleDelivery. The payload is checked into the engine's
+  /// MessagePool (the caller's message is left holding recycled buffers)
+  /// and the queued event captures only the slot index, so a
+  /// steady-state cycle's in-flight traffic allocates nothing.
+  /// `sink` must outlive the delivery.
+  void scheduleMessageDelivery(std::uint64_t delayTicks, NodeId to,
+                               net::Message&& msg, net::DeliverySink& sink);
 
   /// Deliveries scheduled but not yet executed.
   std::size_t pendingDeliveries() const noexcept { return pendingDeliveries_; }
+
+  /// The in-flight payload pool (diagnostics: capacity stops growing once
+  /// traffic reaches steady state; inUse() returns to zero when the
+  /// queue drains).
+  const net::MessagePool& deliveryPool() const noexcept { return pool_; }
 
   Network& network() noexcept { return network_; }
 
@@ -142,6 +160,8 @@ class Engine {
   };
 
   void runOneCycle();
+  /// Executes one pooled message delivery (see scheduleMessageDelivery).
+  void deliverSlot(std::uint32_t slot);
   /// CycleSync: the whole synchronous round as one macro-event.
   void sweepCycleSync();
   /// JitteredPeriodic: one node's timer firing.
@@ -165,6 +185,10 @@ class Engine {
   std::uint64_t tick_ = 0;
   std::uint64_t nextCycleStart_ = 0;
   std::size_t pendingDeliveries_ = 0;
+  /// Pooled payloads (and destinations) of in-flight message
+  /// deliveries, with the per-slot sink in a parallel array.
+  net::MessagePool pool_;
+  std::vector<net::DeliverySink*> slotSink_;
   std::vector<NodeId> order_;          // scratch, reused every cycle
   std::vector<std::uint32_t> phase_;   // per-node timer offset in ticks
   /// Jittered-mode scratch: nodes grouped by phase, one bucket per tick

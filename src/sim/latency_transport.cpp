@@ -6,23 +6,22 @@
 
 namespace vs07::sim {
 
+LatencyTransport::LatencyTransport(Engine& engine, net::DeliverySink& sink,
+                                   LatencyModel latency, std::uint64_t seed)
+    : engine_(engine), sink_(sink), latency_(latency), rng_(seed) {}
+
 LatencyTransport::LatencyTransport(Engine& engine, net::DeliverFn deliver,
                                    LatencyModel latency, std::uint64_t seed)
     : engine_(engine),
-      deliver_(std::move(deliver)),
+      sink_(std::move(deliver)),
       latency_(latency),
-      rng_(seed) {
-  VS07_EXPECT(deliver_ != nullptr);
-}
+      rng_(seed) {}
 
-void LatencyTransport::send(NodeId to, net::Message msg) {
+void LatencyTransport::send(NodeId to, net::Message&& msg) {
   countSend();
   ++inFlight_;
-  const std::uint64_t delay = latency_.draw(rng_);
-  engine_.scheduleDelivery(delay, [this, to, m = std::move(msg)] {
-    --inFlight_;
-    deliver_(to, m);
-  });
+  engine_.scheduleMessageDelivery(latency_.draw(rng_), to, std::move(msg),
+                                  counting_);
 }
 
 }  // namespace vs07::sim

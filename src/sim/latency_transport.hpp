@@ -6,7 +6,9 @@
 // node gossip timers in deterministic (dueTick, priority, seq) order.
 // This is the event-core replacement for pumping a DelayedTransport once
 // per cycle: no side heap, no separate clock, and latencies are
-// meaningful at sub-cycle granularity under jittered timing.
+// meaningful at sub-cycle granularity under jittered timing. Payloads
+// ride the engine's MessagePool (Engine::scheduleMessageDelivery), so a
+// steady-state cycle's in-flight traffic is allocation-free.
 #pragma once
 
 #include <cstdint>
@@ -22,13 +24,15 @@ namespace vs07::sim {
 /// Non-owning: engine and sink must outlive the transport.
 class LatencyTransport final : public net::Transport {
  public:
+  LatencyTransport(Engine& engine, net::DeliverySink& sink,
+                   LatencyModel latency, std::uint64_t seed);
   LatencyTransport(Engine& engine, net::DeliverFn deliver,
                    LatencyModel latency, std::uint64_t seed);
 
   /// Schedules delivery `latency.draw()` ticks from the engine's current
   /// tick. A zero-tick draw still goes through the queue (it runs at the
   /// current tick, after already pending same-tick deliveries).
-  void send(NodeId to, net::Message msg) override;
+  void send(NodeId to, net::Message&& msg) override;
 
   /// Messages scheduled on the engine but not yet delivered (counts this
   /// transport's traffic only).
@@ -37,8 +41,20 @@ class LatencyTransport final : public net::Transport {
   const LatencyModel& latency() const noexcept { return latency_; }
 
  private:
+  /// Inner sink the engine delivers to: maintains the in-flight counter,
+  /// then forwards to the downstream sink.
+  struct CountingSink final : net::DeliverySink {
+    explicit CountingSink(LatencyTransport& owner) : owner(owner) {}
+    void deliver(NodeId to, net::Message&& msg) override {
+      --owner.inFlight_;
+      owner.sink_->deliver(to, std::move(msg));
+    }
+    LatencyTransport& owner;
+  };
+
   Engine& engine_;
-  net::DeliverFn deliver_;
+  net::SinkRef sink_;
+  CountingSink counting_{*this};
   LatencyModel latency_;
   Rng rng_;
   std::size_t inFlight_ = 0;

@@ -16,7 +16,7 @@ void MessageRouter::route(net::MessageKind kind, Handler handler,
   handlers_[slot(kind, channel)] = std::move(handler);
 }
 
-void MessageRouter::deliver(NodeId to, const net::Message& msg) {
+void MessageRouter::deliver(NodeId to, net::Message&& msg) {
   if (!network_->isAlive(to)) {
     ++droppedDead_;
     return;

@@ -1,6 +1,6 @@
 // Message routing from a Transport's delivery sink to protocol handlers.
 //
-// The simulator installs one MessageRouter as the DeliverFn of whatever
+// The simulator installs one MessageRouter as the DeliverySink of whatever
 // transport stack it builds; protocols register per message kind. Messages
 // addressed to dead nodes are counted and dropped (a dead node neither
 // replies to gossip nor forwards data), which is precisely how CYCLON's
@@ -10,15 +10,18 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
 
+#include "net/delivery_sink.hpp"
 #include "net/message.hpp"
 #include "sim/network.hpp"
 
 namespace vs07::sim {
 
 /// Dispatches delivered messages to per-kind handlers, dropping traffic to
-/// dead nodes.
-class MessageRouter {
+/// dead nodes. Implements net::DeliverySink, so transports call it with
+/// one virtual dispatch and no std::function box on the hot path.
+class MessageRouter final : public net::DeliverySink {
  public:
   using Handler = std::function<void(NodeId to, const net::Message&)>;
 
@@ -28,8 +31,17 @@ class MessageRouter {
   void route(net::MessageKind kind, Handler handler,
              std::uint8_t channel = 0);
 
-  /// The DeliverFn to plug into a transport.
-  void deliver(NodeId to, const net::Message& msg);
+  // net::DeliverySink — dispatch to the registered handler. Handlers see
+  // the message by const reference; the buffer is recycled by the caller
+  // once the handler returns.
+  void deliver(NodeId to, net::Message&& msg) override;
+
+  /// Convenience for tests and ad-hoc injection: copies the message into
+  /// the move path.
+  void deliver(NodeId to, const net::Message& msg) {
+    net::Message copy = msg;
+    deliver(to, std::move(copy));
+  }
 
   /// Messages dropped because the destination was dead.
   std::uint64_t droppedDead() const noexcept { return droppedDead_; }

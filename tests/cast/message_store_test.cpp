@@ -131,7 +131,7 @@ TEST(MessageStore, EvictedMessageIsReForwardedOnReReception) {
   again.kind = net::MessageKind::Data;
   again.from = 0;
   again.dataId = a;
-  h.transport.send(/*to=*/1, again);
+  h.transport.send(/*to=*/1, std::move(again));
 
   // Node 1 re-buffered A and the re-forward cascaded through every node
   // whose buffer had also forgotten it.

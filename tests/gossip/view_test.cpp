@@ -148,5 +148,39 @@ TEST(View, ClearEmptiesView) {
   EXPECT_EQ(v.size(), 1u);
 }
 
+TEST(View, RandomEntriesIntoMatchesAllocatingPathBitForBit) {
+  // The scratch-buffer variant must consume the rng identically and
+  // produce the identical sample — it is what keeps the refactored hot
+  // path bit-compatible with the paper-model results.
+  View v(0, 20);
+  for (NodeId id = 1; id <= 17; ++id) v.add(entry(id, id % 5));
+  Rng rngOld(123);
+  Rng rngNew(123);
+  std::vector<PeerDescriptor> scratch;
+  for (std::size_t count : {0u, 1u, 7u, 16u, 17u, 30u}) {
+    for (const NodeId exclude : {kNoNode, NodeId{4}, NodeId{17}}) {
+      const auto allocated = v.randomEntries(count, exclude, rngOld);
+      v.randomEntriesInto(count, exclude, rngNew, scratch);
+      EXPECT_EQ(allocated, scratch)
+          << "count=" << count << " exclude=" << exclude;
+      // And the two streams stay in lockstep.
+      EXPECT_EQ(rngOld(), rngNew());
+    }
+  }
+}
+
+TEST(View, RandomEntriesIntoReusesScratchCapacity) {
+  View v(0, 20);
+  for (NodeId id = 1; id <= 20; ++id) v.add(entry(id));
+  Rng rng(9);
+  std::vector<PeerDescriptor> scratch;
+  v.randomEntriesInto(8, kNoNode, rng, scratch);
+  const auto* data = scratch.data();
+  const auto cap = scratch.capacity();
+  for (int i = 0; i < 100; ++i) v.randomEntriesInto(8, kNoNode, rng, scratch);
+  EXPECT_EQ(scratch.data(), data) << "scratch buffer was reallocated";
+  EXPECT_EQ(scratch.capacity(), cap);
+}
+
 }  // namespace
 }  // namespace vs07::gossip

@@ -190,5 +190,75 @@ TEST(Transport, SentCounterCountsAttempts) {
   EXPECT_EQ(inner.sent(), 0u);   // nothing reached the inner transport
 }
 
+TEST(LossyTransport, ForwardsByMoveNotCopy) {
+  // The message delivered through Lossy -> Immediate must be the very
+  // object the caller sent: same entry buffer, no copy anywhere on the
+  // path.
+  const PeerDescriptor* seenData = nullptr;
+  std::size_t seenCount = 0;
+  ImmediateTransport inner([&](NodeId, const Message& m) {
+    seenData = m.entries.data();
+    seenCount = m.entries.size();
+  });
+  LossyTransport lossy(inner, 0.0);
+
+  Message msg;
+  msg.kind = MessageKind::CyclonRequest;
+  msg.from = 3;
+  for (int i = 0; i < 6; ++i)
+    msg.entries.push_back({static_cast<NodeId>(i + 10), 0, 0});
+  const PeerDescriptor* sentData = msg.entries.data();
+
+  lossy.send(1, std::move(msg));
+  EXPECT_EQ(seenData, sentData) << "message was copied on the way down";
+  EXPECT_EQ(seenCount, 6u);
+}
+
+TEST(LossyTransport, AccountingConsistentUnderMoves) {
+  // sent() counts attempts on the decorator, dropped() the losses, and
+  // the inner transport sees exactly the survivors — with every survivor
+  // moved, never copied.
+  std::uint64_t delivered = 0;
+  ImmediateTransport inner([&](NodeId, const Message& m) {
+    ++delivered;
+    ASSERT_EQ(m.entries.size(), 2u);  // payload intact after the moves
+  });
+  LossyTransport lossy(inner, 0.4, /*seed=*/17);
+  for (int i = 0; i < 1'000; ++i) {
+    Message msg;
+    msg.kind = MessageKind::CyclonReply;
+    msg.from = 0;
+    msg.entries.push_back({1, 0, 0});
+    msg.entries.push_back({2, 0, 0});
+    lossy.send(1, std::move(msg));
+  }
+  EXPECT_EQ(lossy.sent(), 1'000u);
+  EXPECT_EQ(inner.sent(), delivered);
+  EXPECT_EQ(lossy.dropped() + delivered, 1'000u);
+  EXPECT_GT(lossy.dropped(), 0u);
+}
+
+TEST(DelayedTransport, RecyclesPayloadBuffersThroughThePool) {
+  // Steady-state traffic through the delayed queue must stop growing the
+  // pool, and senders get recycled entry buffers back via the swap.
+  DelayedTransport t([](NodeId, const Message&) {}, 1, 1);
+  Message scratch;
+  for (int round = 0; round < 50; ++round) {
+    scratch.reset();
+    scratch.kind = MessageKind::VicinityRequest;
+    for (int e = 0; e < 10; ++e)
+      scratch.entries.push_back({static_cast<NodeId>(e + 1), 0, 0});
+    t.send(1, std::move(scratch));
+    t.tick();  // delivers; the slot returns to the freelist
+  }
+  EXPECT_EQ(t.inFlight(), 0u);
+  EXPECT_EQ(t.pool().inUse(), 0u);
+  EXPECT_EQ(t.pool().capacity(), 1u)
+      << "one-in-flight traffic must reuse a single slot";
+  EXPECT_GE(t.pool().recycledCheckIns(), 48u);
+  // After the first exchange the sender's scratch owns a recycled buffer.
+  EXPECT_GE(scratch.entries.capacity(), 10u);
+}
+
 }  // namespace
 }  // namespace vs07::net
