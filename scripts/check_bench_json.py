@@ -40,6 +40,17 @@ REQUIRED_SERIES_ENTRY = {
     "label": str,
     "kind": str,
 }
+# Kinds with a typed schema beyond label/kind: every named key must be a
+# list, and all lists in the group must have equal (non-zero) length.
+# The network-condition benches (degraded_links, partition_heal) emit
+# these; a series of any other kind passes on the generic checks alone.
+PARALLEL_ARRAY_KINDS = {
+    "loss_sweep": ["loss_percent", "avg_miss_percent", "complete_percent",
+                   "avg_messages"],
+    "bandwidth_sweep": ["egress_messages_per_tick", "avg_spread_ticks",
+                        "avg_miss_percent", "queued_sends"],
+    "partition_heal": ["cycle", "side0_pct", "side1_pct"],
+}
 
 
 def check_timing(path, timing, where):
@@ -117,6 +128,21 @@ def check(path):
                 return fail(path, f"series[{i}].timing is not an object")
             if not check_timing(path, entry["timing"], f"series[{i}].timing"):
                 return False
+        arrays = PARALLEL_ARRAY_KINDS.get(entry["kind"])
+        if arrays is not None:
+            if "strategy" not in entry or \
+                    not isinstance(entry["strategy"], str):
+                return fail(path, f"series[{i}] ({entry['kind']}) misses "
+                                  f"string key 'strategy'")
+            lengths = set()
+            for key in arrays:
+                if key not in entry or not isinstance(entry[key], list):
+                    return fail(path, f"series[{i}] ({entry['kind']}) "
+                                      f"misses list key '{key}'")
+                lengths.add(len(entry[key]))
+            if len(lengths) != 1 or 0 in lengths:
+                return fail(path, f"series[{i}] ({entry['kind']}) parallel "
+                                  f"arrays disagree in length: {lengths}")
     print(f"OK   {path}: bench={record['bench']} "
           f"series={len(record['series'])} "
           f"threads={record['threads']} "

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links in README/docs for dangling targets.
+
+For every ``[text](target)`` link in the given markdown files:
+
+* external targets (http/https/mailto) are ignored — CI must not depend
+  on the outside world;
+* relative file targets must exist on disk (resolved against the file
+  that contains the link);
+* ``#anchor`` fragments must match a heading in the target file, using
+  GitHub's slugification (lowercase, spaces to dashes, punctuation
+  dropped). A bare ``#anchor`` checks the containing file itself.
+
+Exit 1 on the first pass listing every dangling reference, 0 when all
+files are clean.
+
+Usage: check_markdown_links.py FILE [FILE...]
+"""
+import os
+import re
+import sys
+
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, strip punctuation, dash spaces."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)           # inline markup
+    text = re.sub(r"[^\w\- ]", "", text)        # punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    with open(path, encoding="utf-8") as handle:
+        content = CODE_FENCE.sub("", handle.read())
+    return {github_slug(m.group(1)) for m in HEADING.finditer(content)}
+
+
+def check(path):
+    """Returns a list of dangling-link descriptions for one file."""
+    with open(path, encoding="utf-8") as handle:
+        content = CODE_FENCE.sub("", handle.read())
+    problems = []
+    base = os.path.dirname(os.path.abspath(path))
+    for pattern in (LINK, IMAGE):
+        for match in pattern.finditer(content):
+            target = match.group(1)
+            if target.startswith(EXTERNAL):
+                continue
+            file_part, _, anchor = target.partition("#")
+            resolved = os.path.abspath(path) if not file_part else \
+                os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                problems.append(f"{path}: dangling link target '{target}'")
+                continue
+            if anchor and resolved.endswith(".md"):
+                if github_slug(anchor) not in anchors_of(resolved):
+                    problems.append(
+                        f"{path}: anchor '#{anchor}' not found in "
+                        f"{os.path.relpath(resolved)}")
+    return problems
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    problems = []
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check(path))
+    for problem in problems:
+        print(f"FAIL {problem}")
+    checked = len(argv) - 1
+    print(f"{checked} file(s) checked, {len(problems)} dangling reference(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -34,8 +34,14 @@ struct Scenario::Core {
   sim::MessageRouter router;
   net::ImmediateTransport transport;
   sim::Engine engine;
-  /// Built when the timing config carries a latency model; gossip and
-  /// dissemination then both ride the engine's event queue.
+  /// Built when any link-level condition is configured (loss,
+  /// partitions, clusters, bandwidth, ...); attached to the latency
+  /// transport below.
+  std::unique_ptr<sim::NetworkModel> model;
+  /// Built when the timing config carries a latency model *or* network
+  /// conditions exist; gossip and dissemination then both ride the
+  /// engine's event queue (the only place per-link conditions can be
+  /// resolved at delivery-scheduling time).
   std::unique_ptr<sim::LatencyTransport> latency;
   std::unique_ptr<net::DelayedTransport> delayed;
   std::unique_ptr<net::LossyTransport> lossy;
@@ -55,7 +61,13 @@ struct Scenario::Core {
         router(network),
         transport(router),  // direct sink: no std::function on the hot path
         engine(network, mix64(c.seed ^ 0x656E67ULL), c.timing),
-        latency(c.timing.latency.kind == sim::LatencyModel::Kind::kNone
+        model(c.network.any()
+                  ? std::make_unique<sim::NetworkModel>(
+                        c.network, network, c.timing.ticksPerCycle,
+                        mix64(c.seed ^ 0x6E65746DULL))  // "netm"
+                  : nullptr),
+        latency(c.timing.latency.kind == sim::LatencyModel::Kind::kNone &&
+                        !model
                     ? nullptr
                     : std::make_unique<sim::LatencyTransport>(
                           engine, static_cast<net::DeliverySink&>(router),
@@ -65,12 +77,13 @@ struct Scenario::Core {
         rings(network, gossipTransport(), router, cyclon, c.vicinity, c.rings,
               mix64(c.seed ^ 0x72696E67ULL)),
         killRng(mix64(c.seed ^ 0xFA11EDULL)) {
+    if (model) latency->setNetworkModel(model.get());
     engine.addProtocol(cyclon);
     engine.addProtocol(rings);
     if (c.delayedTransport) {
       VS07_EXPECT(!latency &&
-                  "pick one latency mechanism: timing().latency or "
-                  "delayedTransport()");
+                  "pick one latency mechanism: timing().latency / network "
+                  "conditions or delayedTransport()");
       delayed = std::make_unique<net::DelayedTransport>(
           static_cast<net::DeliverySink&>(router), c.minLatencyTicks,
           c.maxLatencyTicks, mix64(c.seed ^ 0x64656C6179ULL));
@@ -160,6 +173,41 @@ Scenario Scenario::paperChurn(double rate, std::uint32_t nodes,
   return scenario;
 }
 
+Scenario Scenario::paperPartitioned(std::uint32_t splitCycles,
+                                    std::uint32_t nodes, std::uint64_t seed,
+                                    sim::TimingConfig timing) {
+  ScenarioBuilder b = builder();
+  b.nodes(nodes).seed(seed).timing(timing);
+  // The warm-up occupies cycles [0, warmupCycles); the blackout covers
+  // the splitCycles cycles immediately after it.
+  const std::uint64_t start = Config{}.warmupCycles;
+  b.partitionRingSplit(2, start, start + splitCycles);
+  return b.build();
+}
+
+Scenario Scenario::lossyWan(double lossRate, std::uint32_t nodes,
+                            std::uint64_t seed) {
+  return builder()
+      .nodes(nodes)
+      .seed(seed)
+      .timing(sim::TimingConfig::jittered())
+      .clusterLatency(4, sim::LatencyModel::fixed(1),
+                      sim::LatencyModel::uniform(2, 8))
+      .linkLoss(lossRate)
+      .reordering(0.05, 3)
+      .build();
+}
+
+Scenario Scenario::congested(std::uint32_t egressPerTick, std::uint32_t nodes,
+                             std::uint64_t seed) {
+  return builder()
+      .nodes(nodes)
+      .seed(seed)
+      .timing(sim::TimingConfig::jitteredLatency(sim::LatencyModel::fixed(1)))
+      .egressCap(egressPerTick)
+      .build();
+}
+
 void Scenario::warmup() {
   sim::bootstrapStar(core_->network, core_->cyclon, /*hub=*/0);
   core_->engine.run(core_->config.warmupCycles);
@@ -220,6 +268,12 @@ net::DelayedTransport* Scenario::delayedTransport() noexcept {
 }
 sim::LatencyTransport* Scenario::latencyTransport() noexcept {
   return core_->latency.get();
+}
+sim::NetworkModel* Scenario::networkModel() noexcept {
+  return core_->model.get();
+}
+const sim::NetworkModel* Scenario::networkModel() const noexcept {
+  return core_->model.get();
 }
 
 cast::OverlaySnapshot Scenario::snapshot(cast::Strategy strategy) const {
@@ -313,11 +367,89 @@ ScenarioBuilder& ScenarioBuilder::latency(sim::LatencyModel model) {
   config_.timing.latency = model;
   return *this;
 }
+ScenarioBuilder& ScenarioBuilder::network(sim::NetworkConditions conditions) {
+  config_.network = std::move(conditions);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::linkLoss(double lossRate) {
+  VS07_EXPECT(lossRate >= 0.0 && lossRate <= 1.0);
+  config_.network.lossRate = lossRate;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::burstLoss(
+    sim::GilbertElliottLink::Params params) {
+  config_.network.burstLoss = true;
+  config_.network.burst = params;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::duplication(double rate) {
+  VS07_EXPECT(rate >= 0.0 && rate <= 1.0);
+  config_.network.duplicateRate = rate;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::reordering(double rate,
+                                             std::uint32_t maxExtraTicks) {
+  VS07_EXPECT(rate >= 0.0 && rate <= 1.0);
+  VS07_EXPECT(maxExtraTicks >= 1);
+  config_.network.reorderRate = rate;
+  config_.network.reorderMaxTicks = maxExtraTicks;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::clusterLatency(std::uint32_t clusters,
+                                                 sim::LatencyModel intra,
+                                                 sim::LatencyModel inter) {
+  VS07_EXPECT(clusters >= 1);
+  config_.network.clusterLatency = {clusters, intra, inter};
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::egressCap(std::uint32_t messagesPerTick) {
+  VS07_EXPECT(messagesPerTick >= 1);
+  config_.network.bandwidth.messagesPerTick = messagesPerTick;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::conditionsFromCycle(std::uint64_t cycle) {
+  config_.network.startCycle = cycle;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::partitionRingSplit(std::uint32_t groups,
+                                                     std::uint64_t startCycle,
+                                                     std::uint64_t endCycle) {
+  using Kind = sim::NetworkConditions::PartitionPlan::Kind;
+  VS07_EXPECT(groups >= 2);
+  VS07_EXPECT(startCycle < endCycle);
+  auto& plan = config_.network.partition;
+  VS07_EXPECT((plan.kind == Kind::kNone ||
+               (plan.kind == Kind::kRingSplit && plan.groups == groups)) &&
+              "one partition grouping per scenario");
+  plan.kind = Kind::kRingSplit;
+  plan.groups = groups;
+  plan.windowsCycles.emplace_back(startCycle, endCycle);
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::partitionRingArc(double fraction,
+                                                   std::uint64_t startCycle,
+                                                   std::uint64_t endCycle) {
+  using Kind = sim::NetworkConditions::PartitionPlan::Kind;
+  VS07_EXPECT(fraction > 0.0 && fraction < 1.0);
+  VS07_EXPECT(startCycle < endCycle);
+  auto& plan = config_.network.partition;
+  VS07_EXPECT((plan.kind == Kind::kNone ||
+               (plan.kind == Kind::kRingArc &&
+                plan.arcFraction == fraction)) &&
+              "one partition grouping per scenario");
+  plan.kind = Kind::kRingArc;
+  plan.arcFraction = fraction;
+  plan.windowsCycles.emplace_back(startCycle, endCycle);
+  return *this;
+}
 ScenarioBuilder& ScenarioBuilder::delayedTransport(
     std::uint32_t minLatencyTicks, std::uint32_t maxLatencyTicks) {
   VS07_EXPECT(minLatencyTicks <= maxLatencyTicks);
   VS07_EXPECT(config_.timing.latency.kind == sim::LatencyModel::Kind::kNone &&
               "pick one latency mechanism: latency() or delayedTransport()");
+  VS07_EXPECT(!config_.network.any() &&
+              "network conditions ride the engine-queue transport; they do "
+              "not compose with delayedTransport()");
   config_.delayedTransport = true;
   config_.minLatencyTicks = minLatencyTicks;
   config_.maxLatencyTicks = maxLatencyTicks;

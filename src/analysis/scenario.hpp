@@ -32,6 +32,7 @@
 #include "sim/engine.hpp"
 #include "sim/latency_transport.hpp"
 #include "sim/network.hpp"
+#include "sim/network_model.hpp"
 #include "sim/router.hpp"
 #include "sim/session_churn.hpp"
 #include "sim/timing.hpp"
@@ -66,6 +67,14 @@ class Scenario {
     /// the engine's event queue, so delay shapes overlay construction
     /// too, which is exactly the §7 claim worth testing.
     sim::TimingConfig timing{};
+
+    // -- link-level network conditions (sim/network_model.hpp) ----------
+    /// When any condition is set, *all* simulated traffic rides a
+    /// LatencyTransport with the NetworkModel attached, so loss,
+    /// partitions, duplication, reordering, cluster latency, and egress
+    /// queueing are resolved per (src, dst, tick) at delivery-scheduling
+    /// time — for gossip and dissemination alike.
+    sim::NetworkConditions network{};
 
     // -- dissemination transport (legacy pumped path: gossip stays on the
     //    immediate cycle model; these shape LiveSession traffic only) ----
@@ -105,6 +114,34 @@ class Scenario {
                              std::uint64_t seed = 42,
                              std::uint64_t maxChurnCycles = 50'000,
                              sim::TimingConfig timing = {});
+
+  // -- adversarial network presets (sim/network_model.hpp) --------------
+
+  /// §5.1's partitioned ring as a *healing* scenario: warmed up, then
+  /// the ring is split into two seq-contiguous halves for `splitCycles`
+  /// cycles starting with the first post-warm-up cycle; cross-half
+  /// traffic (gossip and dissemination) drops until the partition heals.
+  /// Publish while split to watch per-side coverage; keep running past
+  /// the window to watch recovery (kPushPull backfills the dark side).
+  static Scenario paperPartitioned(std::uint32_t splitCycles = 30,
+                                   std::uint32_t nodes = 10'000,
+                                   std::uint64_t seed = 42,
+                                   sim::TimingConfig timing = {});
+
+  /// Lossy wide-area network: four latency clusters (intra fixed 1 tick,
+  /// inter uniform 2..8), per-link Bernoulli loss, and light reordering,
+  /// under jittered node timers.
+  static Scenario lossyWan(double lossRate = 0.01,
+                           std::uint32_t nodes = 10'000,
+                           std::uint64_t seed = 42);
+
+  /// Bandwidth-constrained network: every node may emit at most
+  /// `egressPerTick` messages per tick (fixed 1-tick link latency,
+  /// jittered timers); overload shows up as FIFO queueing delay, never
+  /// as silent infinite capacity.
+  static Scenario congested(std::uint32_t egressPerTick = 2,
+                            std::uint32_t nodes = 10'000,
+                            std::uint64_t seed = 42);
 
   Scenario(Scenario&&) noexcept;
   Scenario& operator=(Scenario&&) noexcept;
@@ -157,9 +194,15 @@ class Scenario {
   net::Transport& castTransport() noexcept;
   /// Non-null when the builder chose a delayed transport (tick/drain).
   net::DelayedTransport* delayedTransport() noexcept;
-  /// Non-null when the timing config carries a latency model: the
-  /// engine-queue transport all simulated traffic rides on.
+  /// Non-null when the timing config carries a latency model or any
+  /// network condition is configured: the engine-queue transport all
+  /// simulated traffic rides on.
   sim::LatencyTransport* latencyTransport() noexcept;
+  /// Non-null when the builder configured link-level network conditions
+  /// (loss, partitions, clusters, bandwidth, ...). Counters on the model
+  /// say what the conditions did to the traffic.
+  sim::NetworkModel* networkModel() noexcept;
+  const sim::NetworkModel* networkModel() const noexcept;
 
   // -- frozen overlays ---------------------------------------------------
 
@@ -177,6 +220,15 @@ class Scenario {
 
   /// Freezes the overlay for `options.strategy` now and returns a
   /// snapshot-path session over it (the paper's §7.1 model).
+  ///
+  /// Caution: the snapshot path replays dissemination hop-synchronously
+  /// over the frozen links and NEVER touches the transport — configured
+  /// network conditions (loss, partitions, duplication, egress caps) do
+  /// not apply to its results. That is the point (it measures the
+  /// overlay *structure* the conditioned gossip built), but it means a
+  /// snapshot publish during a partition blackout reports full
+  /// coverage; measuring what the conditions do to dissemination itself
+  /// requires liveSession().
   cast::SnapshotSession snapshotSession(cast::CastOptions options = {}) const;
 
   /// Creates (once) the transport-driven session; the Scenario owns it.
@@ -212,6 +264,49 @@ class ScenarioBuilder {
   /// through the engine queue (composes with either timing mode;
   /// mutually exclusive with delayedTransport()).
   ScenarioBuilder& latency(sim::LatencyModel model);
+
+  // -- link-level network conditions (sim/network_model.hpp). Any of
+  //    these routes *all* traffic through the engine-queue transport
+  //    with a NetworkModel attached; they compose freely with each
+  //    other and with either timing mode. ------------------------------
+
+  /// Wholesale replacement of the accumulated network conditions.
+  ScenarioBuilder& network(sim::NetworkConditions conditions);
+  /// Per-crossing Bernoulli loss on every link.
+  ScenarioBuilder& linkLoss(double lossRate);
+  /// Bursty Gilbert-Elliott loss (per-directed-link Markov chains).
+  ScenarioBuilder& burstLoss(
+      sim::GilbertElliottLink::Params params = {});
+  /// Per-crossing duplication probability.
+  ScenarioBuilder& duplication(double rate);
+  /// Per-crossing reordering: probability of 1..maxExtraTicks jitter.
+  ScenarioBuilder& reordering(double rate, std::uint32_t maxExtraTicks = 3);
+  /// Heterogeneous latency: nodes hash into `clusters` groups with
+  /// separate intra/inter-cluster latency models (replaces the global
+  /// latency draw for every link).
+  ScenarioBuilder& clusterLatency(std::uint32_t clusters,
+                                  sim::LatencyModel intra,
+                                  sim::LatencyModel inter);
+  /// Per-node egress bandwidth cap in messages per tick (FIFO queueing).
+  ScenarioBuilder& egressCap(std::uint32_t messagesPerTick);
+  /// Engages the link chain and bandwidth cap only from engine cycle
+  /// `cycle` on (links are clean before it) — the §7 methodology knob:
+  /// self-organise undisturbed, then degrade. Partition windows keep
+  /// their own schedule; cluster latency is never gated.
+  ScenarioBuilder& conditionsFromCycle(std::uint64_t cycle);
+  /// Splits the ring into `groups` seq-contiguous segments, blacked out
+  /// over engine cycles [startCycle, endCycle) and healed outside; a
+  /// repeat call with the same grouping appends another blackout window.
+  /// Windows must be ascending and non-overlapping across calls.
+  /// build()'s warm-up occupies cycles [0, warmupCycles).
+  ScenarioBuilder& partitionRingSplit(std::uint32_t groups,
+                                      std::uint64_t startCycle,
+                                      std::uint64_t endCycle);
+  /// Two groups: a §5.1 contiguous ring arc of `fraction` of the
+  /// population versus the rest, blacked out over [startCycle, endCycle).
+  ScenarioBuilder& partitionRingArc(double fraction,
+                                    std::uint64_t startCycle,
+                                    std::uint64_t endCycle);
 
   /// Dissemination messages take a uniform-random [min,max] tick latency.
   ScenarioBuilder& delayedTransport(std::uint32_t minLatencyTicks,

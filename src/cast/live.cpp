@@ -199,8 +199,15 @@ void LiveCast::forward(NodeId self, NodeId receivedFrom,
     } else {
       addNeighbors(vicinity_->ringNeighbors(self));
     }
-    selectHybridTargets(rlinks, dlinks, self, receivedFrom, params_.fanout,
-                        rng_, targets);
+    if (params_.flood) {
+      floodTargets(rlinks, dlinks, self, receivedFrom, targets);
+    } else {
+      selectHybridTargets(rlinks, dlinks, self, receivedFrom, params_.fanout,
+                          rng_, targets);
+    }
+  } else if (params_.flood) {
+    dlinkScratch_.clear();  // no d-link source attached: pure r-link flood
+    floodTargets(rlinks, dlinkScratch_, self, receivedFrom, targets);
   } else {
     selectRandomTargets(rlinks, self, receivedFrom, params_.fanout, rng_,
                         targets);

@@ -118,6 +118,10 @@ class LiveCast final : public sim::CycleProtocol,
   struct Params {
     /// Push fanout F.
     std::uint32_t fanout = 3;
+    /// Flood instead of fanout-limited forwarding: every forward goes to
+    /// *all* current links (d-links first, then every r-link), ignoring
+    /// `fanout`. The live twin of Strategy::kFlood.
+    bool flood = false;
     /// A node issues one PullRequest every `pullInterval` of its own
     /// steps; 0 disables pulling (pure push, the paper's main setting).
     std::uint32_t pullInterval = 1;

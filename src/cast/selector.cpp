@@ -58,17 +58,24 @@ void selectHybridTargets(std::span<const NodeId> rlinks,
                         out);
 }
 
+void floodTargets(std::span<const NodeId> rlinks,
+                  std::span<const NodeId> dlinks, NodeId self,
+                  NodeId receivedFrom, std::vector<NodeId>& out) {
+  out.clear();
+  for (const NodeId link : dlinks)
+    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
+      out.push_back(link);
+  for (const NodeId link : rlinks)
+    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
+      out.push_back(link);
+}
+
 void FloodSelector::selectTargets(const OverlaySnapshot& overlay, NodeId self,
                                   NodeId receivedFrom,
                                   std::uint32_t /*fanout*/, Rng& /*rng*/,
                                   std::vector<NodeId>& out) const {
-  out.clear();
-  for (const NodeId link : overlay.dlinks(self))
-    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
-      out.push_back(link);
-  for (const NodeId link : overlay.rlinks(self))
-    if (link != receivedFrom && link != self && !alreadyChosen(out, link))
-      out.push_back(link);
+  floodTargets(overlay.rlinks(self), overlay.dlinks(self), self, receivedFrom,
+               out);
 }
 
 void RandCastSelector::selectTargets(const OverlaySnapshot& overlay,

@@ -110,4 +110,10 @@ void selectHybridTargets(std::span<const NodeId> rlinks,
                          NodeId receivedFrom, std::uint32_t fanout, Rng& rng,
                          std::vector<NodeId>& out);
 
+/// The flood rule (§3) over explicit link sets: every d-link, then every
+/// r-link, deduplicated and never back to the sender (no fanout cap).
+void floodTargets(std::span<const NodeId> rlinks,
+                  std::span<const NodeId> dlinks, NodeId self,
+                  NodeId receivedFrom, std::vector<NodeId>& out);
+
 }  // namespace vs07::cast

@@ -13,6 +13,7 @@ namespace {
 LiveCast::Params liveParams(const CastOptions& options) {
   LiveCast::Params params;
   params.fanout = options.fanout;
+  params.flood = options.strategy == Strategy::kFlood;
   // Push-only strategies never pull; kPushPull pulls at the configured
   // interval (0 would silently degrade to pure push, so reject it).
   if (options.strategy == Strategy::kPushPull) {
@@ -74,8 +75,6 @@ LiveSession::LiveSession(sim::Network& network, net::Transport& transport,
             // strategy asks for it and several rings exist.
             options.strategy == Strategy::kRandCast ? nullptr : vicinity,
             liveParams(options), options.seed ^ 0x6C697665ULL) {
-  VS07_EXPECT(options.strategy != Strategy::kFlood &&
-              "live flooding is not modelled; use a SnapshotSession");
   if (options.strategy == Strategy::kMultiRing) {
     VS07_EXPECT(rings != nullptr);
     // LiveCast picks d-links at forward time, so upgrading from ring 0

@@ -14,7 +14,8 @@ class TargetSelector;
 
 /// The forwarding rules of the paper, §3-§8.
 enum class Strategy {
-  /// Deterministic flooding over every link (§3's static overlays).
+  /// Deterministic flooding over every link (§3's static overlays; on
+  /// the live path: every current d-link and r-link, no fanout cap).
   kFlood,
   /// Probabilistic push over F random r-links (Fig. 2).
   kRandCast,

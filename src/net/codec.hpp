@@ -3,6 +3,12 @@
 // The simulator delivers Message values in-process, but the wire format is
 // implemented and tested so that the protocols have a concrete, documented
 // encoding — the piece a real deployment would put on UDP.
+//
+// Invariants: decode(encode(m)) == m for every representable Message
+// (field order and integer widths are fixed, independent of host
+// endianness), and decode rejects truncated or over-long buffers with an
+// exception instead of reading out of bounds — both pinned by
+// tests/net/codec_test.cpp.
 #pragma once
 
 #include <cstdint>

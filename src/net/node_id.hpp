@@ -4,6 +4,11 @@
 // hash, and use as an array index). A node's position on the RINGCAST ring
 // is *not* its NodeId but a separate random 64-bit SequenceId — the paper's
 // "arbitrarily chosen sequence IDs" that VICINITY sorts by.
+//
+// Invariant: ids are dense and never reused — the id space is
+// [0, Network::totalCreated()), a churned-out id stays dead forever, and
+// every layer may therefore size per-node state as a flat array indexed
+// by NodeId without tombstone handling.
 #pragma once
 
 #include <cstdint>

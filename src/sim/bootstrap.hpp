@@ -1,6 +1,12 @@
 // Initial-topology helpers. The paper bootstraps every experiment from a
 // star: all nodes know one contact node, everything else empty, then lets
 // CYCLON/VICINITY self-organise for 100 cycles.
+//
+// Invariant: bootstrapping sends no messages and mutates nothing but the
+// join handlers' views, walking the alive set in its stored order. The
+// star variant consumes no randomness at all; the random variant draws
+// only from the caller's rng — either way, two identically seeded
+// scenarios enter warm-up with byte-identical protocol state.
 #pragma once
 
 #include <cstdint>

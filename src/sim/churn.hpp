@@ -2,6 +2,12 @@
 // selected nodes is removed and the same number of fresh nodes joins.
 // Removed nodes never return; joiners bootstrap from one random alive
 // introducer (the worst case the paper evaluates).
+//
+// Invariants: the control is deterministic in its seed (all victim and
+// introducer picks flow through one private Rng); within a cycle every
+// kill precedes every join, and join handlers run in registration order —
+// so protocols observe one canonical membership sequence, pinned by the
+// churn determinism suites.
 #pragma once
 
 #include <cstdint>

@@ -1,9 +1,9 @@
 #include "sim/failures.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/expect.hpp"
+#include "sim/network_model.hpp"
 
 namespace vs07::sim {
 
@@ -30,28 +30,12 @@ std::vector<NodeId> killRandomCount(Network& network, std::uint32_t count,
 
 std::vector<NodeId> killContiguousArc(Network& network, double fraction,
                                       Rng& rng) {
-  VS07_EXPECT(fraction >= 0.0 && fraction <= 1.0);
-  const auto count = static_cast<std::uint32_t>(
-      std::llround(fraction * static_cast<double>(network.aliveCount())));
-  std::vector<NodeId> killed;
-  if (count == 0) return killed;
-
-  // Ring order = alive nodes sorted by sequence id (the converged ring).
-  std::vector<NodeId> ring(network.aliveIds());
-  std::sort(ring.begin(), ring.end(), [&network](NodeId a, NodeId b) {
-    const auto pa = network.seqId(a);
-    const auto pb = network.seqId(b);
-    if (pa != pb) return pa < pb;
-    return a < b;
-  });
-
-  const std::size_t start = rng.below(ring.size());
-  killed.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    const NodeId victim = ring[(start + i) % ring.size()];
-    network.kill(victim);
-    killed.push_back(victim);
-  }
+  // Arc selection is shared with PartitionSchedule::splitRingArc — same
+  // ring order, same single rng draw — so the §5.1 scenario is
+  // bit-identical whether the arc is killed or partitioned off (pinned
+  // by tests/sim/partition_fold_test.cpp).
+  std::vector<NodeId> killed = contiguousRingArc(network, fraction, rng);
+  for (const NodeId victim : killed) network.kill(victim);
   return killed;
 }
 

@@ -2,6 +2,12 @@
 // population at once. The paper deliberately stalls gossip afterwards —
 // the overlay gets no chance to self-heal — so this is a plain mutation,
 // not a Control.
+//
+// Invariant: every helper is deterministic in the caller's rng, and the
+// §5.1 arc kill selects its victims through the same primitive
+// (sim/network_model's contiguousRingArc) that PartitionSchedule uses to
+// isolate an arc — kill and partition name the same nodes at the same
+// rng state (pinned by tests/sim/partition_fold_test.cpp).
 #pragma once
 
 #include <cstdint>

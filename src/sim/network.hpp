@@ -6,6 +6,13 @@
 // pointing at a dead node exactly as in the paper's worst-case churn model
 // ("removed nodes never come back, so dead links never become valid
 // again"). New joiners always get a fresh id.
+//
+// Ordering invariant: aliveIds() is maintained by append-on-spawn and
+// swap-with-last-on-kill — its order is unspecified but a pure function
+// of the spawn/kill history, so identically seeded runs iterate the
+// alive set identically (the determinism suites depend on this).
+// Observers are notified in registration order, synchronously inside
+// spawn()/kill().
 #pragma once
 
 #include <cstdint>

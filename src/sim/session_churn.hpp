@@ -1,6 +1,12 @@
 // Session-length churn — a more realistic alternative to the paper's
 // per-cycle replacement model.
 //
+// Invariants: deterministic in the control's seed — session draws and
+// introducer picks share one private Rng, and the expiry heap pops in a
+// fixed order for a fixed insertion sequence. Each expiry is immediately
+// followed by its replacement join, so the population size is constant
+// at every cycle boundary.
+//
 // The paper's artificial model (ChurnControl) removes a uniform random
 // fraction each cycle: node lifetimes are geometric (memoryless). Real
 // P2P session traces — including the Saroiu et al. Gnutella measurements
