@@ -50,6 +50,11 @@ PARALLEL_ARRAY_KINDS = {
     "bandwidth_sweep": ["egress_messages_per_tick", "avg_spread_ticks",
                         "avg_miss_percent", "queued_sends"],
     "partition_heal": ["cycle", "side0_pct", "side1_pct"],
+    # realnet cross-validation (bench/realnet_coverage + run_local_cluster)
+    "coverage_ref": ["round", "coverage_percent"],
+    "realnet_coverage": ["round", "real_coverage_percent"],
+    "realnet_vs_sim": ["round", "real_coverage_percent",
+                       "sim_coverage_percent", "abs_delta_percent"],
 }
 
 

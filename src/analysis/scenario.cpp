@@ -57,7 +57,7 @@ struct Scenario::Core {
 
   explicit Core(const Config& c)
       : config(c),
-        network(c.nodes, mix64(c.seed ^ 0x6E6F646573ULL)),
+        network(c.nodes, sim::populationSeed(c.seed)),
         router(network),
         transport(router),  // direct sink: no std::function on the hot path
         engine(network, mix64(c.seed ^ 0x656E67ULL), c.timing),

@@ -92,8 +92,8 @@ std::uint64_t LiveCast::publish(NodeId origin) {
   stats.dataId = dataId;
   stats.origin = origin;
   if (clock_ != nullptr) {
-    stats.publishedAtTick = clock_->tick();
-    stats.lastDeliveryTick = clock_->tick();
+    stats.publishedAtTick = clock_->nowTick();
+    stats.lastDeliveryTick = stats.publishedAtTick;
   }
   deliveredTo_[dataId].assign(network_.totalCreated(), 0);
   deliverLocally(origin, dataId, /*viaPull=*/false, /*hop=*/0);
@@ -139,6 +139,9 @@ void LiveCast::handleData(NodeId self, const net::Message& msg) {
 void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
                               bool viaPull, std::uint32_t hop) {
   stores_[self].remember(dataId);
+  // Before the stats lookup: in a multi-process run only the origin owns
+  // stats for an id, but every process must see its own deliveries.
+  if (deliveryHook_) deliveryHook_(self, dataId, hop, viaPull);
   auto statsIt = stats_.find(dataId);
   if (statsIt == stats_.end()) return;  // unknown id: nothing to account
   auto& stats = statsIt->second;
@@ -152,8 +155,8 @@ void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
     return;
   }
   bitmap[self] = 1;
-  if (clock_ != nullptr && clock_->tick() > stats.lastDeliveryTick)
-    stats.lastDeliveryTick = clock_->tick();
+  if (clock_ != nullptr && clock_->nowTick() > stats.lastDeliveryTick)
+    stats.lastDeliveryTick = clock_->nowTick();
   if (viaPull) {
     ++stats.pullDelivered;
   } else {

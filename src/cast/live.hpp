@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/expect.hpp"
 #include "common/rng.hpp"
 #include "gossip/cyclon.hpp"
@@ -169,10 +171,26 @@ class LiveCast final : public sim::CycleProtocol,
   /// neighbours (§8 multi-ring forwarding). Call before publishing.
   void useMultiRing(const gossip::MultiRing& rings) { multiRing_ = &rings; }
 
-  /// Attaches the engine as the simulated clock: deliveries are stamped
-  /// with the tick they landed on (LiveMessageStats::lastDeliveryTick),
-  /// making wave durations measurable under latency-model transports.
-  void attachClock(const sim::Engine& engine) { clock_ = &engine; }
+  /// Attaches a clock: deliveries are stamped with the tick they landed
+  /// on (LiveMessageStats::lastDeliveryTick), making wave durations
+  /// measurable. LiveSession attaches the engine (simulated ticks); the
+  /// real-socket runtime attaches its wall clock (milliseconds).
+  void attachClock(const TickClock& clock) { clock_ = &clock; }
+
+  /// Invoked on every local first-sight delivery: (node, dataId, hop,
+  /// viaPull). Fires for the origin (hop 0) and for every node receiving
+  /// a Data message it has not buffered — including a re-reception after
+  /// buffer eviction, so consumers needing exactly-once must dedup by
+  /// dataId. The runtime's NodeProcess uses this to record per-node
+  /// first-delivery hops, which only exist origin-side in stats().
+  using DeliveryHook =
+      std::function<void(NodeId, std::uint64_t, std::uint32_t, bool)>;
+  void setDeliveryHook(DeliveryHook hook) { deliveryHook_ = std::move(hook); }
+
+  /// Overrides the next published dataId. Multi-process runs give each
+  /// process a disjoint base (e.g. (selfId+1) << 32) so concurrently
+  /// published messages can never collide on id.
+  void setNextDataId(std::uint64_t next) { nextDataId_ = next; }
 
   /// Has `node` received message `dataId`?
   bool hasDelivered(std::uint64_t dataId, NodeId node) const;
@@ -221,7 +239,8 @@ class LiveCast final : public sim::CycleProtocol,
   const gossip::Cyclon& cyclon_;
   const gossip::Vicinity* vicinity_;
   const gossip::MultiRing* multiRing_ = nullptr;
-  const sim::Engine* clock_ = nullptr;
+  const TickClock* clock_ = nullptr;
+  DeliveryHook deliveryHook_;
   Params params_;
   Rng rng_;
 

@@ -1,6 +1,7 @@
 #include "common/cli.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
@@ -148,6 +149,47 @@ std::size_t CliArgs::getChoice(const std::string& name,
   throw std::invalid_argument(message);
 }
 
+HostPort CliArgs::getHostPort(const std::string& name,
+                              const HostPort& fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  const std::string& value = *v;
+
+  const auto bad = [&](const std::string& hint) -> std::invalid_argument {
+    std::string message = "bad host:port for --" + name + ": '" + value + "'";
+    if (!hint.empty()) message += " (" + hint + ")";
+    return std::invalid_argument(message);
+  };
+
+  // Split on the *last* colon so a future bracketed-IPv6 host does not
+  // change the grammar of the port side.
+  const auto colon = value.rfind(':');
+  if (colon == std::string::npos) {
+    // Diagnose which half is missing: all digits reads as a lone port.
+    const bool allDigits =
+        !value.empty() &&
+        std::all_of(value.begin(), value.end(),
+                    [](unsigned char c) { return std::isdigit(c); });
+    if (allDigits)
+      throw bad("missing host — did you mean '127.0.0.1:" + value + "'?");
+    throw bad("missing port — did you mean '" + value + ":9000'?");
+  }
+  const std::string host = value.substr(0, colon);
+  const std::string portText = value.substr(colon + 1);
+  if (host.empty()) throw bad("empty host before ':'");
+  if (portText.empty())
+    throw bad("empty port after ':' — did you mean '" + host + ":9000'?");
+
+  std::uint32_t port = 0;
+  const char* begin = portText.c_str();
+  const char* end = begin + portText.size();
+  const auto result = std::from_chars(begin, end, port);
+  if (result.ec != std::errc() || result.ptr != end)
+    throw bad("port '" + portText + "' is not a number");
+  if (port > 65535)
+    throw bad("port " + portText + " is above 65535");
+  return {host, static_cast<std::uint16_t>(port)};
+}
 
 CliParser::CliParser(std::string programDescription)
     : description_(std::move(programDescription)) {}

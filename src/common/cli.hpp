@@ -12,6 +12,15 @@
 
 namespace vs07 {
 
+/// A parsed "host:port" endpoint (CliArgs::getHostPort). The host part is
+/// kept verbatim (name or dotted quad); resolution is the caller's job.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const HostPort&, const HostPort&) = default;
+};
+
 /// Parsed command line. Construct via CliParser.
 class CliArgs {
  public:
@@ -38,6 +47,14 @@ class CliArgs {
   std::size_t getChoice(const std::string& name,
                         const std::vector<std::string>& choices,
                         std::size_t fallbackIndex) const;
+  /// "host:port" endpoint flag (e.g. --listen 127.0.0.1:9000). Malformed
+  /// values throw std::invalid_argument naming the option and — in the
+  /// did-you-mean spirit of the other getters — spelling out the repair
+  /// for the common slips: a bare port ("9000"), a bare host
+  /// ("127.0.0.1"), a trailing colon, or an out-of-range port number.
+  /// The port may be 0 (bind-ephemeral convention).
+  HostPort getHostPort(const std::string& name,
+                       const HostPort& fallback) const;
 
  private:
   friend class CliParser;

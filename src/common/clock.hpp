@@ -1,0 +1,22 @@
+// Minimal tick-clock interface decoupling time consumers from time
+// sources. The simulation engine implements it over its event-queue tick;
+// the real-socket runtime implements it over wall-clock milliseconds.
+// Protocol-layer code (e.g. cast::LiveCast delivery stamps) depends only
+// on this interface, so the same dissemination logic runs unmodified in
+// both worlds — the transport-neutral split the runtime subsystem needs.
+#pragma once
+
+#include <cstdint>
+
+namespace vs07 {
+
+/// A monotonically non-decreasing tick counter. What a tick *means*
+/// (engine tick, millisecond, ...) is the implementation's business;
+/// consumers only ever difference two readings.
+class TickClock {
+ public:
+  virtual ~TickClock() = default;
+  virtual std::uint64_t nowTick() const noexcept = 0;
+};
+
+}  // namespace vs07

@@ -1,4 +1,4 @@
-// Process resource probes for bench metadata.
+// Process resource probes for bench metadata and runtime node stats.
 #pragma once
 
 #include <cstdint>
@@ -6,8 +6,18 @@
 namespace vs07 {
 
 /// Peak resident set size of the process in bytes (high-water mark since
-/// process start), or 0 when the platform offers no probe. Every bench
-/// records this next to wall-clock in its JSON metadata.
+/// process start), or 0 when the platform offers no probe. On Linux this
+/// reads /proc/self/status VmHWM — a true process-scoped high-water mark,
+/// unaffected by when the caller started measuring — falling back to
+/// getrusage(ru_maxrss) elsewhere. Every bench records this next to
+/// wall-clock in its JSON metadata; vs07_node reports it over its
+/// control socket.
 std::uint64_t peakRssBytes() noexcept;
+
+/// Current resident set size in bytes (Linux: /proc/self/status VmRSS),
+/// or 0 when unavailable. Long-running node processes report this next
+/// to the peak so steady-state footprint and startup spikes are
+/// distinguishable.
+std::uint64_t currentRssBytes() noexcept;
 
 }  // namespace vs07

@@ -50,6 +50,24 @@ void Cyclon::onJoin(NodeId node, NodeId introducer) {
   v.add(selfDescriptor(introducer));
 }
 
+void Cyclon::seedView(NodeId node, std::span<const NodeId> peers) {
+  View& v = views_[node];
+  v.clear();
+  for (const NodeId peer : peers) {
+    if (v.full()) break;
+    if (peer == node || v.contains(peer)) continue;
+    v.add(selfDescriptor(peer));
+  }
+}
+
+void Cyclon::admit(NodeId self, NodeId peer) {
+  VS07_EXPECT(peer != self);
+  View& v = views_[self];
+  if (v.contains(peer)) return;  // known already; its age keeps counting
+  if (v.full()) v.removeAt(v.oldestIndex());
+  v.add(selfDescriptor(peer));
+}
+
 const View& Cyclon::view(NodeId node) const {
   VS07_EXPECT(node < views_.size());
   return views_[node];

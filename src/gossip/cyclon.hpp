@@ -59,6 +59,19 @@ class Cyclon final : public sim::CycleProtocol,
   // sim::JoinHandler — fresh node starts with just the introducer.
   void onJoin(NodeId node, NodeId introducer) override;
 
+  /// Replaces `node`'s view with fresh (age-0) descriptors of `peers` —
+  /// self and duplicates skipped, truncated at viewLength. The runtime's
+  /// bootstrap WELCOME seeds a joiner's whole view through this instead
+  /// of the single-introducer onJoin (the sim's star topology).
+  void seedView(NodeId node, std::span<const NodeId> peers);
+
+  /// Admits one fresh descriptor of `peer` into `self`'s view without
+  /// clearing it: fills a free slot, else replaces the oldest entry, and
+  /// only refreshes the age of an already-present peer. The bootstrap
+  /// seed node uses this on HELLO so joiners become reachable through
+  /// gossip immediately, however many have announced already.
+  void admit(NodeId self, NodeId peer);
+
   // sim::MembershipObserver
   void onSpawn(NodeId node) override;
   void onKill(NodeId node) override;

@@ -2,14 +2,21 @@
 
 namespace vs07::net {
 
-namespace {
-// Sanity cap: a view exchange carries at most a few dozen entries; anything
-// claiming more is corrupt input, not a big view.
-constexpr std::uint32_t kMaxWireEntries = 1u << 16;
-constexpr std::uint8_t kWireVersion = 1;
-}  // namespace
+const char* codecErrorKindName(CodecErrorKind kind) noexcept {
+  switch (kind) {
+    case CodecErrorKind::kTruncated: return "truncated";
+    case CodecErrorKind::kBadVersion: return "bad-version";
+    case CodecErrorKind::kBadMagic: return "bad-magic";
+    case CodecErrorKind::kBadKind: return "bad-kind";
+    case CodecErrorKind::kBadChannel: return "bad-channel";
+    case CodecErrorKind::kBadCount: return "bad-count";
+    case CodecErrorKind::kBadLength: return "bad-length";
+    case CodecErrorKind::kTrailing: return "trailing";
+  }
+  return "unknown";
+}
 
-void ByteWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+void ByteWriter::u8(std::uint8_t v) { buf_->push_back(v); }
 
 void ByteWriter::u16(std::uint16_t v) {
   u8(static_cast<std::uint8_t>(v));
@@ -26,8 +33,15 @@ void ByteWriter::u64(std::uint64_t v) {
   u32(static_cast<std::uint32_t>(v >> 32));
 }
 
+void ByteWriter::patchU32(std::size_t at, std::uint32_t v) {
+  auto& buf = *buf_;
+  for (std::size_t i = 0; i < 4; ++i)
+    buf.at(at + i) = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
 void ByteReader::need(std::size_t n) const {
-  if (remaining() < n) throw CodecError("truncated message");
+  if (remaining() < n)
+    throw CodecError(CodecErrorKind::kTruncated, "truncated message");
 }
 
 std::uint8_t ByteReader::u8() {
@@ -53,8 +67,15 @@ std::uint64_t ByteReader::u64() {
   return lo | (hi << 32);
 }
 
-std::vector<std::uint8_t> encode(const Message& msg) {
-  ByteWriter w;
+std::span<const std::uint8_t> ByteReader::bytesSpan(std::size_t n) {
+  need(n);
+  const auto out = bytes_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+void encodeInto(const Message& msg, std::vector<std::uint8_t>& out) {
+  ByteWriter w(out);
   w.u8(kWireVersion);
   w.u8(static_cast<std::uint8_t>(msg.kind));
   w.u8(msg.channel);
@@ -70,39 +91,61 @@ std::vector<std::uint8_t> encode(const Message& msg) {
   }
   w.u32(static_cast<std::uint32_t>(msg.ids.size()));
   for (const std::uint64_t id : msg.ids) w.u64(id);
-  return w.take();
 }
 
-Message decode(std::span<const std::uint8_t> bytes) {
+std::vector<std::uint8_t> encode(const Message& msg) {
+  std::vector<std::uint8_t> out;
+  encodeInto(msg, out);
+  return out;
+}
+
+void decodeInto(std::span<const std::uint8_t> bytes, Message& out) {
+  out.reset();
   ByteReader r(bytes);
-  if (r.u8() != kWireVersion) throw CodecError("unsupported wire version");
-  Message msg;
+  if (r.u8() != kWireVersion)
+    throw CodecError(CodecErrorKind::kBadVersion, "unsupported wire version");
   const auto kind = r.u8();
   if (kind < static_cast<std::uint8_t>(MessageKind::CyclonRequest) ||
       kind > kMessageKinds)
-    throw CodecError("unknown message kind");
-  msg.kind = static_cast<MessageKind>(kind);
-  msg.channel = r.u8();
-  if (msg.channel > kMaxChannel) throw CodecError("channel out of range");
-  msg.from = r.u32();
-  msg.dataId = r.u64();
-  msg.hop = r.u32();
-  msg.flags = r.u8();
+    throw CodecError(CodecErrorKind::kBadKind, "unknown message kind");
+  out.kind = static_cast<MessageKind>(kind);
+  out.channel = r.u8();
+  if (out.channel > kMaxChannel)
+    throw CodecError(CodecErrorKind::kBadChannel, "channel out of range");
+  out.from = r.u32();
+  out.dataId = r.u64();
+  out.hop = r.u32();
+  out.flags = r.u8();
   const std::uint32_t count = r.u32();
-  if (count > kMaxWireEntries) throw CodecError("entry count out of range");
-  msg.entries.reserve(count);
+  if (count > kMaxWireEntries)
+    throw CodecError(CodecErrorKind::kBadCount, "entry count out of range");
+  // Cheap structural check before reserving: the claimed entries cannot
+  // outnumber the bytes left (16 bytes each), so a forged count inside
+  // the cap still cannot force a large dead reservation.
+  if (count > r.remaining() / 16)
+    throw CodecError(CodecErrorKind::kTruncated, "truncated entry list");
+  out.entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     PeerDescriptor e;
     e.node = r.u32();
     e.age = r.u32();
     e.profile = r.u64();
-    msg.entries.push_back(e);
+    out.entries.push_back(e);
   }
   const std::uint32_t idCount = r.u32();
-  if (idCount > kMaxWireEntries) throw CodecError("id count out of range");
-  msg.ids.reserve(idCount);
-  for (std::uint32_t i = 0; i < idCount; ++i) msg.ids.push_back(r.u64());
-  if (!r.exhausted()) throw CodecError("trailing bytes after message");
+  if (idCount > kMaxWireEntries)
+    throw CodecError(CodecErrorKind::kBadCount, "id count out of range");
+  if (idCount > r.remaining() / 8)
+    throw CodecError(CodecErrorKind::kTruncated, "truncated id list");
+  out.ids.reserve(idCount);
+  for (std::uint32_t i = 0; i < idCount; ++i) out.ids.push_back(r.u64());
+  if (!r.exhausted())
+    throw CodecError(CodecErrorKind::kTrailing, "trailing bytes after message");
+}
+
+Message decode(std::span<const std::uint8_t> bytes) {
+  Message msg;
+  decodeInto(bytes, msg);
   return msg;
 }
 

@@ -1,0 +1,36 @@
+#include "runtime/peer_table.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace vs07::runtime {
+
+PeerAddress parseAddress(const std::string& host, std::uint16_t port) {
+  const std::string name = host == "localhost" ? "127.0.0.1" : host;
+  std::uint32_t ipv4 = 0;
+  const char* cursor = name.c_str();
+  const char* end = cursor + name.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    std::uint32_t value = 0;
+    const auto result = std::from_chars(cursor, end, value);
+    if (result.ec != std::errc() || value > 255) return {};
+    ipv4 = (ipv4 << 8) | value;
+    cursor = result.ptr;
+    if (octet < 3) {
+      if (cursor == end || *cursor != '.') return {};
+      ++cursor;
+    }
+  }
+  if (cursor != end) return {};
+  return {ipv4, port};
+}
+
+std::string formatAddress(const PeerAddress& addr) {
+  char out[32];
+  std::snprintf(out, sizeof(out), "%u.%u.%u.%u:%u", (addr.ipv4 >> 24) & 0xFF,
+                (addr.ipv4 >> 16) & 0xFF, (addr.ipv4 >> 8) & 0xFF,
+                addr.ipv4 & 0xFF, addr.port);
+  return out;
+}
+
+}  // namespace vs07::runtime

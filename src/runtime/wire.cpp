@@ -1,0 +1,75 @@
+#include "runtime/wire.hpp"
+
+namespace vs07::runtime {
+
+using net::ByteReader;
+using net::ByteWriter;
+using net::CodecError;
+using net::CodecErrorKind;
+
+void encodeFrame(const FrameHeader& header, const net::Message* payload,
+                 std::span<const AddressEntry> annex,
+                 std::vector<std::uint8_t>& out) {
+  VS07_EXPECT(annex.size() <= kMaxAnnexEntries);
+  out.clear();
+  ByteWriter w(out);
+  w.u16(kFrameMagic);
+  w.u8(kFrameVersion);
+  w.u8(static_cast<std::uint8_t>(header.kind));
+  w.u32(header.sender);
+  w.u16(header.senderPort);
+  const std::size_t lenAt = w.size();
+  w.u32(0);  // payload length, patched below
+  if (payload != nullptr) {
+    net::encodeInto(*payload, out);
+    w.patchU32(lenAt, static_cast<std::uint32_t>(out.size() -
+                                                 kFrameHeaderBytes));
+  }
+  w.u16(static_cast<std::uint16_t>(annex.size()));
+  for (const auto& entry : annex) {
+    w.u32(entry.node);
+    w.u32(entry.addr.ipv4);
+    w.u16(entry.addr.port);
+  }
+}
+
+DecodedFrame decodeFrame(std::span<const std::uint8_t> bytes,
+                         net::Message& payloadScratch,
+                         std::vector<AddressEntry>& annex) {
+  annex.clear();
+  ByteReader r(bytes);
+  if (r.u16() != kFrameMagic)
+    throw CodecError(CodecErrorKind::kBadMagic, "bad frame magic");
+  if (r.u8() != kFrameVersion)
+    throw CodecError(CodecErrorKind::kBadVersion, "unsupported frame version");
+  DecodedFrame frame;
+  const auto kind = r.u8();
+  if (kind < 1 || kind > kFrameKinds)
+    throw CodecError(CodecErrorKind::kBadKind, "unknown frame kind");
+  frame.header.kind = static_cast<FrameKind>(kind);
+  frame.header.sender = r.u32();
+  frame.header.senderPort = r.u16();
+  const std::uint32_t payloadLen = r.u32();
+  if (payloadLen > kMaxFramePayload)
+    throw CodecError(CodecErrorKind::kBadLength, "frame payload oversized");
+  if (payloadLen > 0) {
+    net::decodeInto(r.bytesSpan(payloadLen), payloadScratch);
+    frame.hasPayload = true;
+  }
+  const std::uint16_t count = r.u16();
+  if (count > kMaxAnnexEntries)
+    throw CodecError(CodecErrorKind::kBadCount, "annex count out of range");
+  annex.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    AddressEntry entry;
+    entry.node = r.u32();
+    entry.addr.ipv4 = r.u32();
+    entry.addr.port = r.u16();
+    annex.push_back(entry);
+  }
+  if (!r.exhausted())
+    throw CodecError(CodecErrorKind::kTrailing, "trailing bytes after frame");
+  return frame;
+}
+
+}  // namespace vs07::runtime

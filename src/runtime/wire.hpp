@@ -1,0 +1,90 @@
+// Datagram envelope around net::codec messages for the real-socket
+// runtime. Layout (little-endian, all fields fixed-width):
+//
+//   offset  field        notes
+//   0       u16 magic    0x5637 ("V7") — rejects stray datagrams early
+//   2       u8  version  kFrameVersion; anything else is kBadVersion
+//   3       u8  kind     FrameKind (1 GOSSIP / 2 HELLO / 3 WELCOME)
+//   4       u32 sender   NodeId of the sending process
+//   8       u16 port     sender's UDP listen port (its IP comes from
+//                        recvfrom, so every frame teaches the receiver
+//                        the sender's full address)
+//   10      u32 len      payload byte count (0 = no payload)
+//   14      len bytes    net::codec-encoded Message (GOSSIP frames)
+//   ..      u16 count    address annex entries
+//   ..      count x {u32 node, u32 ipv4, u16 port}
+//
+// The annex is how third-party addresses propagate: a gossip frame
+// carries the addresses of the peers named in its view entries, so a
+// node that learns of a peer through CYCLON can also reach it. HELLO
+// and WELCOME are payload-free bootstrap frames whose annex carries the
+// joiner's (HELLO) and the seed's known peers' (WELCOME) addresses.
+//
+// Decoding reuses net::codec's ByteReader and CodecError (typed kinds),
+// so one hardened error surface covers both layers; malformed frames of
+// either layer are counted and dropped by the transport, never fatal.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/codec.hpp"
+#include "net/message.hpp"
+#include "runtime/peer_table.hpp"
+
+namespace vs07::runtime {
+
+inline constexpr std::uint16_t kFrameMagic = 0x5637;  // "V7"
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+/// Fixed bytes before the payload (through the len field).
+inline constexpr std::size_t kFrameHeaderBytes = 14;
+
+/// Caps mirroring net::codec's hostile-input stance: one frame can make
+/// the decoder hold at most ~1 MiB of payload and a bounded annex.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 20;
+inline constexpr std::uint32_t kMaxAnnexEntries = 1024;
+
+enum class FrameKind : std::uint8_t {
+  kGossip = 1,   ///< carries one net::codec Message payload
+  kHello = 2,    ///< joiner -> seed announce (no payload)
+  kWelcome = 3,  ///< seed -> joiner admission + peer addresses
+};
+inline constexpr std::uint8_t kFrameKinds = 3;
+
+/// One annex entry: a peer and where to reach it.
+struct AddressEntry {
+  NodeId node = kNoNode;
+  PeerAddress addr{};
+
+  friend bool operator==(const AddressEntry&, const AddressEntry&) = default;
+};
+
+/// The fixed header of every frame.
+struct FrameHeader {
+  FrameKind kind = FrameKind::kGossip;
+  NodeId sender = kNoNode;
+  std::uint16_t senderPort = 0;
+};
+
+/// Encodes header + optional payload + annex into `out` (cleared first;
+/// capacity reused, so steady-state sends are allocation-free).
+void encodeFrame(const FrameHeader& header, const net::Message* payload,
+                 std::span<const AddressEntry> annex,
+                 std::vector<std::uint8_t>& out);
+
+/// Decodes one frame. The payload (if any) lands in `payloadScratch`
+/// (reset + refilled, capacity reused) and the annex in `annex` (cleared
+/// + refilled). Returns the header and whether a payload was present.
+/// Throws net::CodecError (typed kind) on malformed input of either
+/// layer; scratch buffers are then in an unspecified but valid state.
+struct DecodedFrame {
+  FrameHeader header;
+  bool hasPayload = false;
+};
+DecodedFrame decodeFrame(std::span<const std::uint8_t> bytes,
+                         net::Message& payloadScratch,
+                         std::vector<AddressEntry>& annex);
+
+}  // namespace vs07::runtime

@@ -33,6 +33,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/event_queue.hpp"
 #include "common/rng.hpp"
 #include "net/delivery_sink.hpp"
@@ -74,8 +75,11 @@ class JoinHandler {
   virtual void onJoin(NodeId node, NodeId introducer) = 0;
 };
 
-/// The engine. Non-owning over protocols/controls: caller keeps them alive.
-class Engine {
+/// The engine. Non-owning over protocols/controls: caller keeps them
+/// alive. Implements TickClock over the simulated tick, so tick-stamping
+/// consumers (cast::LiveCast) work against either the engine or the
+/// runtime's wall clock.
+class Engine : public TickClock {
  public:
   /// CycleSync timing (the paper's model) unless `timing` says otherwise.
   Engine(Network& network, std::uint64_t seed,
@@ -119,6 +123,9 @@ class Engine {
   /// advances one per cycle; under jittered timing it is the fine-grained
   /// clock node timers and deliveries are scheduled on.
   std::uint64_t tick() const noexcept { return tick_; }
+
+  // TickClock — the simulated tick.
+  std::uint64_t nowTick() const noexcept override { return tick_; }
 
   const TimingConfig& timing() const noexcept { return timing_; }
 

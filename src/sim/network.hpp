@@ -24,6 +24,15 @@
 
 namespace vs07::sim {
 
+/// Derives the Network seed from an experiment's root seed ("nodes"
+/// salt). Both analysis::Scenario and the real-socket runtime build their
+/// population from this, so every process of a distributed run — and the
+/// simulation it is cross-validated against — draws identical node ids
+/// and ring sequence ids from the same root seed.
+constexpr std::uint64_t populationSeed(std::uint64_t rootSeed) noexcept {
+  return mix64(rootSeed ^ 0x6E6F646573ULL);  // "nodes"
+}
+
 /// Notified on membership changes; protocols register to size their
 /// per-node state and to clear state of dead nodes.
 class MembershipObserver {

@@ -221,6 +221,75 @@ TEST(Cli, GetChoiceRejectsBadFallback) {
   EXPECT_THROW(args->getChoice("timing", {}, 0), std::invalid_argument);
 }
 
+// -- getHostPort (the runtime's --listen/--seed-peer grammar) ------------
+
+std::optional<CliArgs> parseListen(const char* value) {
+  CliParser parser("p");
+  parser.option("listen", "host:port");
+  std::vector<const char*> argv{"prog", "--listen", value};
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, GetHostPortParsesHostAndPort) {
+  const auto args = parseListen("127.0.0.1:9000");
+  const HostPort hp = args->getHostPort("listen", {"", 0});
+  EXPECT_EQ(hp, (HostPort{"127.0.0.1", 9000}));
+}
+
+TEST(Cli, GetHostPortReturnsFallbackWhenAbsent) {
+  CliParser parser("p");
+  parser.option("listen", "host:port");
+  std::vector<const char*> argv{"prog"};
+  const auto args =
+      parser.parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(args->getHostPort("listen", {"0.0.0.0", 0}),
+            (HostPort{"0.0.0.0", 0}));
+}
+
+TEST(Cli, GetHostPortAcceptsPortZeroAndMax) {
+  EXPECT_EQ(parseListen("0.0.0.0:0")->getHostPort("listen", {"", 1}).port, 0);
+  EXPECT_EQ(parseListen("h:65535")->getHostPort("listen", {"", 1}).port,
+            65535);
+}
+
+TEST(Cli, GetHostPortSplitsOnLastColon) {
+  // Future-proofing for bracketed IPv6: the port is after the last colon.
+  const HostPort hp =
+      parseListen("[::1]:8080")->getHostPort("listen", {"", 0});
+  EXPECT_EQ(hp.host, "[::1]");
+  EXPECT_EQ(hp.port, 8080);
+}
+
+std::string hostPortFailure(const char* value) {
+  try {
+    (void)parseListen(value)->getHostPort("listen", {"", 0});
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  ADD_FAILURE() << "expected std::invalid_argument for " << value;
+  return "";
+}
+
+TEST(Cli, GetHostPortDiagnosesLonePort) {
+  EXPECT_NE(hostPortFailure("9000").find("did you mean '127.0.0.1:9000'"),
+            std::string::npos);
+}
+
+TEST(Cli, GetHostPortDiagnosesMissingPort) {
+  EXPECT_NE(hostPortFailure("myhost").find("did you mean 'myhost:9000'"),
+            std::string::npos);
+  EXPECT_NE(hostPortFailure("myhost:").find("empty port"),
+            std::string::npos);
+}
+
+TEST(Cli, GetHostPortRejectsBadPorts) {
+  EXPECT_NE(hostPortFailure("h:abc").find("not a number"),
+            std::string::npos);
+  EXPECT_NE(hostPortFailure("h:99999").find("above 65535"),
+            std::string::npos);
+  EXPECT_NE(hostPortFailure(":9000").find("empty host"), std::string::npos);
+}
+
 TEST(Cli, UsageListsOptions) {
   const auto usage = makeParser().usage("prog");
   EXPECT_NE(usage.find("--nodes"), std::string::npos);

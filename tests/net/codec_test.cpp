@@ -147,6 +147,139 @@ TEST(Codec, ReaderPastEndThrows) {
   EXPECT_THROW(r.u8(), CodecError);
 }
 
+CodecErrorKind kindOfFailure(std::span<const std::uint8_t> bytes) {
+  try {
+    (void)decode(bytes);
+  } catch (const CodecError& error) {
+    return error.kind();
+  }
+  ADD_FAILURE() << "decode unexpectedly succeeded";
+  return CodecErrorKind::kTruncated;
+}
+
+TEST(Codec, ErrorKindsAreTyped) {
+  const auto bytes = encode(sampleMessage());
+
+  auto truncated = bytes;
+  truncated.resize(3);
+  EXPECT_EQ(kindOfFailure(truncated), CodecErrorKind::kTruncated);
+
+  auto badVersion = bytes;
+  badVersion[0] = kWireVersion + 1;
+  EXPECT_EQ(kindOfFailure(badVersion), CodecErrorKind::kBadVersion);
+
+  auto badKind = bytes;
+  badKind[1] = kMessageKinds + 1;
+  EXPECT_EQ(kindOfFailure(badKind), CodecErrorKind::kBadKind);
+
+  auto badChannel = bytes;
+  badChannel[2] = kMaxChannel + 1;
+  EXPECT_EQ(kindOfFailure(badChannel), CodecErrorKind::kBadChannel);
+
+  auto trailing = bytes;
+  trailing.push_back(0);
+  EXPECT_EQ(kindOfFailure(trailing), CodecErrorKind::kTrailing);
+
+  Message empty;
+  empty.kind = MessageKind::Data;
+  auto badCount = encode(empty);
+  badCount[badCount.size() - 1] = 0x7F;  // ids count -> ~2 billion
+  EXPECT_EQ(kindOfFailure(badCount), CodecErrorKind::kBadCount);
+}
+
+TEST(Codec, ErrorKindNamesAreStable) {
+  EXPECT_STREQ(codecErrorKindName(CodecErrorKind::kTruncated), "truncated");
+  EXPECT_STREQ(codecErrorKindName(CodecErrorKind::kBadVersion),
+               "bad-version");
+}
+
+TEST(Codec, EncodeIntoAppendsAfterExistingBytes) {
+  const Message m = sampleMessage();
+  std::vector<std::uint8_t> out = {0xAA, 0xBB};
+  encodeInto(m, out);
+  ASSERT_GT(out.size(), 2u);
+  EXPECT_EQ(out[0], 0xAA);
+  EXPECT_EQ(out[1], 0xBB);
+  const std::span<const std::uint8_t> tail(out.data() + 2, out.size() - 2);
+  EXPECT_EQ(decode(tail), m);
+}
+
+TEST(Codec, DecodeIntoReusesBuffersAcrossMessages) {
+  Message scratch;
+  const Message big = sampleMessage();
+  decodeInto(encode(big), scratch);
+  EXPECT_EQ(scratch, big);
+  const auto entryCapacity = scratch.entries.capacity();
+
+  Message small;
+  small.kind = MessageKind::Data;
+  small.from = 9;
+  decodeInto(encode(small), scratch);
+  EXPECT_EQ(scratch, small);
+  // reset() keeps capacity: no reallocation when shrinking.
+  EXPECT_GE(scratch.entries.capacity(), entryCapacity);
+}
+
+TEST(Codec, DecodeIntoThrowLeavesScratchReusable) {
+  Message scratch;
+  auto bytes = encode(sampleMessage());
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(decodeInto(bytes, scratch), CodecError);
+  const Message m = sampleMessage();
+  decodeInto(encode(m), scratch);
+  EXPECT_EQ(scratch, m);
+}
+
+TEST(Codec, PatchU32Overwrites) {
+  ByteWriter w;
+  w.u16(7);
+  const std::size_t at = w.size();
+  w.u32(0);
+  w.u8(3);
+  w.patchU32(at, 0xCAFEF00D);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u16(), 7);
+  EXPECT_EQ(r.u32(), 0xCAFEF00Du);
+  EXPECT_EQ(r.u8(), 3);
+}
+
+TEST(Codec, ExternalWriterAppendsInPlace) {
+  std::vector<std::uint8_t> buf = {1};
+  ByteWriter w(buf);
+  w.u16(0x0302);
+  EXPECT_EQ(buf, (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(Codec, BytesSpanConsumesAndBoundsChecks) {
+  ByteWriter w;
+  w.u32(0x04030201);
+  ByteReader r(w.bytes());
+  const auto span = r.bytesSpan(3);
+  ASSERT_EQ(span.size(), 3u);
+  EXPECT_EQ(span[0], 0x01);
+  EXPECT_THROW(r.bytesSpan(2), CodecError);
+  EXPECT_EQ(r.u8(), 0x04);
+}
+
+// Mutation fuzz: flip bytes of valid encodings; decode must either throw
+// a typed CodecError or produce a message that re-encodes canonically.
+TEST(Codec, MutatedEncodingsNeverCrash) {
+  Rng rng(4242);
+  const auto base = encode(sampleMessage());
+  for (int trial = 0; trial < 4000; ++trial) {
+    auto bytes = base;
+    const auto flips = 1 + rng.below(4);
+    for (std::uint64_t f = 0; f < flips; ++f)
+      bytes[rng.below(bytes.size())] ^= static_cast<std::uint8_t>(1 + rng());
+    try {
+      const Message m = decode(bytes);
+      EXPECT_EQ(encode(m), bytes);
+    } catch (const CodecError& error) {
+      EXPECT_NE(codecErrorKindName(error.kind()), nullptr);
+    }
+  }
+}
+
 // Property-style sweep: random messages of random shapes must round-trip.
 TEST(Codec, RandomRoundTripSweep) {
   Rng rng(2024);
