@@ -83,6 +83,9 @@ Json statusJson(const runtime::NodeProcess& node) {
   j.set("fallback_received", t.fallbackReceived());
   j.set("dropped_no_address", t.droppedNoAddress());
   j.set("dropped_malformed", t.droppedMalformed());
+  j.set("dropped_backlog", t.droppedBacklog());
+  j.set("dropped_send_error", t.droppedSendError());
+  j.set("retried_sends", t.retriedSends());
   j.set("peak_rss_bytes", peakRssBytes());
   return j;
 }

@@ -55,6 +55,12 @@ PARALLEL_ARRAY_KINDS = {
     "realnet_coverage": ["round", "real_coverage_percent"],
     "realnet_vs_sim": ["round", "real_coverage_percent",
                        "sim_coverage_percent", "abs_delta_percent"],
+    # sustained multi-message traffic (bench/sustained_traffic)
+    "throughput": ["publish_rate_per_cycle", "delivered_per_node_per_cycle",
+                   "msgs_per_sec_per_node", "redundancy_ratio",
+                   "completed_percent", "tracked_in_flight_max"],
+    "latency_percentiles": ["publish_rate_per_cycle", "p50_ticks",
+                            "p99_ticks", "mean_ticks"],
 }
 
 

@@ -20,8 +20,10 @@ void MessageStore::remember(std::uint64_t dataId) {
   buffer_.push_back(dataId);
   seen_.emplace(dataId, 1);
   if (buffer_.size() > capacity_) {
+    maxEvicted_ = std::max(maxEvicted_, buffer_.front());
     seen_.erase(buffer_.front());
     buffer_.pop_front();
+    evicted_ = true;
   }
 }
 
@@ -38,9 +40,21 @@ void MessageStore::digestInto(std::size_t limit,
              buffer_.end());
 }
 
+std::size_t MessageStore::windowInto(std::size_t start, std::size_t limit,
+                                     std::vector<std::uint64_t>& out) const {
+  out.clear();
+  if (start >= buffer_.size()) return 0;
+  const std::size_t take = std::min(limit, buffer_.size() - start);
+  const auto first = buffer_.begin() + static_cast<std::ptrdiff_t>(start);
+  out.assign(first, first + static_cast<std::ptrdiff_t>(take));
+  return take;
+}
+
 void MessageStore::clear() {
   buffer_.clear();
   seen_.clear();
+  evicted_ = false;
+  maxEvicted_ = 0;
 }
 
 LiveCast::LiveCast(sim::Network& network, net::Transport& transport,
@@ -61,6 +75,7 @@ void LiveCast::registerHandlers(sim::MessageRouter& router) {
   VS07_EXPECT(params_.digestLength >= 1);
   VS07_EXPECT(params_.bufferCapacity >= 1);
   VS07_EXPECT(params_.pullBudget >= 1);
+  VS07_EXPECT(params_.maxTrackedMessages >= 1);
   router.route(net::MessageKind::Data,
                [this](NodeId to, const net::Message& m) {
                  handleData(to, m);
@@ -76,18 +91,105 @@ void LiveCast::onSpawn(NodeId node) {
   if (node >= stores_.size()) {
     stores_.resize(node + 1, MessageStore(params_.bufferCapacity));
     stepCount_.resize(node + 1, 0);
+    pullWindowPos_.resize(node + 1, 0);
     forwardsPerNode_.resize(node + 1, 0);
     receivedPerNode_.resize(node + 1, 0);
   }
   stores_[node] = MessageStore(params_.bufferCapacity);
   stepCount_[node] = 0;
+  pullWindowPos_[node] = 0;
 }
 
 void LiveCast::onKill(NodeId node) { stores_[node].clear(); }
 
+std::uint64_t LiveCast::liveBitmapBytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& [id, bitmap] : deliveredTo_) bytes += bitmap.size();
+  return bytes;
+}
+
+void LiveCast::retire(std::uint64_t dataId, bool completed) {
+  const auto statsIt = stats_.find(dataId);
+  VS07_EXPECT(statsIt != stats_.end());
+  LiveMessageStats& stats = statsIt->second;
+
+  if (completed) {
+    ++steady_.retiredCompleted;
+  } else {
+    ++steady_.retiredAgedOut;
+  }
+  const std::uint64_t spread = stats.spreadTicks();
+  steady_.spreadTicksTotalRetired += spread;
+  steady_.maxSpreadTicksRetired =
+      std::max(steady_.maxSpreadTicksRetired, spread);
+
+  if (params_.retainedSummaries > 0) {
+    CompletedSummary summary;
+    summary.dataId = stats.dataId;
+    summary.origin = stats.origin;
+    summary.delivered = stats.delivered();
+    summary.pushDelivered = stats.pushDelivered;
+    summary.pullDelivered = stats.pullDelivered;
+    summary.redundantDeliveries = stats.redundantDeliveries;
+    summary.messagesSent = stats.messagesSent;
+    summary.newlyNotifiedPerHop = std::move(stats.newlyNotifiedPerHop);
+    summary.lastHop = stats.lastHop;
+    summary.publishedAtTick = stats.publishedAtTick;
+    summary.spreadTicks = spread;
+    summary.completed = completed;
+    summaryById_[dataId] = std::move(summary);
+    summaryOrder_.push_back(dataId);
+    while (summaryOrder_.size() > params_.retainedSummaries) {
+      summaryById_.erase(summaryOrder_.front());
+      summaryOrder_.pop_front();
+    }
+  }
+
+  stats_.erase(statsIt);
+  if (const auto bmIt = deliveredTo_.find(dataId);
+      bmIt != deliveredTo_.end()) {
+    bitmapPool_.push_back(std::move(bmIt->second));
+    deliveredTo_.erase(bmIt);
+  }
+  const auto orderIt =
+      std::find(trackedOrder_.begin(), trackedOrder_.end(), dataId);
+  if (orderIt != trackedOrder_.end()) trackedOrder_.erase(orderIt);
+}
+
+void LiveCast::reclaimTracked() {
+  // Eager retirement of lingering completed messages (sustained mode).
+  // Only the oldest tracked prefix is considered: completion is roughly
+  // FIFO in publish order, and the hard cap below bounds the rest.
+  if (params_.completedLingerTicks > 0 && clock_ != nullptr) {
+    const std::uint64_t now = clock_->nowTick();
+    while (!trackedOrder_.empty()) {
+      const LiveMessageStats& front = stats_.at(trackedOrder_.front());
+      if (!front.completed() ||
+          now - front.completedAtTick < params_.completedLingerTicks)
+        break;
+      retire(front.dataId, /*completed=*/true);
+    }
+  }
+  // Hard cap: make room for the next publish, preferring a victim whose
+  // wave already finished; only when every tracked message is still
+  // incomplete does the oldest age out with per-node state unresolved.
+  while (stats_.size() >= params_.maxTrackedMessages) {
+    std::uint64_t victim = trackedOrder_.front();
+    for (const std::uint64_t id : trackedOrder_) {
+      if (stats_.at(id).completed()) {
+        victim = id;
+        break;
+      }
+    }
+    retire(victim, stats_.at(victim).completed());
+  }
+}
+
 std::uint64_t LiveCast::publish(NodeId origin) {
   VS07_EXPECT(network_.isAlive(origin));
+  reclaimTracked();
   const std::uint64_t dataId = nextDataId_++;
+  trackedOrder_.push_back(dataId);
   auto& stats = stats_[dataId];
   stats.dataId = dataId;
   stats.origin = origin;
@@ -95,9 +197,20 @@ std::uint64_t LiveCast::publish(NodeId origin) {
     stats.publishedAtTick = clock_->nowTick();
     stats.lastDeliveryTick = stats.publishedAtTick;
   }
-  deliveredTo_[dataId].assign(network_.totalCreated(), 0);
-  deliverLocally(origin, dataId, /*viaPull=*/false, /*hop=*/0);
-  forward(origin, kNoNode, dataId, /*hop=*/0);
+  auto& bitmap = deliveredTo_[dataId];
+  if (bitmap.empty() && !bitmapPool_.empty()) {
+    bitmap = std::move(bitmapPool_.back());
+    bitmapPool_.pop_back();
+  }
+  bitmap.assign(network_.totalCreated(), 0);
+  ++steady_.published;
+  steady_.peakTracked = std::max<std::uint64_t>(steady_.peakTracked,
+                                                stats_.size());
+  steady_.peakTrackedBitmapBytes =
+      std::max(steady_.peakTrackedBitmapBytes, liveBitmapBytes());
+  deliverLocally(origin, dataId, /*viaPull=*/false, /*hop=*/0,
+                 /*recovery=*/false);
+  forward(origin, kNoNode, dataId, /*hop=*/0, /*recovery=*/false);
   drainOutbox();
   return dataId;
 }
@@ -115,7 +228,48 @@ void LiveCast::step(NodeId self) {
   request.reset();
   request.kind = net::MessageKind::PullRequest;
   request.from = self;
-  stores_[self].digestInto(params_.digestLength, request.ids);
+  if (params_.windowedPull) {
+    // Rotating window: advertise a digestLength-wide slice of the
+    // buffer with explicit id bounds, advancing the slice every pull so
+    // successive requests sweep the whole buffer. When the slice
+    // reaches the newest end, the upper bound opens to +inf so brand-new
+    // ids the peer holds are offered too; ids below the lower bound are
+    // outside the requester's recovery horizon (evicted or never
+    // wanted), which keeps steady-state pulls from resurrecting
+    // long-evicted messages.
+    request.flags |= net::kFlagWindowedDigest;
+    auto& store = stores_[self];
+    std::size_t& pos = pullWindowPos_[self];
+    if (pos >= store.size()) pos = 0;
+    const std::size_t took =
+        store.windowInto(pos, params_.digestLength, windowScratch_);
+    std::uint64_t lo = 0;
+    std::uint64_t hi = ~std::uint64_t{0};
+    if (took > 0) {
+      const auto [minIt, maxIt] =
+          std::minmax_element(windowScratch_.begin(), windowScratch_.end());
+      // The slice minimum is a recovery horizon only once this buffer
+      // has actually evicted; before that, "not buffered" provably
+      // means "never received" (a joiner must be able to recover ids
+      // older than everything it holds), so the window opens to 0.
+      // After eviction the bound also clears the ids this buffer already
+      // dropped (eviction is FIFO by arrival, so under latency jumble
+      // an evicted id can exceed the slice minimum): peers must not
+      // waste answers on ids handleData would drop as zombies anyway.
+      if (store.hasEvicted())
+        lo = std::max(*minIt, store.recoveryHorizon() + 1);
+      if (pos + took < store.size()) hi = *maxIt;
+      pos += took;
+    } else {
+      pos = 0;  // empty buffer: want anything — [0, +inf), no digest
+    }
+    request.ids.push_back(lo);
+    request.ids.push_back(hi);
+    request.ids.insert(request.ids.end(), windowScratch_.begin(),
+                       windowScratch_.end());
+  } else {
+    stores_[self].digestInto(params_.digestLength, request.ids);
+  }
   ++pullsSent_;
   transport_.send(target, std::move(request));
   drainOutbox();  // pull answers may have queued forwards
@@ -123,27 +277,43 @@ void LiveCast::step(NodeId self) {
 
 void LiveCast::handleData(NodeId self, const net::Message& msg) {
   const bool viaPull = (msg.flags & net::kFlagPullAnswer) != 0;
+  const bool recovery =
+      viaPull || (msg.flags & net::kFlagRecoveryWave) != 0;
   receivedPerNode_[self] += 1;
   auto& store = stores_[self];
   if (store.hasSeen(msg.dataId)) {
     ++redundant_;
+    ++steady_.redundantDeliveries;
     auto it = stats_.find(msg.dataId);
     if (it != stats_.end()) ++it->second.redundantDeliveries;
     return;
   }
+  // Recovery horizon, receiver side. The requester's windowed digest
+  // bounds what peers may serve, but FIFO-by-arrival eviction is jumbled
+  // across nodes, so an id this node already evicted can still fall
+  // inside the window it advertised. Accepting such a pull-layer
+  // re-delivery would re-buffer the id and evict another one early —
+  // the positive feedback behind supercritical re-wave storms. Push
+  // traffic is exempt: §8's "evicted ids are new again" semantics apply
+  // to the origin wave's own stragglers, not to recovery repairs.
+  if (recovery && msg.dataId <= store.recoveryHorizon()) {
+    ++recoveryDropped_;
+    return;
+  }
   store.remember(msg.dataId);
-  deliverLocally(self, msg.dataId, viaPull, msg.hop);
-  forward(self, msg.from, msg.dataId, msg.hop);
+  deliverLocally(self, msg.dataId, viaPull, msg.hop, recovery);
+  forward(self, msg.from, msg.dataId, msg.hop, recovery);
 }
 
 void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
-                              bool viaPull, std::uint32_t hop) {
+                              bool viaPull, std::uint32_t hop,
+                              bool recovery) {
   stores_[self].remember(dataId);
   // Before the stats lookup: in a multi-process run only the origin owns
   // stats for an id, but every process must see its own deliveries.
   if (deliveryHook_) deliveryHook_(self, dataId, hop, viaPull);
   auto statsIt = stats_.find(dataId);
-  if (statsIt == stats_.end()) return;  // unknown id: nothing to account
+  if (statsIt == stats_.end()) return;  // untracked id: no per-id account
   auto& stats = statsIt->second;
   auto& bitmap = deliveredTo_[dataId];
   if (bitmap.size() < network_.totalCreated())
@@ -151,25 +321,35 @@ void LiveCast::deliverLocally(NodeId self, std::uint64_t dataId,
   if (bitmap[self]) {
     // Re-delivery after buffer eviction: the node already counted.
     ++redundant_;
+    ++steady_.redundantDeliveries;
     ++stats.redundantDeliveries;
     return;
   }
   bitmap[self] = 1;
+  ++steady_.firstDeliveries;
   if (clock_ != nullptr && clock_->nowTick() > stats.lastDeliveryTick)
     stats.lastDeliveryTick = clock_->nowTick();
-  if (viaPull) {
+  if (recovery) {
+    // Pull answers and the re-wave they trigger: late recovery, not part
+    // of the origin push wave — keep the hop histogram clean.
     ++stats.pullDelivered;
+    ++steady_.pullDeliveries;
   } else {
     ++stats.pushDelivered;
+    ++steady_.pushDeliveries;
     if (stats.newlyNotifiedPerHop.size() <= hop)
       stats.newlyNotifiedPerHop.resize(hop + 1, 0);
     ++stats.newlyNotifiedPerHop[hop];
     if (hop > stats.lastHop) stats.lastHop = hop;
   }
+  if (!stats.completed() && stats.delivered() >= network_.aliveCount())
+    stats.completedAtTick =
+        clock_ != nullptr ? clock_->nowTick() : stats.lastDeliveryTick;
 }
 
 void LiveCast::forward(NodeId self, NodeId receivedFrom,
-                       std::uint64_t dataId, std::uint32_t hop) {
+                       std::uint64_t dataId, std::uint32_t hop,
+                       bool recovery) {
   // Targets come from the node's *current* views: r-links from CYCLON,
   // d-links from the ring when a VICINITY layer is attached (Fig. 5),
   // otherwise pure RANDCAST (Fig. 2). The link scratch is consumed
@@ -217,12 +397,12 @@ void LiveCast::forward(NodeId self, NodeId receivedFrom,
   }
   forwardsPerNode_[self] += static_cast<std::uint32_t>(targets.size());
   for (const NodeId target : targets)
-    enqueueData(target, self, dataId, hop + 1, /*viaPull=*/false);
+    enqueueData(target, self, dataId, hop + 1, /*viaPull=*/false, recovery);
   --forwardDepth_;
 }
 
 void LiveCast::enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
-                           std::uint32_t hop, bool viaPull) {
+                           std::uint32_t hop, bool viaPull, bool recovery) {
   if (auto it = stats_.find(dataId); it != stats_.end()) {
     ++it->second.messagesSent;
     if (!network_.isAlive(to)) ++it->second.messagesToDead;
@@ -236,6 +416,10 @@ void LiveCast::enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
     msg.flags |= net::kFlagPullAnswer;
     ++pullAnswers_;
   } else {
+    if (recovery) {
+      msg.flags |= net::kFlagRecoveryWave;
+      ++recoveryForwards_;
+    }
     ++pushSent_;
   }
   outbox_.push_back({to, std::move(msg)});
@@ -271,14 +455,46 @@ void LiveCast::drainOutbox() {
 
 void LiveCast::handlePullRequest(NodeId self, const net::Message& msg) {
   const auto& have = stores_[self].buffered();
+  if ((msg.flags & net::kFlagWindowedDigest) != 0) {
+    // Windowed digest: [lo, hi] bounds in ids[0..1], the requester's
+    // held ids in ids[2..]. Useful = buffered, inside the bounds, not in
+    // the digest. The budget is spent on a *uniform random* subset of
+    // the useful ids (random-useful selection, Sanghavi et al.): under
+    // many concurrent flows every gap gets equal repair pressure, where
+    // newest-first would starve old gaps behind a stream of fresh ids.
+    if (msg.ids.size() < 2) return;  // malformed
+    const std::uint64_t lo = msg.ids[0];
+    const std::uint64_t hi = msg.ids[1];
+    auto& candidates = pullCandidateScratch_;
+    candidates.clear();
+    for (const std::uint64_t dataId : have) {
+      if (dataId < lo || dataId > hi) continue;
+      if (std::find(msg.ids.begin() + 2, msg.ids.end(), dataId) !=
+          msg.ids.end())
+        continue;
+      candidates.push_back(dataId);
+    }
+    const std::size_t take =
+        std::min<std::size_t>(params_.pullBudget, candidates.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j =
+          i + rng_.below(candidates.size() - i);
+      std::swap(candidates[i], candidates[j]);
+      enqueueData(msg.from, self, candidates[i], /*hop=*/0, /*viaPull=*/true,
+                  /*recovery=*/false);
+    }
+    return;
+  }
   std::uint32_t sent = 0;
-  // Newest first: fresh messages are the likeliest gaps worth filling.
+  // Legacy digest: newest first — fresh messages are the likeliest gaps
+  // worth filling when few ids are in flight.
   for (auto it = have.rbegin();
        it != have.rend() && sent < params_.pullBudget; ++it) {
     const std::uint64_t dataId = *it;
     if (std::find(msg.ids.begin(), msg.ids.end(), dataId) != msg.ids.end())
       continue;
-    enqueueData(msg.from, self, dataId, /*hop=*/0, /*viaPull=*/true);
+    enqueueData(msg.from, self, dataId, /*hop=*/0, /*viaPull=*/true,
+                /*recovery=*/false);
     ++sent;
   }
 }
@@ -287,6 +503,18 @@ const LiveMessageStats& LiveCast::stats(std::uint64_t dataId) const {
   const auto it = stats_.find(dataId);
   VS07_EXPECT(it != stats_.end());
   return it->second;
+}
+
+const CompletedSummary* LiveCast::summary(std::uint64_t dataId) const {
+  const auto it = summaryById_.find(dataId);
+  return it == summaryById_.end() ? nullptr : &it->second;
+}
+
+SteadyStateStats LiveCast::steadyStats() const {
+  SteadyStateStats out = steady_;
+  out.trackedNow = stats_.size();
+  out.trackedBitmapBytes = liveBitmapBytes();
+  return out;
 }
 
 bool LiveCast::hasDelivered(std::uint64_t dataId, NodeId node) const {

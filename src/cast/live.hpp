@@ -14,6 +14,16 @@
 // missing. Pull converts push misses (dead forwarding paths, §7.2/§7.3)
 // into short delivery delays, bounded by the very §8 knobs this module
 // exposes: pull frequency, buffer capacity, and digest length.
+//
+// Sustained traffic: bookkeeping is bounded in the number of messages
+// ever published. At most Params::maxTrackedMessages ids carry full
+// per-message state (stats + an O(N) delivery bitmap); beyond that the
+// oldest tracked message retires into a compact CompletedSummary, and
+// aggregate rates live in SteadyStateStats — so a publish *rate* holds a
+// memory frontier of O(cap * N) instead of O(messages * N). Pull digests
+// are windowed (a rotating slice of the buffer with explicit id bounds)
+// and answers pick random-useful ids within the window, the selection
+// policy of Sanghavi et al., "Gossiping with Multiple Messages".
 #pragma once
 
 #include <cstdint>
@@ -62,36 +72,73 @@ class MessageStore {
   /// reused) with the same ids.
   void digestInto(std::size_t limit, std::vector<std::uint64_t>& out) const;
 
+  /// Windowed digest slice: fills `out` (cleared first) with at most
+  /// `limit` buffered ids starting at buffer position `start` (0 =
+  /// oldest), without wrapping. Returns the number of ids copied.
+  /// Successive calls with an advancing `start` rotate a fixed-size
+  /// window over the whole buffer — how a pull digest covers thousands
+  /// of in-flight ids a few at a time.
+  std::size_t windowInto(std::size_t start, std::size_t limit,
+                         std::vector<std::uint64_t>& out) const;
+
   /// Ids currently buffered (oldest first).
   const std::deque<std::uint64_t>& buffered() const noexcept {
     return buffer_;
   }
 
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+  /// Has capacity ever forced an id out? While false, this node's
+  /// buffer is its complete reception history — a pull digest may then
+  /// open its window down to id 0, because "not buffered" provably
+  /// means "never received" (a fresh joiner must be able to recover
+  /// ids older than everything it holds).
+  bool hasEvicted() const noexcept { return evicted_; }
+
+  /// Highest id ever evicted (0 while hasEvicted() is false): this
+  /// node's recovery horizon. Eviction is FIFO by *arrival*, which is
+  /// jumbled across nodes under delivery latency, so an evicted id can
+  /// still sit inside the [lo, +inf) window a pull digest advertises.
+  /// Without a receiver-side check, a peer re-serves it, the re-delivery
+  /// re-buffers it and evicts *another* id early — positive feedback
+  /// that winds steady-state traffic up into the supercritical regime.
+  /// Pull-layer deliveries at or below this id are therefore dropped by
+  /// LiveCast::handleData.
+  std::uint64_t recoveryHorizon() const noexcept { return maxEvicted_; }
+
   void clear();
 
  private:
   std::uint32_t capacity_;
+  bool evicted_ = false;
+  std::uint64_t maxEvicted_ = 0;
   std::deque<std::uint64_t> buffer_;
   std::unordered_map<std::uint64_t, std::uint8_t> seen_;
 };
 
-/// Delivery bookkeeping for one published message.
+/// Delivery bookkeeping for one *tracked* published message.
 struct LiveMessageStats {
+  /// completedAtTick value while the message has not yet covered the
+  /// alive population.
+  static constexpr std::uint64_t kNeverCompleted = ~std::uint64_t{0};
+
   std::uint64_t dataId = 0;
   NodeId origin = kNoNode;
-  /// Nodes holding the message right after the synchronous push wave.
+  /// Nodes first notified by the origin's push wave.
   std::uint64_t pushDelivered = 0;
-  /// Nodes that got it later through pull.
+  /// Nodes that got it later through pull recovery (the pull answer
+  /// itself, or a push forward triggered by one — see kFlagRecoveryWave).
   std::uint64_t pullDelivered = 0;
   std::uint64_t redundantDeliveries = 0;
   /// Data messages sent for this id (push forwards + pull answers).
   std::uint64_t messagesSent = 0;
   /// Of messagesSent: messages addressed to a node dead at send time.
   std::uint64_t messagesToDead = 0;
-  /// Nodes first notified per push hop (index 0 = the origin); pull
-  /// deliveries are not hop-tagged and excluded.
+  /// Nodes first notified per push hop (index 0 = the origin). Pull
+  /// deliveries and recovery re-waves are excluded: this histogram
+  /// describes only the origin's push wave.
   std::vector<std::uint64_t> newlyNotifiedPerHop;
-  /// Highest push hop that notified a node.
+  /// Highest origin-wave push hop that notified a node.
   std::uint32_t lastHop = 0;
   /// Engine ticks of the first (origin) and latest first-time delivery —
   /// the wave's extent in simulated time. Only meaningful when a clock is
@@ -99,6 +146,11 @@ struct LiveMessageStats {
   /// immediate transport both stamps equal the publish tick.
   std::uint64_t publishedAtTick = 0;
   std::uint64_t lastDeliveryTick = 0;
+  /// Tick at which delivered() first reached the alive population size
+  /// (kNeverCompleted until then). Approximate under churn: delivered
+  /// counts nodes that may have died since, so completion can fire while
+  /// a late joiner is still missing — the pull layer covers the gap.
+  std::uint64_t completedAtTick = kNeverCompleted;
 
   /// Wave duration in ticks (0 for synchronous waves).
   std::uint64_t spreadTicks() const noexcept {
@@ -109,6 +161,67 @@ struct LiveMessageStats {
 
   std::uint64_t delivered() const noexcept {
     return pushDelivered + pullDelivered;
+  }
+
+  bool completed() const noexcept {
+    return completedAtTick != kNeverCompleted;
+  }
+};
+
+/// What remains of a tracked message once it retires: the per-node
+/// delivery bitmap is dropped (recycled), the counters and the hop
+/// histogram survive. Bounded ring of Params::retainedSummaries.
+struct CompletedSummary {
+  std::uint64_t dataId = 0;
+  NodeId origin = kNoNode;
+  std::uint64_t delivered = 0;
+  std::uint64_t pushDelivered = 0;
+  std::uint64_t pullDelivered = 0;
+  std::uint64_t redundantDeliveries = 0;
+  std::uint64_t messagesSent = 0;
+  std::vector<std::uint64_t> newlyNotifiedPerHop;
+  std::uint32_t lastHop = 0;
+  std::uint64_t publishedAtTick = 0;
+  std::uint64_t spreadTicks = 0;
+  /// True if the message covered the alive population before retiring;
+  /// false means it aged out of the tracking window still incomplete.
+  bool completed = false;
+};
+
+/// Aggregate accounting that stays O(1) in the number of messages ever
+/// published — the steady-state view of a sustained publish rate.
+struct SteadyStateStats {
+  std::uint64_t published = 0;
+  /// Retired having covered the alive population.
+  std::uint64_t retiredCompleted = 0;
+  /// Retired by cap pressure while still missing nodes.
+  std::uint64_t retiredAgedOut = 0;
+  /// First-time deliveries / redundant receptions across tracked ids.
+  std::uint64_t firstDeliveries = 0;
+  std::uint64_t pushDeliveries = 0;
+  std::uint64_t pullDeliveries = 0;
+  std::uint64_t redundantDeliveries = 0;
+  /// Spread-tick aggregate over retired messages (floor for averages).
+  std::uint64_t spreadTicksTotalRetired = 0;
+  std::uint64_t maxSpreadTicksRetired = 0;
+  /// The live memory frontier: tracked ids now / at peak, and the bytes
+  /// their delivery bitmaps hold. Bounded by maxTrackedMessages * N.
+  std::uint64_t trackedNow = 0;
+  std::uint64_t peakTracked = 0;
+  std::uint64_t trackedBitmapBytes = 0;
+  std::uint64_t peakTrackedBitmapBytes = 0;
+
+  std::uint64_t retired() const noexcept {
+    return retiredCompleted + retiredAgedOut;
+  }
+
+  /// Redundant receptions per first-time delivery (0 when nothing
+  /// delivered yet) — the overhead of push fanout + pull re-sends.
+  double redundancyRatio() const noexcept {
+    return firstDeliveries == 0
+               ? 0.0
+               : static_cast<double>(redundantDeliveries) /
+                     static_cast<double>(firstDeliveries);
   }
 };
 
@@ -131,8 +244,30 @@ class LiveCast final : public sim::CycleProtocol,
     std::uint32_t digestLength = 16;
     /// Per-node message buffer capacity.
     std::uint32_t bufferCapacity = 64;
-    /// Max messages pushed back per pull answer.
+    /// Max messages pushed back per pull answer — one budget shared
+    /// across all ids a digest exposes as missing.
     std::uint32_t pullBudget = 8;
+    /// Hard cap on concurrently tracked messages (full LiveMessageStats
+    /// + O(N) delivery bitmap). At the cap, publishing retires the
+    /// oldest tracked id — preferring one that already completed — into
+    /// a CompletedSummary. This is the sustained-traffic memory bound.
+    std::uint32_t maxTrackedMessages = 1024;
+    /// When > 0 (and a clock is attached), a completed message is
+    /// retired eagerly once it has lingered this many ticks past
+    /// completion, keeping the tracked set near the true in-flight
+    /// frontier instead of cap-sized. 0 keeps completed messages
+    /// tracked until cap pressure — the single-wave experiments rely on
+    /// querying stats() after the wave is done.
+    std::uint64_t completedLingerTicks = 0;
+    /// Retired CompletedSummary records kept for inspection (FIFO).
+    std::uint32_t retainedSummaries = 1024;
+    /// Windowed pull digests: each PullRequest advertises a rotating
+    /// window of the requester's buffer (explicit [lo, hi] id bounds +
+    /// the ids held within), and the answerer picks uniformly at random
+    /// among useful ids in the window (Sanghavi et al.). false = legacy
+    /// newest-`digestLength` digest answered newest-first, which starves
+    /// old gaps once in-flight ids exceed the digest length.
+    bool windowedPull = true;
   };
 
   /// `vicinity` may be null: then forwarding is pure RANDCAST; otherwise
@@ -148,7 +283,8 @@ class LiveCast final : public sim::CycleProtocol,
 
   /// Publishes a new message from `origin` (must be alive). The push wave
   /// completes synchronously (immediate transport) or as the transport
-  /// delivers. Returns the new message id.
+  /// delivers. Returns the new message id. May retire older tracked
+  /// messages first (see Params::maxTrackedMessages).
   std::uint64_t publish(NodeId origin);
 
   // sim::CycleProtocol — the pull heartbeat.
@@ -158,8 +294,21 @@ class LiveCast final : public sim::CycleProtocol,
   void onSpawn(NodeId node) override;
   void onKill(NodeId node) override;
 
-  /// Stats of a published message.
+  /// Stats of a *tracked* published message; retired ids reject (their
+  /// remains live in summary(), if retained).
   const LiveMessageStats& stats(std::uint64_t dataId) const;
+
+  /// Is full per-message state still held for this id?
+  bool isTracked(std::uint64_t dataId) const {
+    return stats_.contains(dataId);
+  }
+
+  /// The retired remains of a message, or nullptr if never published,
+  /// still tracked, or already evicted from the summary ring.
+  const CompletedSummary* summary(std::uint64_t dataId) const;
+
+  /// Aggregate rates + the live memory frontier. O(tracked) per call.
+  SteadyStateStats steadyStats() const;
 
   /// A node's message buffer (inspection/tests).
   const MessageStore& store(NodeId node) const {
@@ -192,10 +341,13 @@ class LiveCast final : public sim::CycleProtocol,
   /// published messages can never collide on id.
   void setNextDataId(std::uint64_t next) { nextDataId_ = next; }
 
-  /// Has `node` received message `dataId`?
+  /// Has `node` received message `dataId`? Tracked ids answer from the
+  /// delivery bitmap; retired ids answer false (per-node knowledge is
+  /// dropped at retirement).
   bool hasDelivered(std::uint64_t dataId, NodeId node) const;
 
-  /// Miss ratio (percent) of `dataId` over the *currently alive* nodes.
+  /// Miss ratio (percent) of a *tracked* `dataId` over the currently
+  /// alive nodes.
   double missRatioPercentNow(std::uint64_t dataId) const;
 
   /// Total PullRequests sent (pull overhead numerator).
@@ -204,8 +356,19 @@ class LiveCast final : public sim::CycleProtocol,
   std::uint64_t pullAnswersSent() const noexcept { return pullAnswers_; }
   /// Total Data messages sent by push forwarding.
   std::uint64_t pushMessagesSent() const noexcept { return pushSent_; }
+  /// Of pushMessagesSent: forwards belonging to a pull-recovery re-wave
+  /// rather than the origin's push wave (kFlagRecoveryWave).
+  std::uint64_t recoveryForwardsSent() const noexcept {
+    return recoveryForwards_;
+  }
   /// Total redundant Data deliveries (duplicates to alive nodes).
   std::uint64_t redundantDeliveries() const noexcept { return redundant_; }
+  /// Pull-layer deliveries dropped because the id sat at or below the
+  /// receiver's recovery horizon (MessageStore::recoveryHorizon) — the
+  /// guard that keeps repair traffic from resurrecting evicted ids.
+  std::uint64_t recoveryDropsBeyondHorizon() const noexcept {
+    return recoveryDropped_;
+  }
 
   /// Cumulative per-node load counters over every message so far, sized
   /// Network::totalCreated(). Sessions diff them around a publish to
@@ -224,15 +387,24 @@ class LiveCast final : public sim::CycleProtocol,
   void registerHandlers(sim::MessageRouter& router);
   void handleData(NodeId self, const net::Message& msg);
   void handlePullRequest(NodeId self, const net::Message& msg);
+  /// `recovery`: this delivery was caused by the pull layer (a pull
+  /// answer, or a forward descending from one) — counted as
+  /// pullDelivered and kept out of the origin-wave hop histogram.
   void deliverLocally(NodeId self, std::uint64_t dataId, bool viaPull,
-                      std::uint32_t hop);
+                      std::uint32_t hop, bool recovery);
   void forward(NodeId self, NodeId receivedFrom, std::uint64_t dataId,
-               std::uint32_t hop);
+               std::uint32_t hop, bool recovery);
   void enqueueData(NodeId to, NodeId from, std::uint64_t dataId,
-                   std::uint32_t hop, bool viaPull);
+                   std::uint32_t hop, bool viaPull, bool recovery);
   /// Trampoline: drains queued sends iteratively so that long forwarding
   /// chains (e.g. ring-only propagation) cannot overflow the call stack.
   void drainOutbox();
+  /// Linger sweep + cap enforcement; runs before each publish.
+  void reclaimTracked();
+  /// Moves one tracked id into the summary ring, recycling its bitmap.
+  void retire(std::uint64_t dataId, bool completed);
+  /// Bytes currently held by tracked delivery bitmaps.
+  std::uint64_t liveBitmapBytes() const;
 
   sim::Network& network_;
   net::Transport& transport_;
@@ -246,11 +418,22 @@ class LiveCast final : public sim::CycleProtocol,
 
   std::vector<MessageStore> stores_;
   std::vector<std::uint64_t> stepCount_;
+  /// Per-node rotating window position for windowed pull digests.
+  std::vector<std::size_t> pullWindowPos_;
   std::vector<std::uint32_t> forwardsPerNode_;
   std::vector<std::uint32_t> receivedPerNode_;
-  /// Per message: bitmap of nodes that have it (index = dataId order).
+  /// Per *tracked* message: bitmap of nodes that have it. Bounded by
+  /// maxTrackedMessages entries; retired bitmaps recycle via
+  /// bitmapPool_, so steady-state publishing allocates nothing here.
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> deliveredTo_;
   std::unordered_map<std::uint64_t, LiveMessageStats> stats_;
+  /// Tracked ids oldest-first (retirement order).
+  std::deque<std::uint64_t> trackedOrder_;
+  std::vector<std::vector<std::uint8_t>> bitmapPool_;
+  /// Retired remains, FIFO-bounded by Params::retainedSummaries.
+  std::unordered_map<std::uint64_t, CompletedSummary> summaryById_;
+  std::deque<std::uint64_t> summaryOrder_;
+  SteadyStateStats steady_;
   std::uint64_t nextDataId_ = 1;
   /// One queued send; whether it answers a pull travels in the message
   /// itself (kFlagPullAnswer).
@@ -275,10 +458,15 @@ class LiveCast final : public sim::CycleProtocol,
   std::size_t forwardDepth_ = 0;
   /// Pull-request scratch message (digest ids buffer recycled per pull).
   net::Message pullScratch_;
+  /// Windowed-digest scratch (requester side / answerer candidates).
+  std::vector<std::uint64_t> windowScratch_;
+  std::vector<std::uint64_t> pullCandidateScratch_;
   std::uint64_t pullsSent_ = 0;
   std::uint64_t pullAnswers_ = 0;
   std::uint64_t pushSent_ = 0;
+  std::uint64_t recoveryForwards_ = 0;
   std::uint64_t redundant_ = 0;
+  std::uint64_t recoveryDropped_ = 0;
 };
 
 }  // namespace vs07::cast

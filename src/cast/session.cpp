@@ -25,6 +25,10 @@ LiveCast::Params liveParams(const CastOptions& options) {
   params.digestLength = options.digestLength;
   params.bufferCapacity = options.bufferCapacity;
   params.pullBudget = options.pullBudget;
+  params.maxTrackedMessages = options.maxTrackedMessages;
+  params.completedLingerTicks = options.completedLingerTicks;
+  params.retainedSummaries = options.retainedSummaries;
+  params.windowedPull = options.windowedPull;
   return params;
 }
 
@@ -95,6 +99,13 @@ DeliveryReport LiveSession::publish(NodeId origin) {
   const std::uint64_t dataId = live_.publish(origin);
   lastDataId_ = dataId;
   baselines_[dataId] = std::move(baseline);
+  // Keep the per-publish baselines bounded alongside LiveCast's own
+  // tracking: once an id has retired it can no longer be report()ed, so
+  // its baseline is dead weight under a sustained publish rate.
+  if (baselines_.size() > 2 * live_.params().maxTrackedMessages)
+    std::erase_if(baselines_, [this](const auto& entry) {
+      return !live_.isTracked(entry.first);
+    });
   if (options_.settleCycles > 0) engine_.run(options_.settleCycles);
   return report(dataId);
 }

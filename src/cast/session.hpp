@@ -53,6 +53,17 @@ struct CastOptions {
   std::uint32_t bufferCapacity = 64;
   /// Max messages pushed back per pull answer (§8 knob).
   std::uint32_t pullBudget = 8;
+  /// Hard cap on concurrently tracked message ids (full stats + O(N)
+  /// delivery bitmap); older ids retire to CompletedSummary records.
+  std::uint32_t maxTrackedMessages = 1024;
+  /// Eagerly retire completed messages this many ticks after they cover
+  /// the population (0 = only retire under cap pressure).
+  std::uint64_t completedLingerTicks = 0;
+  /// Retired CompletedSummary records kept for inspection.
+  std::uint32_t retainedSummaries = 1024;
+  /// Windowed pull digests with random-useful answers (sustained-traffic
+  /// reconciliation); false = legacy newest-`digestLength` digests.
+  bool windowedPull = true;
 };
 
 /// Uniform interface over the snapshot and live dissemination paths.

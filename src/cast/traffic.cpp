@@ -1,0 +1,74 @@
+#include "cast/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/expect.hpp"
+
+namespace vs07::cast {
+
+std::uint32_t samplePoisson(Rng& rng, double mean) {
+  VS07_EXPECT(mean >= 0.0);
+  std::uint32_t total = 0;
+  while (mean > 0.0) {
+    const double chunk = std::min(mean, 30.0);
+    mean -= chunk;
+    const double limit = std::exp(-chunk);
+    double product = rng.uniform();
+    while (product > limit) {
+      ++total;
+      product *= rng.uniform();
+    }
+  }
+  return total;
+}
+
+TrafficSource::TrafficSource(sim::Engine& engine, sim::Network& network,
+                             LiveCast& live, Params params,
+                             std::uint64_t seed)
+    : engine_(engine),
+      network_(network),
+      live_(live),
+      params_(params),
+      rng_(seed) {
+  VS07_EXPECT(params_.messagesPerCycle >= 0.0);
+  primeNextCycle();
+}
+
+void TrafficSource::execute(std::uint64_t /*cycle*/) { primeNextCycle(); }
+
+std::uint32_t TrafficSource::drawCount() {
+  if (params_.poisson) return samplePoisson(rng_, params_.messagesPerCycle);
+  carry_ += params_.messagesPerCycle;
+  const double whole = std::floor(carry_);
+  carry_ -= whole;
+  return static_cast<std::uint32_t>(whole);
+}
+
+void TrafficSource::primeNextCycle() {
+  if (params_.maxMessages > 0 && scheduled_ >= params_.maxMessages) return;
+  std::uint32_t count = drawCount();
+  if (params_.maxMessages > 0)
+    count = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        count, params_.maxMessages - scheduled_));
+  const std::uint64_t span = engine_.timing().ticksPerCycle;
+  for (std::uint32_t k = 0; k < count; ++k) {
+    // Poisson arrivals land uniformly within the cycle; the
+    // deterministic schedule spaces them evenly.
+    const std::uint64_t delay =
+        params_.poisson ? 1 + rng_.below(span)
+                        : 1 + (static_cast<std::uint64_t>(k) * span) / count;
+    ++scheduled_;
+    engine_.scheduleDelivery(delay, [this] { fire(); });
+  }
+}
+
+void TrafficSource::fire() {
+  if (network_.aliveCount() == 0) return;  // catastrophic wipe-out: skip
+  const NodeId origin = network_.randomAlive(rng_);
+  const std::uint64_t dataId = live_.publish(origin);
+  ++published_;
+  if (hook_) hook_(dataId, origin, engine_.tick());
+}
+
+}  // namespace vs07::cast

@@ -1,0 +1,90 @@
+// Rate-driven publishing — the sustained-traffic workload generator.
+//
+// Every paper experiment (and every fig bench) disseminates one message
+// per run; production means a publish *rate*. A TrafficSource is a
+// sim::Control that keeps that rate flowing through a LiveCast: at the
+// end of each cycle it draws the coming cycle's message count — Poisson
+// (memoryless arrivals, the classic open-loop workload) or a
+// deterministic fixed-interval accumulator — and schedules one
+// delivery-priority event per message at a tick inside that cycle, each
+// publishing from a uniformly random *alive* origin chosen at fire time
+// (so churn never publishes from the dead). Everything rides the engine
+// queue, so a sustained run interleaves publishes, gossip timers, and
+// deliveries in one deterministic order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cast/live.hpp"
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace vs07::cast {
+
+class TrafficSource final : public sim::Control {
+ public:
+  struct Params {
+    /// Expected publishes per cycle across the whole population.
+    double messagesPerCycle = 1.0;
+    /// true: per-cycle counts are Poisson(messagesPerCycle); false: a
+    /// deterministic accumulator emits evenly spaced publishes at
+    /// exactly the configured rate (fractional rates carry over).
+    bool poisson = true;
+    /// Stop after this many publishes (0 = unlimited).
+    std::uint64_t maxMessages = 0;
+  };
+
+  /// Schedules the first cycle's publishes immediately; the caller must
+  /// also register it as a control (engine.addControl) so every later
+  /// cycle is primed at the end of the one before it. All references
+  /// must outlive the source.
+  TrafficSource(sim::Engine& engine, sim::Network& network, LiveCast& live,
+                Params params, std::uint64_t seed);
+
+  TrafficSource(const TrafficSource&) = delete;
+  TrafficSource& operator=(const TrafficSource&) = delete;
+
+  // sim::Control — primes the next cycle's publish events.
+  void execute(std::uint64_t cycle) override;
+
+  /// Messages actually published so far.
+  std::uint64_t published() const noexcept { return published_; }
+
+  /// Publishes scheduled (>= published(): scheduled events may not have
+  /// fired yet).
+  std::uint64_t scheduled() const noexcept { return scheduled_; }
+
+  /// Invoked after each publish: (dataId, origin, tick). Benches use it
+  /// to stamp per-message publish ticks for latency percentiles.
+  using PublishHook =
+      std::function<void(std::uint64_t, NodeId, std::uint64_t)>;
+  void setPublishHook(PublishHook hook) { hook_ = std::move(hook); }
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  /// Draws the coming cycle's count and schedules its publish events.
+  void primeNextCycle();
+  std::uint32_t drawCount();
+  void fire();
+
+  sim::Engine& engine_;
+  sim::Network& network_;
+  LiveCast& live_;
+  Params params_;
+  Rng rng_;
+  PublishHook hook_;
+  /// Fixed-interval mode: fractional messages carried to the next cycle.
+  double carry_ = 0.0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t published_ = 0;
+};
+
+/// Knuth's Poisson sampler, chunked so exp(-mean) never underflows for
+/// large means (split into <= 30-mean pieces; a Poisson sum of Poissons
+/// is exact). Exposed for tests.
+std::uint32_t samplePoisson(Rng& rng, double mean);
+
+}  // namespace vs07::cast

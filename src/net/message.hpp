@@ -98,4 +98,16 @@ inline void swap(Message& a, Message& b) noexcept {
 /// retransmission, not part of the original push wave).
 inline constexpr std::uint8_t kFlagPullAnswer = 0x01;
 
+/// Message::flags bit: this Data push belongs to a pull-recovery re-wave
+/// — it descends from a pull answer, not from the origin's push wave —
+/// so receivers keep it out of origin-wave hop accounting.
+inline constexpr std::uint8_t kFlagRecoveryWave = 0x02;
+
+/// Message::flags bit: this PullRequest carries a *windowed* digest:
+/// ids[0]/ids[1] are the inclusive [lo, hi] dataId bounds of the
+/// advertised buffer window and ids[2..] the ids held within it. The
+/// answerer offers random useful ids inside the bounds (ids outside are
+/// beyond the requester's current recovery horizon).
+inline constexpr std::uint8_t kFlagWindowedDigest = 0x04;
+
 }  // namespace vs07::net

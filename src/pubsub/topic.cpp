@@ -20,25 +20,23 @@ TopicOverlay::TopicOverlay(sim::Network& network, std::string name,
       transport_(sink_),
       cyclon_(network, transport_, router_, params.cyclon, mix64(seed ^ 1)),
       vicinity_(network, transport_, router_, cyclon_, params.vicinity,
-                mix64(seed ^ 2)) {}
+                mix64(seed ^ 2)) {
+  // After cyclon_/vicinity_: they observe the network too and must see a
+  // kill before the roster forgets the node ever subscribed.
+  network.addObserver(*this);
+}
 
 void TopicOverlay::subscribe(NodeId node) {
   VS07_EXPECT(network_.isAlive(node));
   if (subscribed_.contains(node)) return;
 
-  // Introducer: a random alive existing subscriber, if any.
+  // Introducer: a random existing subscriber, if any. The membership
+  // observer prunes network-dead subscribers eagerly, so every roster
+  // entry is alive and one draw suffices (the old rejection sampler
+  // degraded toward 8*N attempts as dead entries accumulated).
   NodeId introducer = kNoNode;
-  if (!subscriberList_.empty()) {
-    // Rejection-sample; the list only contains subscribed nodes, but some
-    // may have died at the network level.
-    for (std::uint32_t attempt = 0;
-         attempt < 8 * subscriberList_.size() && introducer == kNoNode;
-         ++attempt) {
-      const NodeId candidate =
-          subscriberList_[rng_.below(subscriberList_.size())];
-      if (network_.isAlive(candidate)) introducer = candidate;
-    }
-  }
+  if (!subscriberList_.empty())
+    introducer = subscriberList_[rng_.below(subscriberList_.size())];
 
   subscribed_.insert(node);
   subscriberList_.push_back(node);
@@ -49,18 +47,30 @@ void TopicOverlay::subscribe(NodeId node) {
 }
 
 void TopicOverlay::unsubscribe(NodeId node) {
-  const auto it = subscribed_.find(node);
-  if (it == subscribed_.end()) return;
-  subscribed_.erase(it);
+  if (!subscribed_.contains(node)) return;
+  removeFromRoster(node);
+  // Leave no trace: the node's topic views are gone; peers' links to it
+  // decay through normal gossip aging.
+  cyclon_.onKill(node);
+  vicinity_.onKill(node);
+}
+
+void TopicOverlay::removeFromRoster(NodeId node) {
+  subscribed_.erase(node);
   const auto pos =
       std::find(subscriberList_.begin(), subscriberList_.end(), node);
   VS07_ENSURE(pos != subscriberList_.end());
   *pos = subscriberList_.back();
   subscriberList_.pop_back();
-  // Leave no trace: the node's topic views are gone; peers' links to it
-  // decay through normal gossip aging.
-  cyclon_.onKill(node);
-  vicinity_.onKill(node);
+}
+
+void TopicOverlay::onSpawn(NodeId /*node*/) {}
+
+void TopicOverlay::onKill(NodeId node) {
+  if (!subscribed_.contains(node)) return;
+  // The network already notified the topic's own CYCLON/VICINITY (they
+  // observe it directly); only the subscriber roster needs pruning here.
+  removeFromRoster(node);
 }
 
 void TopicOverlay::step(NodeId self) {

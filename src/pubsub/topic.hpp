@@ -30,8 +30,12 @@
 
 namespace vs07::pubsub {
 
-/// One topic's private dissemination overlay.
-class TopicOverlay final : public sim::CycleProtocol {
+/// One topic's private dissemination overlay. Observes the host network
+/// so subscribers that die at the network level are pruned from the
+/// roster immediately — without this the subscriber list grows forever
+/// under churn and introducer selection degrades with it.
+class TopicOverlay final : public sim::CycleProtocol,
+                           public sim::MembershipObserver {
  public:
   struct Params {
     gossip::Cyclon::Params cyclon{8, 4};      ///< small per-topic views
@@ -67,6 +71,10 @@ class TopicOverlay final : public sim::CycleProtocol {
   // register on the host engine, or use runCycles() for standalone use.
   void step(NodeId self) override;
 
+  // sim::MembershipObserver — network-dead subscribers leave the roster.
+  void onSpawn(NodeId node) override;
+  void onKill(NodeId node) override;
+
   /// Convenience: run `cycles` gossip cycles for this topic only.
   void runCycles(std::uint64_t cycles);
 
@@ -84,6 +92,9 @@ class TopicOverlay final : public sim::CycleProtocol {
                                std::uint32_t fanout, std::uint64_t seed);
 
  private:
+  /// Removes a node from subscribed_/subscriberList_ (must be present).
+  void removeFromRoster(NodeId node);
+
   /// Drops traffic to unsubscribed nodes (they are outside this overlay,
   /// exactly like dead nodes), then routes normally.
   struct FilterSink final : net::DeliverySink {

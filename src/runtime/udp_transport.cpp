@@ -149,9 +149,15 @@ void UdpTransport::transmit(NodeId to, const PeerAddress& addr,
     startFallback(addr);
     return;
   }
-  if (sendDatagram(addr)) {
-    ++datagramsSent_;
-    return;
+  switch (sendDatagram(addr)) {
+    case SendOutcome::kSent:
+      ++datagramsSent_;
+      return;
+    case SendOutcome::kFailed:
+      ++droppedSendError_;
+      return;
+    case SendOutcome::kBlocked:
+      break;
   }
   // Kernel send buffer full: park the payload in the pool and re-encode
   // once the socket drains. Beyond the cap the frame is dropped like any
@@ -163,16 +169,17 @@ void UdpTransport::transmit(NodeId to, const PeerAddress& addr,
   retryQueue_.push_back(retryPool_.checkIn(to, msg));
 }
 
-bool UdpTransport::sendDatagram(const PeerAddress& addr) {
+UdpTransport::SendOutcome UdpTransport::sendDatagram(const PeerAddress& addr) {
   const sockaddr_in dest = toSockaddr(addr);
   const auto sent =
       ::sendto(udpFd_, sendBuf_.data(), sendBuf_.size(), 0,
                reinterpret_cast<const sockaddr*>(&dest), sizeof(dest));
-  if (sent >= 0) return true;
-  if (wouldBlock(errno)) return false;
+  if (sent >= 0) return SendOutcome::kSent;
+  if (wouldBlock(errno)) return SendOutcome::kBlocked;
   // Any other error (unreachable, refused) is a lost datagram: the
-  // protocols treat silence as failure, so nothing more to do.
-  return true;
+  // protocols treat silence as failure, but callers must not count the
+  // frame as sent — it never left this host.
+  return SendOutcome::kFailed;
 }
 
 void UdpTransport::sendControlFrame(FrameKind kind, const PeerAddress& to,
@@ -183,8 +190,17 @@ void UdpTransport::sendControlFrame(FrameKind kind, const PeerAddress& to,
     return;
   }
   encodeFrame({kind, selfId_, port_}, nullptr, annex, sendBuf_);
-  if (sendDatagram(to)) ++datagramsSent_;
-  // Bootstrap frames are never parked: the announce ladder retries them.
+  switch (sendDatagram(to)) {
+    case SendOutcome::kSent:
+      ++datagramsSent_;
+      break;
+    case SendOutcome::kFailed:
+      ++droppedSendError_;
+      break;
+    case SendOutcome::kBlocked:
+      // Bootstrap frames are never parked: the ladder retries them.
+      break;
+  }
 }
 
 void UdpTransport::startFallback(const PeerAddress& addr) {
@@ -193,11 +209,15 @@ void UdpTransport::startFallback(const PeerAddress& addr) {
     return;
   }
   const int fd = openNonblockSocket(SOCK_STREAM);
-  if (fd < 0) return;
+  if (fd < 0) {
+    ++droppedSendError_;  // no socket, no frame: count the loss
+    return;
+  }
   const sockaddr_in dest = toSockaddr(addr);
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&dest), sizeof(dest)) !=
           0 &&
       errno != EINPROGRESS) {
+    ++droppedSendError_;
     ::close(fd);
     return;
   }
@@ -222,9 +242,14 @@ void UdpTransport::flushRetryQueue() {
       buildAnnex(msg);
       encodeFrame({FrameKind::kGossip, selfId_, port_}, &msg, annexScratch_,
                   sendBuf_);
-      if (!sendDatagram(addr)) break;  // still blocked: keep the tail
-      ++datagramsSent_;
-      ++retriedSends_;
+      const SendOutcome outcome = sendDatagram(addr);
+      if (outcome == SendOutcome::kBlocked) break;  // still: keep the tail
+      if (outcome == SendOutcome::kFailed) {
+        ++droppedSendError_;  // hard loss: release the slot and move on
+      } else {
+        ++datagramsSent_;
+        ++retriedSends_;
+      }
     }
     retryPool_.release(slot);
   }

@@ -113,6 +113,10 @@ class UdpTransport final : public net::Transport {
   std::uint64_t droppedNoAddress() const noexcept { return droppedNoAddress_; }
   std::uint64_t droppedMalformed() const noexcept { return droppedMalformed_; }
   std::uint64_t droppedBacklog() const noexcept { return droppedBacklog_; }
+  /// Frames lost to a hard socket error (sendto unreachable/refused, or
+  /// a fallback socket/connect that failed outright). These were never
+  /// on the wire, so they are *not* part of datagramsSent().
+  std::uint64_t droppedSendError() const noexcept { return droppedSendError_; }
   std::uint64_t retriedSends() const noexcept { return retriedSends_; }
   /// The EWOULDBLOCK retry pool (diagnostics, like the engine's).
   const net::MessagePool& retryPool() const noexcept { return retryPool_; }
@@ -128,9 +132,16 @@ class UdpTransport final : public net::Transport {
     std::vector<std::uint8_t> bytes;
   };
 
+  /// What became of one sendto() attempt of sendBuf_.
+  enum class SendOutcome : std::uint8_t {
+    kSent,     ///< handed to the kernel
+    kBlocked,  ///< send buffer full (EWOULDBLOCK family): park and retry
+    kFailed,   ///< hard error (unreachable, refused, ...): frame is lost
+  };
+
   void buildAnnex(const net::Message& msg);
   void transmit(NodeId to, const PeerAddress& addr, net::Message& msg);
-  bool sendDatagram(const PeerAddress& addr);
+  SendOutcome sendDatagram(const PeerAddress& addr);
   void startFallback(const PeerAddress& addr);
   void flushRetryQueue();
   void flushFallbacks();
@@ -173,6 +184,7 @@ class UdpTransport final : public net::Transport {
   std::uint64_t droppedNoAddress_ = 0;
   std::uint64_t droppedMalformed_ = 0;
   std::uint64_t droppedBacklog_ = 0;
+  std::uint64_t droppedSendError_ = 0;
   std::uint64_t retriedSends_ = 0;
 };
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "common/expect.hpp"
 #include "gossip/cyclon.hpp"
 #include "gossip/vicinity.hpp"
@@ -239,6 +241,42 @@ TEST(LiveCast, PullAlsoSpreadsBetweenPublishes) {
     // One pull round at interval 1 should already repair most misses.
     EXPECT_LT(after, before);
   }
+}
+
+TEST(LiveCast, PullRecoveryKeepsTheHopHistogramClean) {
+  // Regression: a pull answer lands with hop 0, so a recovered node's
+  // onward forwards used to pour fresh deliveries into
+  // newlyNotifiedPerHop[1] and could bump lastHop — the origin-wave
+  // histogram silently mixed in recovery re-waves. Recovery forwards are
+  // now tagged (kFlagRecoveryWave) and count as pullDelivered only.
+  LiveCast::Params params;
+  params.fanout = 2;
+  params.pullInterval = 1;
+  LiveHarness h(800, params, /*seed=*/14);
+  Rng killRng(15);
+  sim::killRandomFraction(h.network, 0.25, killRng);
+
+  const auto id = h.live.publish(h.network.aliveIds().front());
+  const auto afterPush = h.live.stats(id);  // copy
+  ASSERT_GT(h.live.missRatioPercentNow(id), 0.0)
+      << "seed must leave push misses for pull to repair";
+
+  h.engine.run(10);
+  EXPECT_EQ(h.live.missRatioPercentNow(id), 0.0);
+  const auto& repaired = h.live.stats(id);
+  // Everything pull recovered — the answers and the re-wave forwards
+  // they triggered — is pull bookkeeping; the push-wave histogram is
+  // exactly what it was the moment the push finished.
+  EXPECT_EQ(repaired.pushDelivered, afterPush.pushDelivered);
+  EXPECT_GT(repaired.pullDelivered, 0u);
+  EXPECT_EQ(repaired.newlyNotifiedPerHop, afterPush.newlyNotifiedPerHop);
+  EXPECT_EQ(repaired.lastHop, afterPush.lastHop);
+  const auto histogramSum =
+      std::accumulate(repaired.newlyNotifiedPerHop.begin(),
+                      repaired.newlyNotifiedPerHop.end(), std::uint64_t{0});
+  EXPECT_EQ(histogramSum, repaired.pushDelivered);
+  // The re-wave really happened: recovered nodes forwarded onwards.
+  EXPECT_GT(h.live.recoveryForwardsSent(), 0u);
 }
 
 TEST(LiveCast, StatsForUnknownMessageRejected) {

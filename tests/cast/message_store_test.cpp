@@ -71,6 +71,37 @@ TEST(MessageStore, ClearForgetsEverything) {
   EXPECT_TRUE(store.digest(4).empty());
 }
 
+TEST(MessageStore, EvictionIsSticky) {
+  // hasEvicted() marks the moment "not buffered" stops meaning "never
+  // received" — windowed pull digests keep their lower bound at 0 until
+  // then, so a joiner can recover ids older than everything it holds.
+  MessageStore store(2);
+  EXPECT_FALSE(store.hasEvicted());
+  store.remember(1);
+  store.remember(2);
+  EXPECT_FALSE(store.hasEvicted());  // full, but nothing lost yet
+  store.remember(3);
+  EXPECT_TRUE(store.hasEvicted());
+  store.clear();
+  EXPECT_FALSE(store.hasEvicted());
+}
+
+TEST(MessageStore, RecoveryHorizonIsTheMaxEvictedId) {
+  // Eviction is FIFO by *arrival*: jumbled arrival order means the
+  // evicted id can be larger than ids still held, so the horizon is the
+  // max over everything evicted, not the oldest arrival.
+  MessageStore store(2);
+  EXPECT_EQ(store.recoveryHorizon(), 0u);
+  store.remember(9);  // arrives first, evicted first
+  store.remember(4);
+  store.remember(5);  // evicts 9
+  EXPECT_EQ(store.recoveryHorizon(), 9u);
+  store.remember(6);  // evicts 4: horizon keeps the max, not the latest
+  EXPECT_EQ(store.recoveryHorizon(), 9u);
+  store.clear();
+  EXPECT_EQ(store.recoveryHorizon(), 0u);
+}
+
 TEST(MessageStore, EvictedIdIsSeenAsNewAgain) {
   MessageStore store(1);
   store.remember(1);
@@ -79,6 +110,24 @@ TEST(MessageStore, EvictedIdIsSeenAsNewAgain) {
   store.remember(1);  // accepted like a brand-new id
   EXPECT_TRUE(store.hasSeen(1));
   EXPECT_FALSE(store.hasSeen(2));
+}
+
+TEST(MessageStore, WindowedSliceRotatesWithoutWrapping) {
+  MessageStore store(8);
+  for (std::uint64_t id = 10; id <= 15; ++id) store.remember(id);
+
+  std::vector<std::uint64_t> out;
+  // Successive windows walk the buffer oldest-first and never wrap: the
+  // final slice is short, and positions past the end return empty (the
+  // caller restarts at 0), so one slice never spans old and new ids.
+  EXPECT_EQ(store.windowInto(0, 4, out), 4u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11, 12, 13}));
+  EXPECT_EQ(store.windowInto(4, 4, out), 2u);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{14, 15}));
+  EXPECT_EQ(store.windowInto(6, 4, out), 0u);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(store.windowInto(99, 4, out), 0u);
+  EXPECT_EQ(store.size(), 6u);
 }
 
 /// Minimal live wiring for the re-forwarding test below.
@@ -141,6 +190,119 @@ TEST(MessageStore, EvictedMessageIsReForwardedOnReReception) {
   // deliveries: every node already got A once.
   EXPECT_GT(h.live.stats(a).redundantDeliveries, 0u);
   EXPECT_EQ(h.live.stats(a).pushDelivered, 50u);
+}
+
+TEST(MessageStore, WindowedPullDoesNotResurrectEvictedIds) {
+  // With identical post-eviction buffers everywhere, windowed digests
+  // advertise [oldest-held, inf) — evicted ids sit *below* every window
+  // and are beyond the recovery horizon. No pull answer may re-inject
+  // them (re-injection would go supercritical: every re-delivery of a
+  // forgotten id spawns a fresh fanout-wide wave, see the test above).
+  LiveCast::Params params;
+  params.fanout = 3;
+  params.pullInterval = 1;
+  params.bufferCapacity = 4;
+  TinyLive h(50, params);
+  h.engine.addProtocol(h.live);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(h.live.publish(0));
+  for (const NodeId node : h.network.aliveIds())
+    ASSERT_FALSE(h.live.store(node).hasSeen(ids[0]));
+
+  const auto pushBefore = h.live.pushMessagesSent();
+  const auto pullsBefore = h.live.pullRequestsSent();
+  h.engine.run(10);
+  EXPECT_GT(h.live.pullRequestsSent(), pullsBefore);  // pulls did run
+  EXPECT_EQ(h.live.pullAnswersSent(), 0u);  // nothing useful to serve
+  EXPECT_EQ(h.live.pushMessagesSent(), pushBefore);  // no re-waves
+  for (const NodeId node : h.network.aliveIds()) {
+    EXPECT_FALSE(h.live.store(node).hasSeen(ids[0])) << "node " << node;
+    EXPECT_FALSE(h.live.store(node).hasSeen(ids[1])) << "node " << node;
+  }
+}
+
+TEST(MessageStore, RecoveryDeliveriesBelowTheHorizonAreDropped) {
+  // The receiver-side half of the recovery horizon: a pull-layer Data
+  // message (answer or recovery-wave forward) for an id the node already
+  // evicted must be dropped, not re-buffered. Accepting it would evict
+  // another id early — the positive feedback that winds sustained
+  // traffic into supercritical re-wave storms. Plain push traffic keeps
+  // §8's "evicted ids are new again" semantics (see the re-forwarding
+  // test above).
+  LiveCast::Params params;
+  params.fanout = 3;
+  params.pullInterval = 0;
+  params.bufferCapacity = 1;
+  TinyLive h(50, params);
+
+  const auto a = h.live.publish(0);
+  const auto b = h.live.publish(0);  // evicts `a` everywhere
+  ASSERT_LT(a, b);
+  ASSERT_GT(h.live.store(1).recoveryHorizon(), 0u);
+
+  const auto pushBefore = h.live.pushMessagesSent();
+  net::Message zombie;
+  zombie.kind = net::MessageKind::Data;
+  zombie.flags = net::kFlagPullAnswer;
+  zombie.from = 0;
+  zombie.dataId = a;
+  h.transport.send(/*to=*/1, std::move(zombie));
+
+  EXPECT_FALSE(h.live.store(1).hasSeen(a));  // not re-buffered
+  EXPECT_EQ(h.live.pushMessagesSent(), pushBefore);  // no re-wave
+  EXPECT_EQ(h.live.recoveryDropsBeyondHorizon(), 1u);
+  // `b` sits above the horizon, so the drop branch must not touch it:
+  // node 1 still holds it, and the repair lands in the ordinary
+  // redundant path instead.
+  const auto redundantBefore = h.live.stats(b).redundantDeliveries;
+  net::Message repair;
+  repair.kind = net::MessageKind::Data;
+  repair.flags = net::kFlagPullAnswer;
+  repair.from = 0;
+  repair.dataId = b;
+  h.transport.send(/*to=*/1, std::move(repair));
+  EXPECT_EQ(h.live.recoveryDropsBeyondHorizon(), 1u);
+  EXPECT_EQ(h.live.stats(b).redundantDeliveries, redundantBefore + 1);
+}
+
+TEST(MessageStore, WindowedPullBackfillsAJoinerUnderOneSharedBudget) {
+  // A fresh joiner advertises an empty window [0, inf): everything its
+  // peer buffers is a candidate, and one pull answer serves at most
+  // pullBudget ids — one budget shared across ids, chosen uniformly among
+  // the useful ones (random-useful, Sanghavi et al.), not newest-first.
+  LiveCast::Params params;
+  params.fanout = 3;
+  params.pullInterval = 1;
+  params.bufferCapacity = 32;
+  params.digestLength = 8;
+  params.pullBudget = 4;
+  TinyLive h(60, params);
+  h.engine.addProtocol(h.live);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(h.live.publish(0));
+
+  const NodeId joiner = h.network.spawn(h.engine.cycle());
+  Rng rng(21);
+  NodeId introducer = joiner;
+  while (introducer == joiner) introducer = h.network.randomAlive(rng);
+  h.cyclon.onJoin(joiner, introducer);
+  h.vicinity.onJoin(joiner, introducer);
+
+  const auto deliveredToJoiner = [&] {
+    std::size_t count = 0;
+    for (const auto id : ids)
+      if (h.live.hasDelivered(id, joiner)) ++count;
+    return count;
+  };
+  ASSERT_EQ(deliveredToJoiner(), 0u);
+  h.engine.run(1);
+  const auto afterOnePull = deliveredToJoiner();
+  EXPECT_GT(afterOnePull, 0u);
+  EXPECT_LE(afterOnePull, 4u);  // the budget caps one answer
+  h.engine.run(12);
+  EXPECT_EQ(deliveredToJoiner(), 10u);  // old gaps close, not just new
 }
 
 }  // namespace

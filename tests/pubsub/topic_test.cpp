@@ -92,6 +92,37 @@ TEST(TopicOverlay, DeadSubscribersAreSkipped) {
   EXPECT_EQ(report.aliveTotal, 28u);
 }
 
+TEST(TopicOverlay, NetworkDeathPrunesTheSubscriberRoster) {
+  // Regression: the roster only shrank on explicit unsubscribe(), so
+  // network-dead subscribers accumulated forever — a slow leak under
+  // churn, and subscribe()'s introducer draw degraded with every death.
+  // The overlay now observes the network and prunes on kill.
+  sim::Network network(120, 11);
+  TopicOverlay topic(network, "t", {}, 12);
+  for (NodeId id = 0; id < 40; ++id) topic.subscribe(id);
+  topic.runCycles(60);
+
+  network.kill(5);
+  network.kill(17);
+  network.kill(90);  // a non-subscriber death must not touch the roster
+  EXPECT_EQ(topic.subscriberCount(), 38u);
+  EXPECT_FALSE(topic.isSubscribed(5));
+  EXPECT_FALSE(topic.isSubscribed(17));
+
+  // A newcomer joining after heavy churn gets an *alive* introducer
+  // (every roster entry is alive by construction now).
+  for (NodeId id = 20; id < 36; ++id) network.kill(id);
+  EXPECT_EQ(topic.subscriberCount(), 22u);
+  topic.subscribe(40);
+  EXPECT_TRUE(topic.isSubscribed(40));
+  topic.runCycles(40);
+
+  const cast::RingCastSelector ringCast;
+  const auto report = topic.publish(0, ringCast, 3, 13);
+  EXPECT_EQ(report.aliveTotal, 23u);
+  EXPECT_TRUE(report.complete());
+}
+
 TEST(TopicOverlay, TwoTopicsAreIsolated) {
   sim::Network network(100, 8);
   TopicOverlay sports(network, "sports", {}, 9);

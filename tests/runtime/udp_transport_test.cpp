@@ -136,6 +136,30 @@ TEST(UdpTransport, SendToUnknownAddressCountsDrop) {
   EXPECT_EQ(a->transport.datagramsSent(), 0u);
 }
 
+TEST(UdpTransport, HardSendErrorIsCountedNotSent) {
+  // Regression: a hard sendto() failure used to count the frame as
+  // *sent* (datagramsSent_ overcounted and the loss was invisible).
+  // 255.255.255.255 without SO_BROADCAST fails immediately with EACCES —
+  // a hard error, not EWOULDBLOCK — so the frame must land in
+  // droppedSendError, not datagramsSent and not the retry queue.
+  auto pair = makePair();
+  SKIP_WITHOUT_SOCKETS(pair);
+  auto& [a, b] = *pair;
+  a->peers.learn(1, PeerAddress{0xFFFFFFFF, b->transport.listenPort()});
+
+  a->transport.send(1, dataMessage(0, 1));
+  EXPECT_EQ(a->transport.droppedSendError(), 1u);
+  EXPECT_EQ(a->transport.datagramsSent(), 0u);
+  EXPECT_EQ(a->transport.retryPool().inUse(), 0u);
+
+  // The transport keeps working: re-learning a good address delivers.
+  a->peers.learn(1, b->addr());
+  a->transport.send(1, dataMessage(0, 1));
+  ASSERT_TRUE(pumpUntil(*a, *b, [&] { return !b->sink.received.empty(); }));
+  EXPECT_EQ(a->transport.datagramsSent(), 1u);
+  EXPECT_EQ(a->transport.droppedSendError(), 1u);
+}
+
 TEST(UdpTransport, OversizedFrameTakesTcpFallback) {
   auto pair = makePair();
   SKIP_WITHOUT_SOCKETS(pair);
