@@ -59,6 +59,39 @@ void BM_GossipCycle(benchmark::State& state) {
 }
 BENCHMARK(BM_GossipCycle)->Arg(1'000)->Arg(10'000)->Unit(benchmark::kMillisecond);
 
+void BM_ShardedGossipCycle(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  auto scenario = analysis::Scenario::builder()
+                      .nodes(nodes)
+                      .seed(7)
+                      .engineThreads(threads)
+                      .build();
+  scenario.runCycles(1);
+  const std::uint64_t sentBefore = scenario.gossipMessagesSent();
+  const vs07::AllocScope allocs;
+  for (auto _ : state) scenario.runCycles(1);
+  const std::uint64_t allocDelta = allocs.allocations();
+  const auto cycles = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * nodes * 2);
+  state.counters["nodes"] = nodes;
+  state.counters["engine_threads"] = threads;
+  // The sharded engine inherits the hot-path invariant: once outbox
+  // buckets and scratch reach steady capacity, a cycle — worklists,
+  // steps, barrier exchange, canonical-order delivery — allocates
+  // nothing, on any worker thread. main() turns a violation into a
+  // nonzero exit (the ctest/CI gate).
+  state.counters["allocs_per_cycle"] =
+      static_cast<double>(allocDelta) / cycles;
+  state.counters["msgs_per_cycle"] =
+      static_cast<double>(scenario.gossipMessagesSent() - sentBefore) /
+      cycles;
+}
+BENCHMARK(BM_ShardedGossipCycle)
+    ->Args({1'000, 2})
+    ->Args({10'000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RingCastDissemination(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
   const auto fanout = static_cast<std::uint32_t>(state.range(1));
@@ -214,11 +247,12 @@ int main(int argc, char** argv) {
   }
   if (quick)
     // The 10k-node scenarios take minutes to warm up; CI smoke exercises
-    // the cheap benchmarks plus the 1k-node gossip cycle, whose
-    // allocs_per_cycle counter guards the zero-allocation hot path.
+    // the cheap benchmarks plus the 1k-node gossip cycles (sequential and
+    // sharded), whose allocs_per_cycle counters guard the zero-allocation
+    // hot path.
     passthroughStore.push_back(
         "--benchmark_filter=BM_(MessageCodec|TargetSelection)"
-        "|BM_GossipCycle/1000$");
+        "|BM_GossipCycle/1000$|BM_ShardedGossipCycle/1000/2$");
 
   std::vector<char*> passthrough;
   for (auto& arg : passthroughStore)
@@ -262,5 +296,20 @@ int main(int argc, char** argv) {
                        .set("points", std::move(points)));
   report.write(scale);
   benchmark::Shutdown();
-  return 0;
+
+  // The zero-allocation assertion for the sharded engine: any steady-
+  // state allocation on any worker thread fails the whole bench run.
+  bool allocFree = true;
+  for (const auto& run : reporter.captured()) {
+    if (run.name.rfind("BM_ShardedGossipCycle", 0) != 0) continue;
+    for (const auto& [name, value] : run.counters)
+      if (name == "allocs_per_cycle" && value != 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s allocated %.2f times/cycle in steady state "
+                     "(sharded cycles must be allocation-free)\n",
+                     run.name.c_str(), value);
+        allocFree = false;
+      }
+  }
+  return allocFree ? 0 : 1;
 }

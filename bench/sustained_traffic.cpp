@@ -34,6 +34,7 @@
 
 #include "analysis/scenario.hpp"
 #include "bench_common.hpp"
+#include "cast/live.hpp"
 #include "cast/strategy.hpp"
 #include "cast/traffic.hpp"
 #include "common/resource.hpp"
@@ -75,6 +76,7 @@ struct CellResult {
   double p50Ticks = 0.0;
   double p99Ticks = 0.0;
   double meanTicks = 0.0;
+  cast::SteadyStateStats steady;
 };
 
 struct CellConfig {
@@ -173,6 +175,7 @@ CellResult runCell(const bench::Scale& scale, const CellConfig& cfg,
                 static_cast<double>(traffic.published())
           : 0.0;
   out.trackedInFlightMax = steady.peakTracked;
+  out.steady = steady;
   out.p50Ticks = percentile(latencies, 50.0);
   out.p99Ticks = percentile(latencies, 99.0);
   if (!latencies.empty()) {
@@ -284,6 +287,36 @@ void rateSweep(const bench::Scale& scale, analysis::ParallelSweep& sweep,
   }
   std::fputs((scale.csv ? table.renderCsv() : table.render()).c_str(),
              stdout);
+
+  // Per-strategy totals, folded with SteadyStateStats::merge in
+  // canonical cell-index order — the same reduction discipline the
+  // sharded engine applies to its per-shard counters.
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    const std::string name{strategyName(strategies[s])};
+    cast::SteadyStateStats agg;
+    for (std::size_t i = 0; i < perStrategy; ++i)
+      agg.merge(cells[s * perStrategy + i].steady);
+    std::printf(
+        "%s totals: %llu published, %llu first deliveries, redundancy "
+        "%.2f, %llu completed + %llu aged out\n",
+        name.c_str(), static_cast<unsigned long long>(agg.published),
+        static_cast<unsigned long long>(agg.firstDeliveries),
+        agg.redundancyRatio(),
+        static_cast<unsigned long long>(agg.retiredCompleted),
+        static_cast<unsigned long long>(agg.retiredAgedOut));
+    report.addSeries(Json::object()
+                         .set("label", "steady_aggregate:" + name)
+                         .set("kind", "steady_aggregate")
+                         .set("strategy", name)
+                         .set("published", agg.published)
+                         .set("first_deliveries", agg.firstDeliveries)
+                         .set("redundant_deliveries", agg.redundantDeliveries)
+                         .set("retired_completed", agg.retiredCompleted)
+                         .set("retired_aged_out", agg.retiredAgedOut)
+                         .set("redundancy_ratio", agg.redundancyRatio())
+                         .set("peak_tracked_max", agg.peakTracked));
+  }
+
   std::printf(
       "\nMundinger floor: one message cannot cover %u nodes in fewer than "
       "%u rounds (%llu ticks here); an M-message batch needs M + %u - 1 "

@@ -61,7 +61,14 @@ PARALLEL_ARRAY_KINDS = {
                    "completed_percent", "tracked_in_flight_max"],
     "latency_percentiles": ["publish_rate_per_cycle", "p50_ticks",
                             "p99_ticks", "mean_ticks"],
+    # sharded-engine scaling (bench/scale_sweep --engine-threads)
+    "thread_scaling": ["threads", "node_cycles_per_sec", "speedup_vs_1",
+                       "peak_rss_bytes"],
 }
+# Parallel-array kinds that compare dissemination strategies and must
+# carry a string 'strategy' key. Engine-level kinds (thread_scaling) run
+# below the strategy layer and are exempt.
+STRATEGY_KINDS = set(PARALLEL_ARRAY_KINDS) - {"thread_scaling"}
 
 
 def check_timing(path, timing, where):
@@ -141,8 +148,9 @@ def check(path):
                 return False
         arrays = PARALLEL_ARRAY_KINDS.get(entry["kind"])
         if arrays is not None:
-            if "strategy" not in entry or \
-                    not isinstance(entry["strategy"], str):
+            if entry["kind"] in STRATEGY_KINDS and (
+                    "strategy" not in entry or
+                    not isinstance(entry["strategy"], str)):
                 return fail(path, f"series[{i}] ({entry['kind']}) misses "
                                   f"string key 'strategy'")
             lengths = set()

@@ -17,7 +17,7 @@ std::vector<std::vector<std::uint32_t>> aliveAdjacency(
   std::vector<std::vector<std::uint32_t>> adjacency(aliveIds.size());
   for (std::uint32_t i = 0; i < aliveIds.size(); ++i) {
     const NodeId id = aliveIds[i];
-    auto addLinks = [&](const std::vector<NodeId>& targets) {
+    auto addLinks = [&](std::span<const NodeId> targets) {
       for (const NodeId t : targets) {
         if (t >= snapshot.totalIds() || !snapshot.isAlive(t)) continue;
         const std::uint32_t j = index[t];

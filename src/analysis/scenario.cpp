@@ -47,6 +47,10 @@ struct Scenario::Core {
   std::unique_ptr<net::LossyTransport> lossy;
   gossip::Cyclon cyclon;
   gossip::MultiRing rings;
+  /// Built when config.engineThreads >= 1; then *it* drives the cycles
+  /// (the sequential engine above stays idle) and protocols/controls are
+  /// registered here instead.
+  std::unique_ptr<sim::ShardedEngine> sharded;
   std::unique_ptr<TransportPump> pump;
   std::unique_ptr<sim::ChurnControl> churn;
   std::unique_ptr<sim::SessionChurnControl> sessionChurn;
@@ -78,8 +82,22 @@ struct Scenario::Core {
               mix64(c.seed ^ 0x72696E67ULL)),
         killRng(mix64(c.seed ^ 0xFA11EDULL)) {
     if (model) latency->setNetworkModel(model.get());
-    engine.addProtocol(cyclon);
-    engine.addProtocol(rings);
+    if (c.engineThreads >= 1) {
+      VS07_EXPECT(c.timing.mode == sim::TimingMode::kCycleSync &&
+                  c.timing.latency.kind == sim::LatencyModel::Kind::kNone &&
+                  !c.network.any() && !c.delayedTransport &&
+                  c.dropProbability == 0.0 &&
+                  "the sharded engine runs the cycle-synchronous, "
+                  "latency-free model only");
+      sharded = std::make_unique<sim::ShardedEngine>(
+          network, mix64(c.seed ^ 0x73686172ULL),  // "shar"
+          c.engineThreads);
+      sharded->addProtocol(cyclon);
+      sharded->addProtocol(rings);
+    } else {
+      engine.addProtocol(cyclon);
+      engine.addProtocol(rings);
+    }
     if (c.delayedTransport) {
       VS07_EXPECT(!latency &&
                   "pick one latency mechanism: timing().latency / network "
@@ -115,6 +133,21 @@ struct Scenario::Core {
     return transport;
   }
 
+  /// Cycle-boundary controls go to whichever engine actually runs.
+  void addControlToActive(sim::Control& control) {
+    if (sharded)
+      sharded->addControl(control);
+    else
+      engine.addControl(control);
+  }
+
+  void runActive(std::uint64_t cycles) {
+    if (sharded)
+      sharded->run(cycles);
+    else
+      engine.run(cycles);
+  }
+
   void installChurn(double rate) {
     VS07_EXPECT(!sessionChurn && "scenario already churns by session length");
     if (churn) {
@@ -128,7 +161,7 @@ struct Scenario::Core {
     installedChurnRate = rate;
     churn->addJoinHandler(cyclon);
     churn->addJoinHandler(rings);
-    engine.addControl(*churn);
+    addControlToActive(*churn);
   }
 
   void installSessionChurn(const sim::SessionDistribution& distribution) {
@@ -138,7 +171,7 @@ struct Scenario::Core {
         network, distribution, mix64(config.seed ^ 0x636875726EULL));
     sessionChurn->addJoinHandler(cyclon);
     sessionChurn->addJoinHandler(rings);
-    engine.addControl(*sessionChurn);
+    addControlToActive(*sessionChurn);
   }
 };
 
@@ -210,16 +243,18 @@ Scenario Scenario::congested(std::uint32_t egressPerTick, std::uint32_t nodes,
 
 void Scenario::warmup() {
   sim::bootstrapStar(core_->network, core_->cyclon, /*hub=*/0);
-  core_->engine.run(core_->config.warmupCycles);
+  core_->runActive(core_->config.warmupCycles);
 }
 
-void Scenario::runCycles(std::uint64_t cycles) { core_->engine.run(cycles); }
+void Scenario::runCycles(std::uint64_t cycles) { core_->runActive(cycles); }
 
 std::uint64_t Scenario::runChurnUntilFullTurnover(double rate,
                                                   std::uint64_t maxCycles) {
   core_->installChurn(rate);
-  const auto ran = core_->engine.runUntil(
-      [this] { return core_->network.initialSurvivors() == 0; }, maxCycles);
+  const auto done = [this] { return core_->network.initialSurvivors() == 0; };
+  const auto ran = core_->sharded
+                       ? core_->sharded->runUntil(done, maxCycles)
+                       : core_->engine.runUntil(done, maxCycles);
   core_->churnCycles += ran;
   return ran;
 }
@@ -248,6 +283,19 @@ const sim::Network& Scenario::network() const noexcept {
 }
 sim::Engine& Scenario::engine() noexcept { return core_->engine; }
 const sim::Engine& Scenario::engine() const noexcept { return core_->engine; }
+sim::ShardedEngine* Scenario::shardedEngine() noexcept {
+  return core_->sharded.get();
+}
+const sim::ShardedEngine* Scenario::shardedEngine() const noexcept {
+  return core_->sharded.get();
+}
+std::uint64_t Scenario::cyclesRun() const noexcept {
+  return core_->sharded ? core_->sharded->cycle() : core_->engine.cycle();
+}
+std::uint64_t Scenario::gossipMessagesSent() const noexcept {
+  if (core_->sharded) return core_->sharded->messagesSent();
+  return core_->gossipTransport().sent();
+}
 sim::MessageRouter& Scenario::router() noexcept { return core_->router; }
 gossip::Cyclon& Scenario::cyclon() noexcept { return core_->cyclon; }
 const gossip::Cyclon& Scenario::cyclon() const noexcept {
@@ -315,6 +363,9 @@ cast::SnapshotSession Scenario::snapshotSession(
 }
 
 cast::LiveSession& Scenario::liveSession(cast::CastOptions options) {
+  VS07_EXPECT(!core_->sharded &&
+              "live sessions run on the sequential engine (its tick clock "
+              "and Data routes); use engineThreads(0)");
   VS07_EXPECT(!core_->live &&
               "one live session per scenario (it owns the Data routes)");
   core_->live = std::make_unique<cast::LiveSession>(
@@ -331,6 +382,11 @@ ScenarioBuilder& ScenarioBuilder::nodes(std::uint32_t n) {
 }
 ScenarioBuilder& ScenarioBuilder::seed(std::uint64_t s) {
   config_.seed = s;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::engineThreads(std::uint32_t threads) {
+  VS07_EXPECT(threads <= 256);
+  config_.engineThreads = threads;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::rings(std::uint32_t count) {

@@ -35,6 +35,7 @@
 #include "sim/network_model.hpp"
 #include "sim/router.hpp"
 #include "sim/session_churn.hpp"
+#include "sim/sharded_engine.hpp"
 #include "sim/timing.hpp"
 
 namespace vs07::analysis {
@@ -59,6 +60,14 @@ class Scenario {
     std::uint64_t seed = 42;
     /// build() runs bootstrap + warm-up unless cleared (noWarmup()).
     bool warmOnBuild = true;
+
+    /// 0 = the classic sequential Engine. >= 1 selects the sharded
+    /// engine with that many worker threads (sim/sharded_engine.hpp);
+    /// results are bit-identical for any value >= 1, so determinism
+    /// tests can compare 1 vs 8. Requires the cycle-synchronous,
+    /// latency-free model (no network conditions, no delayed/lossy
+    /// transport) and has no live-session support.
+    std::uint32_t engineThreads = 0;
 
     // -- timing model (engine timers + optional message latency) --------
     /// CycleSync by default (the paper's evaluation model). When
@@ -182,6 +191,15 @@ class Scenario {
   const sim::Network& network() const noexcept;
   sim::Engine& engine() noexcept;
   const sim::Engine& engine() const noexcept;
+  /// Non-null when the builder chose engineThreads(n >= 1): the parallel
+  /// engine all cycles run on instead of engine().
+  sim::ShardedEngine* shardedEngine() noexcept;
+  const sim::ShardedEngine* shardedEngine() const noexcept;
+  /// Completed gossip cycles on whichever engine is active.
+  std::uint64_t cyclesRun() const noexcept;
+  /// Gossip messages sent so far on whichever engine is active (the
+  /// sharded engine's barrier senders do not ride castTransport()).
+  std::uint64_t gossipMessagesSent() const noexcept;
   sim::MessageRouter& router() noexcept;
   gossip::Cyclon& cyclon() noexcept;
   const gossip::Cyclon& cyclon() const noexcept;
@@ -249,6 +267,10 @@ class ScenarioBuilder {
  public:
   ScenarioBuilder& nodes(std::uint32_t n);
   ScenarioBuilder& seed(std::uint64_t s);
+  /// Run all cycles on the sharded engine with `threads` workers
+  /// (bit-identical for any threads >= 1). Only the cycle-synchronous,
+  /// latency-free model is supported in this mode.
+  ScenarioBuilder& engineThreads(std::uint32_t threads);
   ScenarioBuilder& rings(std::uint32_t count);
   ScenarioBuilder& warmupCycles(std::uint32_t cycles);
   ScenarioBuilder& cyclonParams(gossip::Cyclon::Params params);

@@ -87,6 +87,14 @@ void LiveCast::registerHandlers(sim::MessageRouter& router) {
   network_.addObserver(*this);
 }
 
+void LiveCast::onReserve(NodeId count) {
+  stores_.reserve(count);
+  stepCount_.reserve(count);
+  pullWindowPos_.reserve(count);
+  forwardsPerNode_.reserve(count);
+  receivedPerNode_.reserve(count);
+}
+
 void LiveCast::onSpawn(NodeId node) {
   if (node >= stores_.size()) {
     stores_.resize(node + 1, MessageStore(params_.bufferCapacity));

@@ -26,6 +26,7 @@
 // policy of Sanghavi et al., "Gossiping with Multiple Messages".
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -223,6 +224,30 @@ struct SteadyStateStats {
                : static_cast<double>(redundantDeliveries) /
                      static_cast<double>(firstDeliveries);
   }
+
+  /// Folds another instance's accounting into this one: counters add,
+  /// peaks take the max, and the live-frontier gauges (trackedNow,
+  /// trackedBitmapBytes) add because concurrent instances hold their
+  /// memory simultaneously. Exact on integers, hence associative and
+  /// commutative — but reduce per-shard copies in canonical (shard
+  /// index) order anyway, matching the engine-wide merge discipline.
+  void merge(const SteadyStateStats& other) noexcept {
+    published += other.published;
+    retiredCompleted += other.retiredCompleted;
+    retiredAgedOut += other.retiredAgedOut;
+    firstDeliveries += other.firstDeliveries;
+    pushDeliveries += other.pushDeliveries;
+    pullDeliveries += other.pullDeliveries;
+    redundantDeliveries += other.redundantDeliveries;
+    spreadTicksTotalRetired += other.spreadTicksTotalRetired;
+    maxSpreadTicksRetired =
+        std::max(maxSpreadTicksRetired, other.maxSpreadTicksRetired);
+    trackedNow += other.trackedNow;
+    peakTracked = std::max(peakTracked, other.peakTracked);
+    trackedBitmapBytes += other.trackedBitmapBytes;
+    peakTrackedBitmapBytes =
+        std::max(peakTrackedBitmapBytes, other.peakTrackedBitmapBytes);
+  }
 };
 
 /// Live dissemination service. Register with Engine::addProtocol to give
@@ -291,6 +316,7 @@ class LiveCast final : public sim::CycleProtocol,
   void step(NodeId self) override;
 
   // sim::MembershipObserver — joiners start with empty buffers.
+  void onReserve(NodeId count) override;
   void onSpawn(NodeId node) override;
   void onKill(NodeId node) override;
 

@@ -5,15 +5,82 @@
 
 namespace vs07::cast {
 
-OverlaySnapshot::OverlaySnapshot(std::vector<NodeLinks> links,
-                                 std::vector<std::uint8_t> alive)
-    : links_(std::move(links)), alive_(std::move(alive)) {
-  VS07_EXPECT(links_.size() == alive_.size());
+OverlaySnapshot::Builder::Builder(std::uint32_t totalIds,
+                                  std::vector<std::uint8_t> alive) {
+  VS07_EXPECT(alive.size() == totalIds);
+  snapshot_.alive_ = std::move(alive);
+  snapshot_.roffsets_.resize(totalIds + 1, 0);
+  snapshot_.doffsets_.resize(totalIds + 1, 0);
+}
+
+void OverlaySnapshot::Builder::reserveRlinks(std::size_t total) {
+  snapshot_.rdata_.reserve(total);
+}
+
+void OverlaySnapshot::Builder::reserveDlinks(std::size_t total) {
+  snapshot_.ddata_.reserve(total);
+}
+
+void OverlaySnapshot::Builder::beginNode(NodeId id) {
+  VS07_EXPECT(id >= next_ && id < snapshot_.alive_.size());
+  // Close every skipped node (empty range) and open this one.
+  for (; next_ <= id; ++next_) {
+    snapshot_.roffsets_[next_] =
+        static_cast<std::uint32_t>(snapshot_.rdata_.size());
+    snapshot_.doffsets_[next_] =
+        static_cast<std::uint32_t>(snapshot_.ddata_.size());
+  }
+}
+
+void OverlaySnapshot::Builder::addRlink(NodeId link) {
+  VS07_EXPECT(next_ > 0);
+  snapshot_.rdata_.push_back(link);
+}
+
+void OverlaySnapshot::Builder::addDlink(NodeId link) {
+  VS07_EXPECT(next_ > 0);
+  snapshot_.ddata_.push_back(link);
+}
+
+void OverlaySnapshot::Builder::addUniqueDlink(NodeId link) {
+  VS07_EXPECT(next_ > 0);
+  if (link == kNoNode) return;
+  auto& data = snapshot_.ddata_;
+  const auto begin = data.begin() + snapshot_.doffsets_[next_ - 1];
+  if (std::find(begin, data.end(), link) != data.end()) return;
+  data.push_back(link);
+}
+
+OverlaySnapshot OverlaySnapshot::Builder::build() && {
+  const auto total = static_cast<NodeId>(snapshot_.alive_.size());
+  for (; next_ <= total; ++next_) {
+    snapshot_.roffsets_[next_] =
+        static_cast<std::uint32_t>(snapshot_.rdata_.size());
+    snapshot_.doffsets_[next_] =
+        static_cast<std::uint32_t>(snapshot_.ddata_.size());
+  }
+  snapshot_.indexAlive();
+  return std::move(snapshot_);
+}
+
+void OverlaySnapshot::indexAlive() {
   for (NodeId id = 0; id < alive_.size(); ++id)
-    if (alive_[id]) {
-      aliveIds_.push_back(id);
-      ++aliveCount_;
-    }
+    if (alive_[id]) ++aliveCount_;
+  aliveIds_.reserve(aliveCount_);
+  for (NodeId id = 0; id < alive_.size(); ++id)
+    if (alive_[id]) aliveIds_.push_back(id);
+}
+
+OverlaySnapshot::OverlaySnapshot(std::vector<NodeLinks> links,
+                                 std::vector<std::uint8_t> alive) {
+  VS07_EXPECT(links.size() == alive.size());
+  Builder builder(static_cast<std::uint32_t>(links.size()), std::move(alive));
+  for (NodeId id = 0; id < links.size(); ++id) {
+    builder.beginNode(id);
+    for (const NodeId link : links[id].rlinks) builder.addRlink(link);
+    for (const NodeId link : links[id].dlinks) builder.addDlink(link);
+  }
+  *this = std::move(builder).build();
 }
 
 namespace {
@@ -24,66 +91,83 @@ std::vector<std::uint8_t> aliveMask(const sim::Network& network) {
   return alive;
 }
 
-std::vector<NodeId> viewIds(const gossip::View& view) {
-  std::vector<NodeId> ids;
-  ids.reserve(view.size());
-  for (const auto& e : view.entries()) ids.push_back(e.node);
-  return ids;
+void addViewRlinks(OverlaySnapshot::Builder& builder,
+                   const gossip::View& view) {
+  for (const auto& e : view.entries()) builder.addRlink(e.node);
 }
 
-void addUniqueDlink(std::vector<NodeId>& dlinks, NodeId link) {
-  if (link == kNoNode) return;
-  if (std::find(dlinks.begin(), dlinks.end(), link) != dlinks.end()) return;
-  dlinks.push_back(link);
+std::size_t totalViewEntries(const sim::Network& network,
+                             const gossip::Cyclon& cyclon) {
+  std::size_t total = 0;
+  for (const NodeId id : network.aliveIds()) total += cyclon.view(id).size();
+  return total;
 }
 
 }  // namespace
 
 OverlaySnapshot snapshotRandom(const sim::Network& network,
                                const gossip::Cyclon& cyclon) {
-  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
-  for (const NodeId id : network.aliveIds())
-    links[id].rlinks = viewIds(cyclon.view(id));
-  return {std::move(links), aliveMask(network)};
+  OverlaySnapshot::Builder builder(network.totalCreated(), aliveMask(network));
+  builder.reserveRlinks(totalViewEntries(network, cyclon));
+  for (NodeId id = 0; id < network.totalCreated(); ++id) {
+    if (!network.isAlive(id)) continue;
+    builder.beginNode(id);
+    addViewRlinks(builder, cyclon.view(id));
+  }
+  return std::move(builder).build();
 }
 
 OverlaySnapshot snapshotRing(const sim::Network& network,
                              const gossip::Cyclon& cyclon,
                              const gossip::Vicinity& vicinity) {
-  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
-  for (const NodeId id : network.aliveIds()) {
-    links[id].rlinks = viewIds(cyclon.view(id));
+  OverlaySnapshot::Builder builder(network.totalCreated(), aliveMask(network));
+  builder.reserveRlinks(totalViewEntries(network, cyclon));
+  builder.reserveDlinks(std::size_t{2} * network.aliveCount());
+  for (NodeId id = 0; id < network.totalCreated(); ++id) {
+    if (!network.isAlive(id)) continue;
+    builder.beginNode(id);
+    addViewRlinks(builder, cyclon.view(id));
     const auto ring = vicinity.ringNeighbors(id);
-    addUniqueDlink(links[id].dlinks, ring.successor);
-    addUniqueDlink(links[id].dlinks, ring.predecessor);
+    builder.addUniqueDlink(ring.successor);
+    builder.addUniqueDlink(ring.predecessor);
   }
-  return {std::move(links), aliveMask(network)};
+  return std::move(builder).build();
 }
 
 OverlaySnapshot snapshotMultiRing(const sim::Network& network,
                                   const gossip::Cyclon& cyclon,
                                   const gossip::MultiRing& rings) {
-  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
-  for (const NodeId id : network.aliveIds()) {
-    links[id].rlinks = viewIds(cyclon.view(id));
+  OverlaySnapshot::Builder builder(network.totalCreated(), aliveMask(network));
+  builder.reserveRlinks(totalViewEntries(network, cyclon));
+  builder.reserveDlinks(std::size_t{2} * rings.ringCount() *
+                        network.aliveCount());
+  for (NodeId id = 0; id < network.totalCreated(); ++id) {
+    if (!network.isAlive(id)) continue;
+    builder.beginNode(id);
+    addViewRlinks(builder, cyclon.view(id));
     for (const auto& ring : rings.allRingNeighbors(id)) {
-      addUniqueDlink(links[id].dlinks, ring.successor);
-      addUniqueDlink(links[id].dlinks, ring.predecessor);
+      builder.addUniqueDlink(ring.successor);
+      builder.addUniqueDlink(ring.predecessor);
     }
   }
-  return {std::move(links), aliveMask(network)};
+  return std::move(builder).build();
 }
 
 OverlaySnapshot snapshotBand(const sim::Network& network,
                              const gossip::Cyclon& cyclon,
                              const gossip::Vicinity& vicinity,
                              std::uint32_t bandWidth) {
-  std::vector<OverlaySnapshot::NodeLinks> links(network.totalCreated());
-  for (const NodeId id : network.aliveIds()) {
-    links[id].rlinks = viewIds(cyclon.view(id));
-    links[id].dlinks = vicinity.ringBand(id, bandWidth);
+  OverlaySnapshot::Builder builder(network.totalCreated(), aliveMask(network));
+  builder.reserveRlinks(totalViewEntries(network, cyclon));
+  builder.reserveDlinks(std::size_t{2} * bandWidth * network.aliveCount());
+  for (NodeId id = 0; id < network.totalCreated(); ++id) {
+    if (!network.isAlive(id)) continue;
+    builder.beginNode(id);
+    addViewRlinks(builder, cyclon.view(id));
+    for (const NodeId link : vicinity.ringBand(id, bandWidth))
+      builder.addDlink(link);
   }
-  return {std::move(links), aliveMask(network)};
+  return std::move(builder).build();
 }
 
 OverlaySnapshot snapshotGraph(const overlay::Graph& graph) {
@@ -93,10 +177,12 @@ OverlaySnapshot snapshotGraph(const overlay::Graph& graph) {
 OverlaySnapshot snapshotGraph(const overlay::Graph& graph,
                               std::vector<std::uint8_t> alive) {
   VS07_EXPECT(alive.size() == graph.size());
-  std::vector<OverlaySnapshot::NodeLinks> links(graph.size());
-  for (NodeId id = 0; id < graph.size(); ++id)
-    links[id].dlinks = graph.neighbors(id);
-  return {std::move(links), std::move(alive)};
+  OverlaySnapshot::Builder builder(graph.size(), std::move(alive));
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    builder.beginNode(id);
+    for (const NodeId link : graph.neighbors(id)) builder.addDlink(link);
+  }
+  return std::move(builder).build();
 }
 
 }  // namespace vs07::cast

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/expect.hpp"
@@ -22,6 +23,13 @@
 namespace vs07::cast {
 
 /// Immutable per-node link sets captured at freeze time.
+///
+/// Links are stored in CSR form — one flat array per link kind plus a
+/// per-node offset table — rather than a vector pair per node: at
+/// multi-million-node scale the two vector headers and two heap chunks
+/// per node would cost more than the links themselves, and the snapshot
+/// phase sits on top of the warm gossip state, so it sets the peak RSS
+/// of a scale run.
 class OverlaySnapshot {
  public:
   /// Links of one node. d-links are listed in forwarding order; for a
@@ -31,11 +39,15 @@ class OverlaySnapshot {
     std::vector<NodeId> dlinks;
   };
 
+  class Builder;  // defined below — holds a snapshot, so needs the full type
+
+  /// Flattens a materialised per-node link table (convenient at test /
+  /// per-topic scale; the snapshot* functions below stream instead).
   OverlaySnapshot(std::vector<NodeLinks> links, std::vector<std::uint8_t> alive);
 
   /// Number of node ids (dense id space, dead included).
   std::uint32_t totalIds() const noexcept {
-    return static_cast<std::uint32_t>(links_.size());
+    return static_cast<std::uint32_t>(alive_.size());
   }
   bool isAlive(NodeId node) const {
     VS07_EXPECT(node < alive_.size());
@@ -44,20 +56,61 @@ class OverlaySnapshot {
   std::uint32_t aliveCount() const noexcept { return aliveCount_; }
   const std::vector<NodeId>& aliveIds() const noexcept { return aliveIds_; }
 
-  const std::vector<NodeId>& rlinks(NodeId node) const {
-    VS07_EXPECT(node < links_.size());
-    return links_[node].rlinks;
+  std::span<const NodeId> rlinks(NodeId node) const {
+    VS07_EXPECT(node < alive_.size());
+    return {rdata_.data() + roffsets_[node],
+            roffsets_[node + 1] - roffsets_[node]};
   }
-  const std::vector<NodeId>& dlinks(NodeId node) const {
-    VS07_EXPECT(node < links_.size());
-    return links_[node].dlinks;
+  std::span<const NodeId> dlinks(NodeId node) const {
+    VS07_EXPECT(node < alive_.size());
+    return {ddata_.data() + doffsets_[node],
+            doffsets_[node + 1] - doffsets_[node]};
   }
 
  private:
-  std::vector<NodeLinks> links_;
+  friend class Builder;
+  OverlaySnapshot() = default;  // Builder starts from an empty snapshot.
+  void indexAlive();
+
+  // offsets have totalIds()+1 entries; node i's links are
+  // data[offsets[i] .. offsets[i+1]).
+  std::vector<std::uint32_t> roffsets_;
+  std::vector<std::uint32_t> doffsets_;
+  std::vector<NodeId> rdata_;
+  std::vector<NodeId> ddata_;
   std::vector<std::uint8_t> alive_;
   std::vector<NodeId> aliveIds_;
   std::uint32_t aliveCount_ = 0;
+};
+
+/// Streams nodes one at a time into the CSR arrays, so building a
+/// snapshot never materialises a vector-of-vectors transient. Nodes
+/// must be begun in ascending id order; ids never begun get empty
+/// link sets.
+class OverlaySnapshot::Builder {
+ public:
+  /// `alive.size()` must equal `totalIds`.
+  Builder(std::uint32_t totalIds, std::vector<std::uint8_t> alive);
+
+  /// Capacity hints (total links across all nodes); an upper bound is
+  /// fine and keeps the flat arrays from realloc-doubling mid-build.
+  void reserveRlinks(std::size_t total);
+  void reserveDlinks(std::size_t total);
+
+  /// Starts node `id`; ids must be strictly increasing across calls.
+  void beginNode(NodeId id);
+  void addRlink(NodeId link);
+  /// Appends verbatim, preserving order, duplicates, and kNoNode —
+  /// for link sets the producer already shaped (bands, static graphs).
+  void addDlink(NodeId link);
+  /// Skips kNoNode and links already present on the current node.
+  void addUniqueDlink(NodeId link);
+
+  OverlaySnapshot build() &&;
+
+ private:
+  OverlaySnapshot snapshot_;
+  NodeId next_ = 0;  // first id not yet begun
 };
 
 /// Captures r-links from CYCLON only (RANDCAST's overlay).

@@ -18,6 +18,12 @@ void CountHistogram::merge(const CountHistogram& other) {
   for (const auto& [value, count] : other.counts_) add(value, count);
 }
 
+CountHistogram mergeAll(std::span<const CountHistogram> parts) {
+  CountHistogram out;
+  for (const CountHistogram& part : parts) out.merge(part);
+  return out;
+}
+
 std::uint64_t CountHistogram::count(std::uint64_t value) const {
   const auto it = counts_.find(value);
   return it == counts_.end() ? 0 : it->second;

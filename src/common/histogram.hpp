@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,12 @@ class CountHistogram {
   std::map<std::uint64_t, std::uint64_t> counts_;
   std::uint64_t total_ = 0;
 };
+
+/// Canonical reduction of per-shard histograms: folds `parts` into one
+/// histogram in index order. Integer counts make the merge exactly
+/// associative and commutative; the fixed order is kept anyway so every
+/// parallel reduction in the codebase follows one discipline.
+CountHistogram mergeAll(std::span<const CountHistogram> parts);
 
 /// One bin of a logarithmically-binned histogram.
 struct LogBin {

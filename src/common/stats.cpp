@@ -26,6 +26,12 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+RunningStats mergeAll(std::span<const RunningStats> parts) noexcept {
+  RunningStats out;
+  for (const RunningStats& part : parts) out.merge(part);
+  return out;
+}
+
 double percentile(std::span<const double> xs, double p) {
   if (xs.empty()) return 0.0;
   VS07_EXPECT(p >= 0.0 && p <= 100.0);

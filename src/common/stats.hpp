@@ -33,7 +33,10 @@ class RunningStats {
   double min() const noexcept { return n_ ? min_ : 0.0; }
   double max() const noexcept { return n_ ? max_ : 0.0; }
 
-  /// Merges another accumulator into this one (parallel Welford).
+  /// Merges another accumulator into this one (parallel Welford). The
+  /// combine is associative up to floating-point rounding — reduce
+  /// per-shard accumulators in canonical (shard index) order so results
+  /// never depend on thread scheduling.
   void merge(const RunningStats& other) noexcept;
 
  private:
@@ -43,6 +46,13 @@ class RunningStats {
   double min_ = 0.0;
   double max_ = 0.0;
 };
+
+/// Canonical reduction of per-shard accumulators: folds `parts` into one
+/// accumulator strictly in index order (((parts[0] ⊕ parts[1]) ⊕ ...)).
+/// Lay per-worker results out by shard index and every run reduces them
+/// through the identical floating-point expression tree, independent of
+/// which thread finished first.
+RunningStats mergeAll(std::span<const RunningStats> parts) noexcept;
 
 /// Five-number-style summary of a sample.
 struct Summary {

@@ -13,6 +13,7 @@ Cyclon::Cyclon(sim::Network& network, net::Transport& transport,
   VS07_EXPECT(params_.viewLength > 0);
   VS07_EXPECT(params_.shuffleLength > 0);
   VS07_EXPECT(params_.shuffleLength <= params_.viewLength);
+  VS07_EXPECT(params_.shuffleLength <= 255);  // pendingCount_ is a byte
   router.route(net::MessageKind::CyclonRequest,
                [this](NodeId to, const net::Message& m) {
                  handleRequest(to, m);
@@ -28,10 +29,17 @@ PeerDescriptor Cyclon::selfDescriptor(NodeId node) const {
   return PeerDescriptor{node, 0, network_.seqId(node)};
 }
 
+void Cyclon::onReserve(NodeId count) {
+  views_.reserve(count);
+  pendingSent_.reserve(std::size_t{count} * params_.shuffleLength);
+  pendingCount_.reserve(count);
+}
+
 void Cyclon::onSpawn(NodeId node) {
   if (node >= views_.size()) {
     views_.resize(node + 1);
-    pendingSent_.resize(node + 1);
+    pendingSent_.resize(std::size_t{node + 1} * params_.shuffleLength);
+    pendingCount_.resize(node + 1, 0);
   }
   views_[node] = View(node, params_.viewLength);
 }
@@ -40,7 +48,7 @@ void Cyclon::onKill(NodeId node) {
   // Keep the dead node's view allocated but inert; other nodes' links to
   // it stay dangling on purpose (the paper's dead-link semantics).
   views_[node].clear();
-  pendingSent_[node].clear();
+  pendingCount_[node] = 0;
 }
 
 void Cyclon::onJoin(NodeId node, NodeId introducer) {
@@ -74,6 +82,14 @@ const View& Cyclon::view(NodeId node) const {
 }
 
 void Cyclon::step(NodeId self) {
+  stepImpl(self, rng_, transport_, requestScratch_, sampleScratch_,
+           shuffles_);
+}
+
+void Cyclon::stepImpl(NodeId self, Rng& rng, net::Transport& transport,
+                      net::Message& requestScratch,
+                      std::vector<PeerDescriptor>& sampleScratch,
+                      std::uint64_t& shuffleCounter) {
   View& v = views_[self];
   v.incrementAges();
   if (v.empty()) return;  // isolated node: nothing to shuffle with
@@ -84,50 +100,103 @@ void Cyclon::step(NodeId self) {
   v.removeAt(qIndex);
 
   // 3. Random subset of g-1 other entries, plus a fresh self-descriptor.
-  net::Message& request = requestScratch_;
+  // The sample is staged in `sampleScratch` — randomEntriesInto copies
+  // the whole view before the partial shuffle, and a message buffer that
+  // briefly held viewLength entries keeps that capacity in whichever
+  // outbox slot it circulates into (a per-slot cost at scale).
+  net::Message& request = requestScratch;
   request.reset();
-  v.randomEntriesInto(params_.shuffleLength - 1, /*exclude=*/q, rng_,
-                      request.entries);
-  auto& sent = pendingSent_[self];
-  sent.clear();
-  for (const auto& e : request.entries) sent.push_back(e.node);
+  v.randomEntriesInto(params_.shuffleLength - 1, /*exclude=*/q, rng,
+                      sampleScratch);
+  request.entries.assign(sampleScratch.begin(), sampleScratch.end());
+  NodeId* sent = &pendingSent_[std::size_t{self} * params_.shuffleLength];
+  std::uint8_t sentCount = 0;
+  for (const auto& e : request.entries) sent[sentCount++] = e.node;
+  pendingCount_[self] = sentCount;
   request.entries.push_back(selfDescriptor(self));
 
   request.kind = net::MessageKind::CyclonRequest;
   request.from = self;
-  ++shuffles_;
-  transport_.send(q, std::move(request));
+  ++shuffleCounter;
+  transport.send(q, std::move(request));
   // If q is dead or the message is lost, no reply ever comes back:
   // the oldest entry is already gone and pendingSent_ is simply
   // overwritten by the next shuffle. That *is* CYCLON's failure handling.
 }
 
 void Cyclon::handleRequest(NodeId self, const net::Message& msg) {
+  handleRequestImpl(self, msg, rng_, transport_, replyScratch_,
+                    sampleScratch_, replySentScratch_);
+}
+
+void Cyclon::handleRequestImpl(NodeId self, const net::Message& msg, Rng& rng,
+                               net::Transport& transport,
+                               net::Message& replyScratch,
+                               std::vector<PeerDescriptor>& sampleScratch,
+                               std::vector<NodeId>& sentScratch) {
   View& v = views_[self];
   // Reply with up to g random entries (excluding any entry for the
-  // initiator: it would be discarded at the other end anyway).
-  net::Message& reply = replyScratch_;
+  // initiator: it would be discarded at the other end anyway). Staged in
+  // scratch for the same slot-capacity reason as stepImpl.
+  net::Message& reply = replyScratch;
   reply.reset();
-  v.randomEntriesInto(params_.shuffleLength, /*exclude=*/msg.from, rng_,
-                      reply.entries);
-  auto& sentIds = replySentScratch_;
+  v.randomEntriesInto(params_.shuffleLength, /*exclude=*/msg.from, rng,
+                      sampleScratch);
+  reply.entries.assign(sampleScratch.begin(), sampleScratch.end());
+  auto& sentIds = sentScratch;
   sentIds.clear();
   for (const auto& e : reply.entries) sentIds.push_back(e.node);
 
   reply.kind = net::MessageKind::CyclonReply;
   reply.from = self;
-  transport_.send(msg.from, std::move(reply));
+  transport.send(msg.from, std::move(reply));
 
-  merge(self, msg.entries, sentIds);
+  std::size_t live = sentIds.size();
+  merge(self, msg.entries, sentIds, live);
+}
+
+void Cyclon::onShardedAttach(std::uint32_t shardCount) {
+  shardShuffles_.assign(shardCount, 0);
+}
+
+void Cyclon::shardStep(NodeId self, sim::ShardContext& ctx) {
+  stepImpl(self, ctx.rng(), ctx.transport(), ctx.messageScratch(),
+           ctx.poolScratch(), shardShuffles_[ctx.shard()]);
+}
+
+bool Cyclon::shardDeliver(NodeId to, const net::Message& msg,
+                          sim::ShardContext& ctx) {
+  switch (msg.kind) {
+    case net::MessageKind::CyclonRequest:
+      handleRequestImpl(to, msg, ctx.rng(), ctx.transport(),
+                        ctx.messageScratch(), ctx.poolScratch(),
+                        ctx.idScratch());
+      return true;
+    case net::MessageKind::CyclonReply:
+      handleReply(to, msg);
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t Cyclon::shufflesInitiated() const noexcept {
+  std::uint64_t total = shuffles_;
+  for (const auto count : shardShuffles_) total += count;
+  return total;
 }
 
 void Cyclon::handleReply(NodeId self, const net::Message& msg) {
-  merge(self, msg.entries, pendingSent_[self]);
-  pendingSent_[self].clear();
+  std::size_t live = pendingCount_[self];
+  merge(self, msg.entries,
+        {&pendingSent_[std::size_t{self} * params_.shuffleLength],
+         params_.shuffleLength},
+        live);
+  pendingCount_[self] = 0;
 }
 
 void Cyclon::merge(NodeId self, std::span<const PeerDescriptor> received,
-                   std::vector<NodeId>& sentIds) {
+                   std::span<const NodeId> sentIds, std::size_t& liveCount) {
   View& v = views_[self];
   for (const auto& entry : received) {
     if (entry.node == self) continue;        // descriptor of ourselves
@@ -138,9 +207,8 @@ void Cyclon::merge(NodeId self, std::span<const PeerDescriptor> received,
     }
     // Replace one of the entries we sent out, if any is still present.
     bool placed = false;
-    while (!sentIds.empty() && !placed) {
-      const NodeId victim = sentIds.back();
-      sentIds.pop_back();
+    while (liveCount > 0 && !placed) {
+      const NodeId victim = sentIds[--liveCount];
       if (v.removeNode(victim)) {
         v.add(entry);
         placed = true;

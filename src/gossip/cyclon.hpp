@@ -28,6 +28,7 @@
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/router.hpp"
+#include "sim/sharded.hpp"
 
 namespace vs07::gossip {
 
@@ -35,7 +36,8 @@ namespace vs07::gossip {
 class Cyclon final : public sim::CycleProtocol,
                      public sim::MembershipObserver,
                      public sim::JoinHandler,
-                     public PeerSamplingService {
+                     public PeerSamplingService,
+                     public sim::ShardedProtocol {
  public:
   struct Params {
     /// View length ℓ (the paper's cyc = 20).
@@ -56,6 +58,14 @@ class Cyclon final : public sim::CycleProtocol,
   // sim::CycleProtocol — one active shuffle.
   void step(NodeId self) override;
 
+  // sim::ShardedProtocol — same shuffle under the sharded engine, drawing
+  // from the acting node's derived RNG stream and the worker's scratch
+  // instead of the instance-wide ones.
+  void onShardedAttach(std::uint32_t shardCount) override;
+  void shardStep(NodeId self, sim::ShardContext& ctx) override;
+  bool shardDeliver(NodeId to, const net::Message& msg,
+                    sim::ShardContext& ctx) override;
+
   // sim::JoinHandler — fresh node starts with just the introducer.
   void onJoin(NodeId node, NodeId introducer) override;
 
@@ -73,6 +83,7 @@ class Cyclon final : public sim::CycleProtocol,
   void admit(NodeId self, NodeId peer);
 
   // sim::MembershipObserver
+  void onReserve(NodeId count) override;
   void onSpawn(NodeId node) override;
   void onKill(NodeId node) override;
 
@@ -81,18 +92,32 @@ class Cyclon final : public sim::CycleProtocol,
 
   const Params& params() const noexcept { return params_; }
 
-  /// Total shuffles initiated (diagnostics).
-  std::uint64_t shufflesInitiated() const noexcept { return shuffles_; }
+  /// Total shuffles initiated (diagnostics), across both engines.
+  std::uint64_t shufflesInitiated() const noexcept;
 
  private:
   void handleRequest(NodeId self, const net::Message& msg);
   void handleReply(NodeId self, const net::Message& msg);
 
+  /// The shuffle/handler bodies, parameterized on the RNG and scratch so
+  /// the sequential paths (instance members — bit-for-bit the historical
+  /// behaviour) and the sharded paths (per-node stream, per-worker
+  /// scratch) share one implementation.
+  void stepImpl(NodeId self, Rng& rng, net::Transport& transport,
+                net::Message& requestScratch,
+                std::vector<PeerDescriptor>& sampleScratch,
+                std::uint64_t& shuffleCounter);
+  void handleRequestImpl(NodeId self, const net::Message& msg, Rng& rng,
+                         net::Transport& transport, net::Message& replyScratch,
+                         std::vector<PeerDescriptor>& sampleScratch,
+                         std::vector<NodeId>& sentScratch);
+
   /// CYCLON merge: insert `received` into `self`'s view, skipping self-
   /// descriptors and duplicates, filling free slots first and then
-  /// replacing entries listed in `sentIds` (consumed left to right).
+  /// replacing entries listed in `sentIds[0, liveCount)` (consumed from
+  /// the back; `liveCount` is decremented as victims are spent).
   void merge(NodeId self, std::span<const PeerDescriptor> received,
-             std::vector<NodeId>& sentIds);
+             std::span<const NodeId> sentIds, std::size_t& liveCount);
 
   PeerDescriptor selfDescriptor(NodeId node) const;
 
@@ -102,8 +127,12 @@ class Cyclon final : public sim::CycleProtocol,
   Rng rng_;
   std::vector<View> views_;
   /// Ids sent in the outstanding shuffle request of each node (consumed by
-  /// the merge when the reply arrives).
-  std::vector<std::vector<NodeId>> pendingSent_;
+  /// the merge when the reply arrives). Flat fixed-stride storage —
+  /// `shuffleLength` slots per node, occupancy in pendingCount_ — because
+  /// a vector per node costs a header plus a heap chunk for at most
+  /// g-1 ids, which dominates the ids themselves at millions of nodes.
+  std::vector<NodeId> pendingSent_;
+  std::vector<std::uint8_t> pendingCount_;
   /// Exchange scratch (one set per protocol instance, not per exchange):
   /// messages are reset()+refilled each time, so their entry buffers are
   /// recycled and a steady-state shuffle allocates nothing. Safe because
@@ -111,8 +140,14 @@ class Cyclon final : public sim::CycleProtocol,
   /// inside another request chain of the same instance.
   net::Message requestScratch_;
   net::Message replyScratch_;
+  /// Pre-sample staging for randomEntriesInto (see stepImpl): message
+  /// buffers never hold more than the shuffle subset.
+  std::vector<PeerDescriptor> sampleScratch_;
   std::vector<NodeId> replySentScratch_;
   std::uint64_t shuffles_ = 0;
+  /// Sharded-mode shuffle counters, one per shard (no cross-worker
+  /// contention; summed into shufflesInitiated()).
+  std::vector<std::uint64_t> shardShuffles_;
 };
 
 }  // namespace vs07::gossip

@@ -46,6 +46,23 @@ void MultiRing::step(NodeId self) {
   for (auto& ring : rings_) ring->step(self);
 }
 
+void MultiRing::onShardedAttach(std::uint32_t shardCount) {
+  for (auto& ring : rings_) ring->onShardedAttach(shardCount);
+}
+
+void MultiRing::shardStep(NodeId self, sim::ShardContext& ctx) {
+  for (auto& ring : rings_) ring->shardStep(self, ctx);
+}
+
+bool MultiRing::shardDeliver(NodeId to, const net::Message& msg,
+                             sim::ShardContext& ctx) {
+  if (msg.kind != net::MessageKind::VicinityRequest &&
+      msg.kind != net::MessageKind::VicinityReply)
+    return false;
+  if (msg.channel >= rings_.size()) return false;
+  return rings_[msg.channel]->shardDeliver(to, msg, ctx);
+}
+
 void MultiRing::onJoin(NodeId node, NodeId introducer) {
   for (auto& ring : rings_) ring->onJoin(node, introducer);
 }

@@ -20,7 +20,8 @@ namespace vs07::gossip {
 
 /// A bundle of `ringCount` independent VICINITY rings.
 class MultiRing final : public sim::CycleProtocol,
-                        public sim::JoinHandler {
+                        public sim::JoinHandler,
+                        public sim::ShardedProtocol {
  public:
   /// Creates `ringCount` rings on channels [0, ringCount). Borrowed
   /// references must outlive this object.
@@ -41,6 +42,14 @@ class MultiRing final : public sim::CycleProtocol,
 
   // sim::CycleProtocol — steps every ring.
   void step(NodeId self) override;
+
+  // sim::ShardedProtocol — steps every ring from the node's single event
+  // stream (rings draw sequentially, in ring order); deliveries dispatch
+  // to the ring owning the message's channel.
+  void onShardedAttach(std::uint32_t shardCount) override;
+  void shardStep(NodeId self, sim::ShardContext& ctx) override;
+  bool shardDeliver(NodeId to, const net::Message& msg,
+                    sim::ShardContext& ctx) override;
 
   // sim::JoinHandler — forwards the join to every ring.
   void onJoin(NodeId node, NodeId introducer) override;

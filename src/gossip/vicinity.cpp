@@ -80,6 +80,13 @@ PeerDescriptor Vicinity::selfDescriptor(NodeId node) const {
   return PeerDescriptor{node, 0, profile_(node)};
 }
 
+void Vicinity::onReserve(NodeId count) {
+  views_.reserve(count);
+  pendingTarget_.reserve(count);
+  bans_.reserve(count);
+  stepCount_.reserve(count);
+}
+
 void Vicinity::onSpawn(NodeId node) {
   if (node >= views_.size()) {
     views_.resize(node + 1);
@@ -176,6 +183,12 @@ std::vector<NodeId> Vicinity::ringBand(NodeId node,
 }
 
 void Vicinity::step(NodeId self) {
+  stepImpl(self, rng_, transport_, requestScratch_, mergePoolScratch_);
+}
+
+void Vicinity::stepImpl(NodeId self, Rng& rng, net::Transport& transport,
+                        net::Message& requestScratch,
+                        std::vector<PeerDescriptor>& poolScratch) {
   View& v = views_[self];
   ++stepCount_[self];
 
@@ -196,43 +209,58 @@ void Vicinity::step(NodeId self) {
   // random CYCLON peer (feeds fresh candidates; lets joiners bootstrap).
   NodeId q = kNoNode;
   const View& randomLayer = cyclon_.view(self);
-  const bool exploit = !v.empty() && (randomLayer.empty() || rng_.chance(0.5));
+  const bool exploit = !v.empty() && (randomLayer.empty() || rng.chance(0.5));
   if (exploit) {
     q = v.at(v.oldestIndex()).node;
   } else if (!randomLayer.empty()) {
-    q = randomLayer.at(rng_.below(randomLayer.size())).node;
+    q = randomLayer.at(rng.below(randomLayer.size())).node;
   }
   if (q == kNoNode) return;  // no peers at all
 
-  net::Message& request = requestScratch_;
+  net::Message& request = requestScratch;
   request.reset();
   request.kind = net::MessageKind::VicinityRequest;
   request.channel = params_.channel;
   request.from = self;
-  offerInto(self, q, profile_(q), request.entries);
+  offerInto(self, q, profile_(q), poolScratch, request.entries);
   pendingTarget_[self] = q;
-  transport_.send(q, std::move(request));
+  transport.send(q, std::move(request));
 }
 
 void Vicinity::offerInto(NodeId self, NodeId target,
                          SequenceId targetProfile,
+                         std::vector<PeerDescriptor>& pool,
                          std::vector<PeerDescriptor>& out) const {
-  out.clear();
+  // Candidates are pooled in `pool` (a long-lived scratch) and only the
+  // trimmed band is copied into `out`. Message buffers circulate through
+  // the sharded engine's outbox slots, so their high-water capacity is a
+  // per-slot memory cost at scale: keeping the pre-trim pool (both view
+  // lengths' worth of candidates) out of the message caps every slot at
+  // exchangeLength entries instead of ~4x that.
+  pool.clear();
   for (const auto& e : views_[self].entries())
-    if (e.node != target) poolInsert(out, e);
+    if (e.node != target) poolInsert(pool, e);
   for (const auto& e : cyclon_.view(self).entries()) {
     if (e.node == target) continue;
     // Translate the random-layer descriptor into this ring's profile
     // space (identity for the default ring; salted for multi-ring).
-    poolInsert(out, PeerDescriptor{e.node, e.age, profile_(e.node)});
+    poolInsert(pool, PeerDescriptor{e.node, e.age, profile_(e.node)});
   }
-  selectRingBand(targetProfile, out, params_.exchangeLength - 1);
+  selectRingBand(targetProfile, pool, params_.exchangeLength - 1);
+  out.assign(pool.begin(), pool.end());
   // Our own fresh descriptor always travels along: the target must learn
   // about us to ever point a d-link our way.
   out.push_back(selfDescriptor(self));
 }
 
 void Vicinity::handleRequest(NodeId self, const net::Message& msg) {
+  handleRequestImpl(self, msg, transport_, replyScratch_, mergePoolScratch_);
+}
+
+void Vicinity::handleRequestImpl(NodeId self, const net::Message& msg,
+                                 net::Transport& transport,
+                                 net::Message& replyScratch,
+                                 std::vector<PeerDescriptor>& poolScratch) {
   // The initiator's descriptor is always in the offer (see offerInto).
   SequenceId initiatorProfile = profile_(msg.from);
   for (const auto& e : msg.entries)
@@ -241,26 +269,55 @@ void Vicinity::handleRequest(NodeId self, const net::Message& msg) {
       break;
     }
 
-  net::Message& reply = replyScratch_;
+  net::Message& reply = replyScratch;
   reply.reset();
   reply.kind = net::MessageKind::VicinityReply;
   reply.channel = params_.channel;
   reply.from = self;
-  offerInto(self, msg.from, initiatorProfile, reply.entries);
-  transport_.send(msg.from, std::move(reply));
+  offerInto(self, msg.from, initiatorProfile, poolScratch, reply.entries);
+  transport.send(msg.from, std::move(reply));
 
-  mergeByProximity(self, msg.entries);
+  mergeByProximity(self, msg.entries, poolScratch);
 }
 
 void Vicinity::handleReply(NodeId self, const net::Message& msg) {
+  handleReplyImpl(self, msg, mergePoolScratch_);
+}
+
+void Vicinity::handleReplyImpl(NodeId self, const net::Message& msg,
+                               std::vector<PeerDescriptor>& poolScratch) {
   pendingTarget_[self] = kNoNode;  // partner is alive
-  mergeByProximity(self, msg.entries);
+  mergeByProximity(self, msg.entries, poolScratch);
+}
+
+void Vicinity::onShardedAttach(std::uint32_t /*shardCount*/) {}
+
+void Vicinity::shardStep(NodeId self, sim::ShardContext& ctx) {
+  stepImpl(self, ctx.rng(), ctx.transport(), ctx.messageScratch(),
+           ctx.poolScratch());
+}
+
+bool Vicinity::shardDeliver(NodeId to, const net::Message& msg,
+                            sim::ShardContext& ctx) {
+  if (msg.channel != params_.channel) return false;
+  switch (msg.kind) {
+    case net::MessageKind::VicinityRequest:
+      handleRequestImpl(to, msg, ctx.transport(), ctx.messageScratch(),
+                        ctx.poolScratch());
+      return true;
+    case net::MessageKind::VicinityReply:
+      handleReplyImpl(to, msg, ctx.poolScratch());
+      return true;
+    default:
+      return false;
+  }
 }
 
 void Vicinity::mergeByProximity(NodeId self,
-                                std::span<const PeerDescriptor> incoming) {
+                                std::span<const PeerDescriptor> incoming,
+                                std::vector<PeerDescriptor>& poolScratch) {
   View& v = views_[self];
-  std::vector<PeerDescriptor>& pool = mergePoolScratch_;
+  std::vector<PeerDescriptor>& pool = poolScratch;
   pool.clear();
   for (const auto& e : v.entries()) poolInsert(pool, e);
   for (const auto& e : incoming)

@@ -21,6 +21,7 @@
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/router.hpp"
+#include "sim/sharded.hpp"
 
 namespace vs07::gossip {
 
@@ -39,7 +40,8 @@ struct RingNeighbors {
 /// VICINITY protocol instance managing the proximity views of all nodes.
 class Vicinity final : public sim::CycleProtocol,
                        public sim::MembershipObserver,
-                       public sim::JoinHandler {
+                       public sim::JoinHandler,
+                       public sim::ShardedProtocol {
  public:
   struct Params {
     /// View length (the paper's vic = 20).
@@ -67,12 +69,21 @@ class Vicinity final : public sim::CycleProtocol,
   // sim::CycleProtocol — one active proximity exchange.
   void step(NodeId self) override;
 
+  // sim::ShardedProtocol — the same exchange under the sharded engine
+  // (per-node RNG stream, per-worker scratch). Claims only messages on
+  // this instance's channel, so multi-ring dispatch works unchanged.
+  void onShardedAttach(std::uint32_t shardCount) override;
+  void shardStep(NodeId self, sim::ShardContext& ctx) override;
+  bool shardDeliver(NodeId to, const net::Message& msg,
+                    sim::ShardContext& ctx) override;
+
   // sim::JoinHandler — joiners start with an empty vicinity view and rely
   // on the CYCLON layer to meet candidates (the behaviour behind the
   // paper's Fig. 13 warm-up discussion).
   void onJoin(NodeId node, NodeId introducer) override;
 
   // sim::MembershipObserver
+  void onReserve(NodeId count) override;
   void onSpawn(NodeId node) override;
   void onKill(NodeId node) override;
 
@@ -100,16 +111,36 @@ class Vicinity final : public sim::CycleProtocol,
   void handleRequest(NodeId self, const net::Message& msg);
   void handleReply(NodeId self, const net::Message& msg);
 
+  /// Step/handler bodies parameterized on RNG and scratch: the sequential
+  /// paths pass the instance members (bit-for-bit the historical
+  /// behaviour), the sharded paths pass the worker's ShardContext
+  /// resources.
+  void stepImpl(NodeId self, Rng& rng, net::Transport& transport,
+                net::Message& requestScratch,
+                std::vector<PeerDescriptor>& poolScratch);
+  void handleRequestImpl(NodeId self, const net::Message& msg,
+                         net::Transport& transport,
+                         net::Message& replyScratch,
+                         std::vector<PeerDescriptor>& poolScratch);
+  void handleReplyImpl(NodeId self, const net::Message& msg,
+                       std::vector<PeerDescriptor>& poolScratch);
+
   /// Candidates = own vicinity view ∪ own cyclon view ∪ self descriptor,
   /// deduplicated, excluding `target`; the best `exchangeLength` for the
-  /// *target's* profile fill `out` (best-for-target selection). `out` is
-  /// cleared first; callers pass message-entry scratch so assembling an
-  /// offer is allocation-free in steady state.
+  /// *target's* profile fill `out` (best-for-target selection). The
+  /// pre-trim pool is assembled in `pool` (long-lived scratch) so `out` —
+  /// typically a message's entries, whose capacity is retained by every
+  /// outbox slot it circulates through — never holds more than the
+  /// trimmed offer. Both are cleared first; steady state allocates
+  /// nothing.
   void offerInto(NodeId self, NodeId target, SequenceId targetProfile,
+                 std::vector<PeerDescriptor>& pool,
                  std::vector<PeerDescriptor>& out) const;
 
-  /// Keeps the `viewLength` closest candidates to self among view ∪ incoming.
-  void mergeByProximity(NodeId self, std::span<const PeerDescriptor> incoming);
+  /// Keeps the `viewLength` closest candidates to self among view ∪
+  /// incoming, assembling them in `poolScratch`.
+  void mergeByProximity(NodeId self, std::span<const PeerDescriptor> incoming,
+                        std::vector<PeerDescriptor>& poolScratch);
 
   PeerDescriptor selfDescriptor(NodeId node) const;
 

@@ -2,17 +2,33 @@
 
 namespace vs07::gossip {
 
+void View::copyFrom(const View& other) {
+  owner_ = other.owner_;
+  capacity_ = other.capacity_;
+  size_ = other.size_;
+  if (other.heap_) {
+    if (!heap_ || capacity_ != other.capacity_)
+      heap_ = std::make_unique<PeerDescriptor[]>(other.capacity_);
+    for (std::uint32_t i = 0; i < size_; ++i) heap_[i] = other.heap_[i];
+  } else {
+    heap_.reset();
+    inline_ = other.inline_;
+  }
+}
+
 std::size_t View::indexOf(NodeId node) const noexcept {
-  for (std::size_t i = 0; i < entries_.size(); ++i)
-    if (entries_[i].node == node) return i;
+  const PeerDescriptor* e = data();
+  for (std::size_t i = 0; i < size_; ++i)
+    if (e[i].node == node) return i;
   return npos;
 }
 
 std::size_t View::oldestIndex() const {
-  VS07_EXPECT(!entries_.empty());
+  VS07_EXPECT(size_ > 0);
+  const PeerDescriptor* e = data();
   std::size_t best = 0;
-  for (std::size_t i = 1; i < entries_.size(); ++i)
-    if (entries_[i].age > entries_[best].age) best = i;
+  for (std::size_t i = 1; i < size_; ++i)
+    if (e[i].age > e[best].age) best = i;
   return best;
 }
 
@@ -20,13 +36,14 @@ void View::add(const PeerDescriptor& entry) {
   VS07_EXPECT(!full());
   VS07_EXPECT(entry.node != owner_);
   VS07_EXPECT(!contains(entry.node));
-  entries_.push_back(entry);
+  data()[size_++] = entry;
 }
 
 void View::removeAt(std::size_t i) {
-  VS07_EXPECT(i < entries_.size());
-  entries_[i] = entries_.back();
-  entries_.pop_back();
+  VS07_EXPECT(i < size_);
+  PeerDescriptor* e = data();
+  e[i] = e[size_ - 1];
+  --size_;
 }
 
 bool View::removeNode(NodeId node) {
@@ -37,14 +54,15 @@ bool View::removeNode(NodeId node) {
 }
 
 void View::incrementAges() noexcept {
-  for (auto& e : entries_) ++e.age;
+  PeerDescriptor* e = data();
+  for (std::size_t i = 0; i < size_; ++i) ++e[i].age;
 }
 
 std::vector<PeerDescriptor> View::randomEntries(std::size_t count,
                                                 NodeId exclude,
                                                 Rng& rng) const {
   std::vector<PeerDescriptor> pool;
-  pool.reserve(entries_.size());
+  pool.reserve(size_);
   randomEntriesInto(count, exclude, rng, pool);
   return pool;
 }
@@ -52,8 +70,9 @@ std::vector<PeerDescriptor> View::randomEntries(std::size_t count,
 void View::randomEntriesInto(std::size_t count, NodeId exclude, Rng& rng,
                              std::vector<PeerDescriptor>& out) const {
   out.clear();
-  for (const auto& e : entries_)
-    if (e.node != exclude) out.push_back(e);
+  const PeerDescriptor* e = data();
+  for (std::size_t i = 0; i < size_; ++i)
+    if (e[i].node != exclude) out.push_back(e[i]);
   if (count < out.size()) {
     // Partial Fisher-Yates: the first `count` slots become the sample.
     for (std::size_t i = 0; i < count; ++i) {

@@ -6,9 +6,19 @@
 //   * at most `capacity` entries,
 //   * no entry for the owner itself,
 //   * no duplicate node ids.
+//
+// Storage: entries live in a fixed inline buffer for capacities up to
+// kInlineCapacity (the paper's view lengths fit), so a population's views
+// are one dense block inside the protocol's views_ vector — no per-view
+// heap allocation, no pointer chase on the shuffle hot path, and a
+// guaranteed no-realloc steady state. Larger capacities fall back to one
+// heap block sized exactly at construction; either way the entry buffer
+// never grows or moves after the View is built.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -23,27 +33,43 @@ using net::PeerDescriptor;
 /// Fixed-capacity set of PeerDescriptors owned by one node.
 class View {
  public:
+  /// Capacities up to this are stored inline (no heap block). Covers the
+  /// paper's view lengths (cyc = vic = 20).
+  static constexpr std::uint32_t kInlineCapacity = 20;
+
   View() = default;
 
   /// Creates an empty view owned by `owner` with the given capacity.
   View(NodeId owner, std::uint32_t capacity) : owner_(owner) {
     VS07_EXPECT(capacity > 0);
     capacity_ = capacity;
-    entries_.reserve(capacity);
+    if (capacity_ > kInlineCapacity)
+      heap_ = std::make_unique<PeerDescriptor[]>(capacity_);
   }
+
+  View(const View& other) { copyFrom(other); }
+  View& operator=(const View& other) {
+    if (this != &other) copyFrom(other);
+    return *this;
+  }
+  View(View&&) noexcept = default;
+  View& operator=(View&&) noexcept = default;
 
   NodeId owner() const noexcept { return owner_; }
   std::uint32_t capacity() const noexcept { return capacity_; }
-  std::size_t size() const noexcept { return entries_.size(); }
-  bool empty() const noexcept { return entries_.empty(); }
-  bool full() const noexcept { return entries_.size() >= capacity_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ >= capacity_; }
+
+  /// True when the entries live in the inline buffer (no heap block).
+  bool storesInline() const noexcept { return heap_ == nullptr; }
 
   std::span<const PeerDescriptor> entries() const noexcept {
-    return entries_;
+    return {data(), size_};
   }
   const PeerDescriptor& at(std::size_t i) const {
-    VS07_EXPECT(i < entries_.size());
-    return entries_[i];
+    VS07_EXPECT(i < size_);
+    return data()[i];
   }
 
   /// Index of the entry for `node`, or npos.
@@ -82,12 +108,23 @@ class View {
                          std::vector<PeerDescriptor>& out) const;
 
   /// Removes everything (node death / reset).
-  void clear() noexcept { entries_.clear(); }
+  void clear() noexcept { size_ = 0; }
 
  private:
+  const PeerDescriptor* data() const noexcept {
+    return heap_ ? heap_.get() : inline_.data();
+  }
+  PeerDescriptor* data() noexcept {
+    return heap_ ? heap_.get() : inline_.data();
+  }
+  void copyFrom(const View& other);
+
   NodeId owner_ = kNoNode;
   std::uint32_t capacity_ = 0;
-  std::vector<PeerDescriptor> entries_;
+  std::uint32_t size_ = 0;
+  std::array<PeerDescriptor, kInlineCapacity> inline_{};
+  /// Engaged only when capacity_ > kInlineCapacity; sized exactly.
+  std::unique_ptr<PeerDescriptor[]> heap_;
 };
 
 }  // namespace vs07::gossip

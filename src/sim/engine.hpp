@@ -161,6 +161,7 @@ class Engine : public TickClock {
   /// fresh phase the moment they spawn, so churn works in any mode).
   struct PhaseTracker final : MembershipObserver {
     explicit PhaseTracker(Engine& engine) : engine(engine) {}
+    void onReserve(NodeId count) override { engine.phase_.reserve(count); }
     void onSpawn(NodeId node) override { engine.assignPhase(node); }
     void onKill(NodeId /*node*/) override {}
     Engine& engine;

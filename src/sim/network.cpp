@@ -51,6 +51,7 @@ void Network::kill(NodeId node) {
 
 void Network::addObserver(MembershipObserver& observer) {
   observers_.push_back(&observer);
+  observer.onReserve(totalCreated());
   for (NodeId id = 0; id < totalCreated(); ++id)
     observer.onSpawn(id);  // announce the existing id space
 }

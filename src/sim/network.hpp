@@ -38,6 +38,13 @@ constexpr std::uint64_t populationSeed(std::uint64_t rootSeed) noexcept {
 class MembershipObserver {
  public:
   virtual ~MembershipObserver() = default;
+  /// Registration-time capacity hint: the id space already holds `count`
+  /// nodes and the onSpawn replay for them follows immediately. Observers
+  /// with per-node state should reserve exactly `count` slots here —
+  /// growing one node at a time during the replay leaves the geometric
+  /// resize overshoot (up to 2x) live in every per-node vector, which at
+  /// millions of nodes wastes hundreds of bytes per node. Default: no-op.
+  virtual void onReserve(NodeId count) { (void)count; }
   /// A node id came into existence (initial population or churn join).
   virtual void onSpawn(NodeId node) = 0;
   /// A node died (catastrophic failure or churn removal).

@@ -1,0 +1,282 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace vs07::sim {
+
+ShardedEngine::ShardedEngine(Network& network, std::uint64_t seed,
+                             std::uint32_t threads)
+    : network_(network),
+      shardCount_(threads == 0 ? 1 : threads),
+      streamSeed_(seed),
+      pool_(shardCount_) {
+  VS07_EXPECT(threads >= 1);
+  // senders_ must never reallocate: each worker's ShardContext keeps a
+  // Transport* into it.
+  senders_.resize(shardCount_);
+  workers_.reserve(shardCount_);
+  for (std::uint32_t s = 0; s < shardCount_; ++s) {
+    senders_[s].engine = this;
+    senders_[s].shard = s;
+    workers_.emplace_back(s, senders_[s]);
+    workers_[s].worklist.resize(kStepBatches);
+  }
+  outboxes_.resize(static_cast<std::size_t>(shardCount_) * 2 * shardCount_);
+  phaseFn_ = [this](std::size_t shard) { runPhase(shard); };
+  // Replays existing nodes via onSpawn, sizing the per-node counters.
+  network_.addObserver(growth_);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+void ShardedEngine::addProtocol(ShardedProtocol& protocol) {
+  protocols_.push_back(&protocol);
+  protocol.onShardedAttach(shardCount_);
+}
+
+void ShardedEngine::addControl(Control& control) {
+  controls_.push_back(&control);
+}
+
+void ShardedEngine::run(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) runOneCycle();
+}
+
+void ShardedEngine::ensureNode(NodeId node) {
+  if (node >= eventCount_.size()) {
+    eventCount_.resize(node + 1, 0);
+    sendSeq_.resize(node + 1, 0);
+  }
+}
+
+void ShardedEngine::BarrierSender::send(NodeId to, net::Message&& msg) {
+  countSend();
+  ShardedEngine& e = *engine;
+  VS07_EXPECT(msg.from < e.sendSeq_.size());
+  Bucket& bucket = e.outbox(shard, e.parity_, e.shardOf(to));
+  if (bucket.count == bucket.slots.size()) {
+    // Grow geometrically and pre-warm the new slots' payload buffers.
+    // Per-bucket traffic fluctuates cycle to cycle, so its high-water
+    // mark keeps creeping for a long time after warm-up; size-by-one
+    // growth would turn every creep into a steady-state allocation (a
+    // cold slot buffer gets swapped out to a scratch message that must
+    // then regrow). With 1.5x slack plus warm buffers, creep lands on
+    // pre-warmed slots and steady-state cycles stay allocation-free.
+    const std::size_t old = bucket.slots.size();
+    const std::size_t grown = std::max<std::size_t>(old + old / 2, 8);
+    bucket.slots.resize(grown);
+    for (std::size_t i = old; i < grown; ++i) {
+      bucket.slots[i].msg.entries.reserve(entryCap);
+      bucket.slots[i].msg.ids.reserve(idCap);
+    }
+  }
+  Pending& slot = bucket.slots[bucket.count++];
+  // Swap the payload into the recycled slot; the caller's message walks
+  // away holding the slot's previous (reset) buffers.
+  slot.msg.reset();
+  swap(slot.msg, msg);
+  // Keep every circulating buffer at the shard's high-water capacity:
+  // the buffer handed back to the caller becomes protocol scratch, and a
+  // scratch smaller than the largest message type (VICINITY offers pool
+  // ~2 view-lengths of candidates before trimming) would reallocate the
+  // next time that type fills it. Topping up here moves each buffer's
+  // one-time growth to its first circulation instead of an unbounded
+  // warm-up tail, which is what keeps steady-state cycles alloc-free.
+  entryCap = std::max(entryCap, slot.msg.entries.capacity());
+  idCap = std::max(idCap, slot.msg.ids.capacity());
+  if (msg.entries.capacity() < entryCap) msg.entries.reserve(entryCap);
+  if (msg.ids.capacity() < idCap) msg.ids.reserve(idCap);
+  slot.to = to;
+  // msg.from is owned by the acting shard (from == the stepping/replying
+  // node), so this counter increment is race-free.
+  slot.seq = e.sendSeq_[slot.msg.from]++;
+}
+
+std::uint64_t ShardedEngine::pendingAt(std::uint32_t parity) const {
+  std::uint64_t total = 0;
+  for (std::uint32_t w = 0; w < shardCount_; ++w)
+    for (std::uint32_t d = 0; d < shardCount_; ++d)
+      total += outboxes_[(w * 2 + parity) * shardCount_ + d].count;
+  return total;
+}
+
+void ShardedEngine::runOneCycle() {
+  phase_ = Phase::kWorklist;
+  pool_.parallelFor(shardCount_, phaseFn_);
+  for (std::uint32_t b = 0; b < kStepBatches; ++b) {
+    currentBatch_ = b;
+    phase_ = Phase::kStep;
+    pool_.parallelFor(shardCount_, phaseFn_);
+    // Deliver rounds until the batch quiesces (CYCLON/VICINITY: request
+    // round, then reply round, then silence).
+    while (pendingAt(parity_) > 0) {
+      parity_ ^= 1u;  // fresh sends go to the other side
+      phase_ = Phase::kDeliver;
+      pool_.parallelFor(shardCount_, phaseFn_);
+      // The side just consumed is clear for reuse (slots stay allocated).
+      const std::uint32_t consumed = parity_ ^ 1u;
+      for (std::uint32_t w = 0; w < shardCount_; ++w)
+        for (std::uint32_t d = 0; d < shardCount_; ++d) {
+          Bucket& bucket = outbox(w, consumed, d);
+          bucket.cyclePeak = std::max(bucket.cyclePeak, bucket.count);
+          bucket.count = 0;
+        }
+    }
+  }
+  // Cycle boundary: sequential, like Engine::finishCycle. Membership
+  // mutation (churn) is legal only here.
+  ++cycle_;
+  maintainBuffers();
+  for (auto* control : controls_) control->execute(cycle_);
+}
+
+void ShardedEngine::maintainBuffers() {
+  // Trim: release slots of buckets sized by a one-off burst (the star
+  // bootstrap funnels every node's first exchanges at one hub, leaving a
+  // few buckets provisioned for the whole population). Hysteresis keeps
+  // steady-state traffic from ever trimming — and thus from regrowing.
+  for (auto& bucket : outboxes_) {
+    const bool excess = bucket.slots.size() > 8 &&
+                        bucket.slots.size() > 4 * bucket.cyclePeak;
+    bucket.excessCycles = excess ? bucket.excessCycles + 1 : 0;
+    if (bucket.excessCycles >= kTrimAfterCycles) {
+      const std::size_t target =
+          std::max<std::size_t>(2 * bucket.cyclePeak, 8);
+      // Keep the first `target` slots (their payload buffers are warm);
+      // moving them into a right-sized vector releases the rest.
+      std::vector<Pending> kept(
+          std::make_move_iterator(bucket.slots.begin()),
+          std::make_move_iterator(bucket.slots.begin() + target));
+      bucket.slots = std::move(kept);
+      bucket.excessCycles = 0;
+    }
+    bucket.cyclePeak = 0;
+  }
+  // Re-warm: slots first used long after creation were pre-warmed when
+  // the high-water payload capacity was still immature; a record burst
+  // reaching them mid-run would pay a late reallocation. Whenever the
+  // cap grows (first cycles only), bring every slot buffer up to it in
+  // one sequential sweep — afterwards this is a pair of comparisons.
+  std::size_t entryCap = warmedEntryCap_;
+  std::size_t idCap = warmedIdCap_;
+  for (const auto& sender : senders_) {
+    entryCap = std::max(entryCap, sender.entryCap);
+    idCap = std::max(idCap, sender.idCap);
+  }
+  if (entryCap == warmedEntryCap_ && idCap == warmedIdCap_) return;
+  warmedEntryCap_ = entryCap;
+  warmedIdCap_ = idCap;
+  for (auto& sender : senders_) {
+    // Sync every shard to the global max so growth-time pre-warming of
+    // fresh slots (see send()) uses the mature capacity.
+    sender.entryCap = entryCap;
+    sender.idCap = idCap;
+  }
+  for (auto& bucket : outboxes_)
+    for (auto& slot : bucket.slots) {
+      if (slot.msg.entries.capacity() < entryCap)
+        slot.msg.entries.reserve(entryCap);
+      if (slot.msg.ids.capacity() < idCap) slot.msg.ids.reserve(idCap);
+    }
+}
+
+void ShardedEngine::runPhase(std::size_t shard) {
+  const auto s = static_cast<std::uint32_t>(shard);
+  switch (phase_) {
+    case Phase::kWorklist:
+      buildWorklist(s);
+      break;
+    case Phase::kStep:
+      stepPhase(s);
+      break;
+    case Phase::kDeliver:
+      deliverPhase(s);
+      break;
+  }
+}
+
+void ShardedEngine::buildWorklist(std::uint32_t shard) {
+  Worker& w = workers_[shard];
+  for (auto& bucket : w.worklist) bucket.clear();
+  // aliveIds() order is a pure function of the spawn/kill history (see
+  // Network), so every shard's worklist — and with it the node-local
+  // execution order — is identical across runs and thread counts.
+  for (const NodeId node : network_.aliveIds())
+    if (node % shardCount_ == shard) w.worklist[batchOf(node)].push_back(node);
+}
+
+void ShardedEngine::stepPhase(std::uint32_t shard) {
+  Worker& w = workers_[shard];
+  for (const NodeId node : w.worklist[currentBatch_]) {
+    for (auto* protocol : protocols_) {
+      seedEventRng(w.ctx, node);
+      protocol->shardStep(node, w.ctx);
+    }
+  }
+}
+
+void ShardedEngine::deliverPhase(std::uint32_t shard) {
+  Worker& w = workers_[shard];
+  const std::uint32_t readParity = parity_ ^ 1u;
+  // Gather the index of everything addressed to this shard. Reading other
+  // workers' read-side buckets is safe: they were last written before the
+  // barrier that started this phase, and this phase only writes the
+  // opposite parity.
+  w.inbox.clear();
+  for (std::uint32_t src = 0; src < shardCount_; ++src) {
+    const Bucket& bucket = outbox(src, readParity, shard);
+    for (std::size_t i = 0; i < bucket.count; ++i) {
+      const Pending& p = bucket.slots[i];
+      w.inbox.push_back({p.to, p.msg.from, p.seq, src,
+                         static_cast<std::uint32_t>(i)});
+    }
+  }
+  // Canonical order: by destination, then sender, then the sender's send
+  // sequence — independent of which shard buffered what.
+  std::sort(w.inbox.begin(), w.inbox.end(),
+            [](const InRef& a, const InRef& b) {
+              if (a.to != b.to) return a.to < b.to;
+              if (a.from != b.from) return a.from < b.from;
+              return a.seq < b.seq;
+            });
+  for (const InRef& ref : w.inbox) {
+    const Pending& p = outbox(ref.srcShard, readParity, shard).slots[ref.slot];
+    if (!network_.isAlive(p.to)) {
+      // Stale view entry pointed at a dead node — the message vanishes,
+      // which is exactly CYCLON's implicit failure detection.
+      ++w.droppedDead;
+      continue;
+    }
+    seedEventRng(w.ctx, p.to);
+    bool handled = false;
+    for (auto* protocol : protocols_) {
+      if (protocol->shardDeliver(p.to, p.msg, w.ctx)) {
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) ++w.droppedUnroutable;
+  }
+}
+
+std::uint64_t ShardedEngine::messagesSent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sender : senders_) total += sender.sent();
+  return total;
+}
+
+std::uint64_t ShardedEngine::droppedDead() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker.droppedDead;
+  return total;
+}
+
+std::uint64_t ShardedEngine::droppedUnroutable() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker.droppedUnroutable;
+  return total;
+}
+
+}  // namespace vs07::sim

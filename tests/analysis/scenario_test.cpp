@@ -1,6 +1,8 @@
 // ScenarioBuilder / Scenario — the experiment-facing composition root.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "analysis/experiment.hpp"
 #include "analysis/graph_analysis.hpp"
 #include "analysis/scenario.hpp"
@@ -35,8 +37,8 @@ TEST(ScenarioBuilder, SameSeedSameOverlay) {
   const auto sb = b.snapshot(Strategy::kRingCast);
   ASSERT_EQ(sa.totalIds(), sb.totalIds());
   for (NodeId id = 0; id < sa.totalIds(); ++id) {
-    EXPECT_EQ(sa.rlinks(id), sb.rlinks(id));
-    EXPECT_EQ(sa.dlinks(id), sb.dlinks(id));
+    EXPECT_TRUE(std::ranges::equal(sa.rlinks(id), sb.rlinks(id)));
+    EXPECT_TRUE(std::ranges::equal(sa.dlinks(id), sb.dlinks(id)));
   }
 }
 

@@ -54,7 +54,8 @@ class DisseminationProperties : public ::testing::TestWithParam<Param> {
     std::vector<OverlaySnapshot::NodeLinks> links;
     links.reserve(base.totalIds());
     for (NodeId id = 0; id < base.totalIds(); ++id)
-      links.push_back({base.rlinks(id), base.dlinks(id)});
+      links.push_back({{base.rlinks(id).begin(), base.rlinks(id).end()},
+                       {base.dlinks(id).begin(), base.dlinks(id).end()}});
     return {std::move(links), std::move(alive)};
   }
 

@@ -167,6 +167,84 @@ TEST(SteadyState, RedundancyRatioCountsDuplicates) {
               1e-12);
 }
 
+TEST(SteadyState, MergeFoldsCountersPeaksAndFrontiers) {
+  SteadyStateStats a;
+  a.published = 10;
+  a.retiredCompleted = 6;
+  a.retiredAgedOut = 1;
+  a.firstDeliveries = 600;
+  a.pushDeliveries = 550;
+  a.pullDeliveries = 50;
+  a.redundantDeliveries = 120;
+  a.spreadTicksTotalRetired = 70;
+  a.maxSpreadTicksRetired = 12;
+  a.trackedNow = 3;
+  a.peakTracked = 4;
+  a.trackedBitmapBytes = 180;
+  a.peakTrackedBitmapBytes = 240;
+
+  SteadyStateStats b;
+  b.published = 5;
+  b.retiredCompleted = 2;
+  b.retiredAgedOut = 2;
+  b.firstDeliveries = 200;
+  b.pushDeliveries = 200;
+  b.redundantDeliveries = 40;
+  b.spreadTicksTotalRetired = 30;
+  b.maxSpreadTicksRetired = 20;
+  b.trackedNow = 1;
+  b.peakTracked = 2;
+  b.trackedBitmapBytes = 60;
+  b.peakTrackedBitmapBytes = 120;
+
+  SteadyStateStats m = a;
+  m.merge(b);
+  // Counters add...
+  EXPECT_EQ(m.published, 15u);
+  EXPECT_EQ(m.retired(), 11u);
+  EXPECT_EQ(m.firstDeliveries, 800u);
+  EXPECT_EQ(m.pushDeliveries, 750u);
+  EXPECT_EQ(m.pullDeliveries, 50u);
+  EXPECT_EQ(m.redundantDeliveries, 160u);
+  EXPECT_EQ(m.spreadTicksTotalRetired, 100u);
+  // ...peaks take the max...
+  EXPECT_EQ(m.maxSpreadTicksRetired, 20u);
+  EXPECT_EQ(m.peakTracked, 4u);
+  EXPECT_EQ(m.peakTrackedBitmapBytes, 240u);
+  // ...and concurrent live frontiers add (the memory is held at once).
+  EXPECT_EQ(m.trackedNow, 4u);
+  EXPECT_EQ(m.trackedBitmapBytes, 240u);
+  EXPECT_NEAR(m.redundancyRatio(), 160.0 / 800.0, 1e-12);
+}
+
+TEST(SteadyState, MergeOfInstanceStatsEqualsTheCombinedAccounting) {
+  // Two independent populations vs their SteadyStateStats merged: the
+  // published/delivery counters of the union are exactly the sums.
+  LiveCast::Params params;
+  params.fanout = 3;
+  params.maxTrackedMessages = 2;
+  SteadyHarness h1(40, params, /*seed=*/1);
+  SteadyHarness h2(30, params, /*seed=*/2);
+  for (int i = 0; i < 4; ++i) h1.live.publish(0);
+  for (int i = 0; i < 3; ++i) h2.live.publish(0);
+
+  SteadyStateStats merged = h1.live.steadyStats();
+  merged.merge(h2.live.steadyStats());
+  EXPECT_EQ(merged.published, 7u);
+  EXPECT_EQ(merged.firstDeliveries, 4u * 40u + 3u * 30u);
+  EXPECT_EQ(merged.trackedNow, 4u);           // 2 tracked per instance
+  EXPECT_EQ(merged.trackedBitmapBytes, 2u * 40u + 2u * 30u);
+  EXPECT_EQ(merged.retired(), (4u - 2u) + (3u - 2u));
+
+  // Merge is associative and commutative on these integer fields.
+  SteadyStateStats other = h2.live.steadyStats();
+  other.merge(h1.live.steadyStats());
+  EXPECT_EQ(merged.published, other.published);
+  EXPECT_EQ(merged.firstDeliveries, other.firstDeliveries);
+  EXPECT_EQ(merged.peakTracked, other.peakTracked);
+  EXPECT_EQ(merged.trackedBitmapBytes, other.trackedBitmapBytes);
+}
+
 // -- TrafficSource -------------------------------------------------------
 
 TEST(TrafficSource, FixedRateAccumulatesFractionalPublishes) {

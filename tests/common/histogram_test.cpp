@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace vs07 {
 namespace {
 
@@ -43,6 +45,46 @@ TEST(CountHistogram, MergeSumsCounts) {
   EXPECT_EQ(a.count(2), 4u);
   EXPECT_EQ(a.count(5), 4u);
   EXPECT_EQ(a.total(), 10u);
+}
+
+TEST(CountHistogram, MergeAllEqualsStreamingWhole) {
+  // Integer counts: folding per-shard histograms in index order must be
+  // *exactly* the histogram of all samples streamed into one — and the
+  // fold must be order-insensitive too (commutative on integers).
+  std::vector<CountHistogram> parts(4);
+  CountHistogram whole;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t value = (i * 37) % 23;
+    whole.add(value);
+    parts[i % parts.size()].add(value);
+  }
+  const CountHistogram merged = mergeAll(parts);
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_EQ(merged.sorted(), whole.sorted());
+
+  std::vector<CountHistogram> reversed(parts.rbegin(), parts.rend());
+  EXPECT_EQ(mergeAll(reversed).sorted(), whole.sorted());
+}
+
+TEST(CountHistogram, MergeIsAssociative) {
+  CountHistogram a, b, c;
+  a.add(1, 2);
+  b.add(1, 5);
+  b.add(9, 1);
+  c.add(9, 3);
+  CountHistogram left = a;
+  left.merge(b);
+  left.merge(c);
+  CountHistogram bc = b;
+  bc.merge(c);
+  CountHistogram right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.sorted(), right.sorted());
+  EXPECT_EQ(left.total(), right.total());
+}
+
+TEST(CountHistogram, MergeAllOfEmptySpanIsEmpty) {
+  EXPECT_TRUE(mergeAll({}).empty());
 }
 
 TEST(CountHistogram, SortedAscending) {

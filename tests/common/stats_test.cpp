@@ -72,6 +72,59 @@ TEST(RunningStats, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(b.mean(), 2.0);
 }
 
+TEST(RunningStats, MergeAllFoldsInIndexOrder) {
+  // mergeAll must equal the explicit left fold — that identity is what
+  // makes per-shard reductions reproducible across thread counts.
+  Rng rng(11);
+  std::vector<RunningStats> parts(5);
+  RunningStats whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform() * 100.0 - 50.0;
+    whole.add(x);
+    parts[static_cast<std::size_t>(i) % parts.size()].add(x);
+  }
+  RunningStats fold;
+  for (const auto& part : parts) fold.merge(part);
+  const RunningStats merged = mergeAll(parts);
+  EXPECT_EQ(merged.count(), fold.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), fold.mean());
+  EXPECT_DOUBLE_EQ(merged.variance(), fold.variance());
+  EXPECT_DOUBLE_EQ(merged.min(), fold.min());
+  EXPECT_DOUBLE_EQ(merged.max(), fold.max());
+  // And it agrees with the streaming whole up to rounding.
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeIsAssociative) {
+  // (a ⊕ b) ⊕ c vs a ⊕ (b ⊕ c): exact for counts/min/max, equal to
+  // tight tolerance for the floating-point moments.
+  Rng rng(23);
+  RunningStats a, b, c;
+  for (int i = 0; i < 300; ++i) a.add(rng.uniform());
+  for (int i = 0; i < 170; ++i) b.add(rng.uniform() * 4.0);
+  for (int i = 0; i < 90; ++i) c.add(rng.uniform() - 3.0);
+  RunningStats left = a;
+  left.merge(b);
+  left.merge(c);
+  RunningStats bc = b;
+  bc.merge(c);
+  RunningStats right = a;
+  right.merge(bc);
+  EXPECT_EQ(left.count(), right.count());
+  EXPECT_DOUBLE_EQ(left.min(), right.min());
+  EXPECT_DOUBLE_EQ(left.max(), right.max());
+  EXPECT_NEAR(left.mean(), right.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), right.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeAllOfEmptySpanIsEmpty) {
+  const RunningStats merged = mergeAll({});
+  EXPECT_EQ(merged.count(), 0u);
+  EXPECT_EQ(merged.mean(), 0.0);
+}
+
 TEST(Percentile, EmptyReturnsZero) {
   EXPECT_EQ(percentile({}, 50.0), 0.0);
 }

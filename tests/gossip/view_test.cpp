@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
+#include "common/alloc_probe.hpp"
 #include "common/expect.hpp"
+#include "gossip/cyclon.hpp"
+#include "gossip/vicinity.hpp"
 
 namespace vs07::gossip {
 namespace {
@@ -167,6 +171,88 @@ TEST(View, RandomEntriesIntoMatchesAllocatingPathBitForBit) {
       EXPECT_EQ(rngOld(), rngNew());
     }
   }
+}
+
+TEST(View, InlineStorageUpToInlineCapacity) {
+  // The paper's view lengths (cyc = vic = 20) must fit the inline buffer:
+  // a population's views are then one dense block, no per-view heap.
+  EXPECT_TRUE(View(0, 1).storesInline());
+  EXPECT_TRUE(View(0, View::kInlineCapacity).storesInline());
+  EXPECT_FALSE(View(0, View::kInlineCapacity + 1).storesInline());
+  EXPECT_TRUE(View(0, Cyclon::Params{}.viewLength).storesInline());
+  EXPECT_TRUE(View(0, Vicinity::Params{}.viewLength).storesInline());
+}
+
+TEST(View, InlineViewLifecycleNeverAllocates) {
+  AllocScope scope;
+  View v(3, View::kInlineCapacity);
+  for (NodeId id = 0; id < View::kInlineCapacity; ++id)
+    v.add(entry(id == 3 ? 99 : id));
+  EXPECT_TRUE(v.full());
+  v.incrementAges();
+  v.removeAt(v.oldestIndex());
+  v.removeNode(7);
+  v.clear();
+  for (NodeId id = 100; id < 100 + View::kInlineCapacity; ++id) v.add(entry(id));
+  EXPECT_EQ(scope.allocations(), 0u)
+      << "inline-capacity views must never touch the allocator";
+}
+
+TEST(View, HeapFallbackAllocatesOnceAndRetainsCapacity) {
+  const std::uint32_t capacity = View::kInlineCapacity + 10;
+  View v(0, capacity);
+  EXPECT_FALSE(v.storesInline());
+  AllocScope scope;
+  // Fill, churn, clear, refill: the heap block was sized at construction
+  // and never grows or moves.
+  for (NodeId id = 1; id <= capacity; ++id) v.add(entry(id));
+  EXPECT_TRUE(v.full());
+  const auto* stable = v.entries().data();
+  v.clear();
+  EXPECT_EQ(v.capacity(), capacity);
+  for (NodeId id = 200; id < 200 + capacity; ++id) v.add(entry(id));
+  EXPECT_EQ(v.entries().data(), stable) << "entry buffer moved";
+  EXPECT_EQ(scope.allocations(), 0u);
+}
+
+TEST(View, CopyPreservesStorageModeAndContents) {
+  View inlineView(0, 5);
+  inlineView.add(entry(1, 4));
+  inlineView.add(entry(2, 1));
+  View inlineCopy(inlineView);
+  EXPECT_TRUE(inlineCopy.storesInline());
+  ASSERT_EQ(inlineCopy.size(), 2u);
+  EXPECT_EQ(inlineCopy.at(0), inlineView.at(0));
+  EXPECT_EQ(inlineCopy.at(1), inlineView.at(1));
+  inlineCopy.removeNode(1);
+  EXPECT_TRUE(inlineView.contains(1)) << "copies must not share storage";
+
+  View heapView(0, View::kInlineCapacity + 5);
+  for (NodeId id = 1; id <= 21; ++id) heapView.add(entry(id));
+  View heapCopy(heapView);
+  EXPECT_FALSE(heapCopy.storesInline());
+  ASSERT_EQ(heapCopy.size(), heapView.size());
+  for (std::size_t i = 0; i < heapView.size(); ++i)
+    EXPECT_EQ(heapCopy.at(i), heapView.at(i));
+  heapCopy.removeNode(1);
+  EXPECT_TRUE(heapView.contains(1));
+
+  // Assignment across storage modes.
+  inlineView = heapView;
+  EXPECT_FALSE(inlineView.storesInline());
+  EXPECT_EQ(inlineView.size(), heapView.size());
+  heapView = View(9, 3);
+  EXPECT_TRUE(heapView.storesInline());
+  EXPECT_EQ(heapView.capacity(), 3u);
+  EXPECT_EQ(heapView.owner(), 9u);
+}
+
+TEST(View, MoveTransfersEntries) {
+  View v(0, View::kInlineCapacity + 2);
+  for (NodeId id = 1; id <= 10; ++id) v.add(entry(id));
+  View moved(std::move(v));
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_TRUE(moved.contains(10));
 }
 
 TEST(View, RandomEntriesIntoReusesScratchCapacity) {
