@@ -4,9 +4,10 @@ namespace vs07::gossip {
 
 void View::copyFrom(const View& other) {
   owner_ = other.owner_;
-  capacity_ = other.capacity_;
   size_ = other.size_;
   if (other.heap_) {
+    // capacity_ still holds *this*'s old capacity here; reuse the existing
+    // block only when it is exactly the right size.
     if (!heap_ || capacity_ != other.capacity_)
       heap_ = std::make_unique<PeerDescriptor[]>(other.capacity_);
     for (std::uint32_t i = 0; i < size_; ++i) heap_[i] = other.heap_[i];
@@ -14,6 +15,7 @@ void View::copyFrom(const View& other) {
     heap_.reset();
     inline_ = other.inline_;
   }
+  capacity_ = other.capacity_;
 }
 
 std::size_t View::indexOf(NodeId node) const noexcept {

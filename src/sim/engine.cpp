@@ -16,6 +16,8 @@ Engine::Engine(Network& network, std::uint64_t seed, TimingConfig timing)
   network_.addObserver(phases_);
 }
 
+Engine::~Engine() { network_.removeObserver(phases_); }
+
 void Engine::addProtocol(CycleProtocol& protocol) {
   protocols_.push_back(&protocol);
 }

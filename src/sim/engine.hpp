@@ -84,6 +84,7 @@ class Engine : public TickClock {
   /// CycleSync timing (the paper's model) unless `timing` says otherwise.
   Engine(Network& network, std::uint64_t seed,
          TimingConfig timing = TimingConfig::cycleSync());
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;

@@ -56,4 +56,8 @@ void Network::addObserver(MembershipObserver& observer) {
     observer.onSpawn(id);  // announce the existing id space
 }
 
+void Network::removeObserver(MembershipObserver& observer) {
+  std::erase(observers_, &observer);
+}
+
 }  // namespace vs07::sim

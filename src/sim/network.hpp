@@ -120,6 +120,11 @@ class Network {
   /// via onSpawn so late registration is safe. Non-owning.
   void addObserver(MembershipObserver& observer);
 
+  /// Unregisters an observer. No-op if it was never registered, so
+  /// observers whose Network may be destroyed first can call this
+  /// unconditionally from their destructor.
+  void removeObserver(MembershipObserver& observer);
+
  private:
   Rng rng_;
   std::vector<std::uint8_t> alive_;

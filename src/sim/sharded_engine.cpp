@@ -6,13 +6,21 @@
 
 namespace vs07::sim {
 
+namespace {
+/// Validates the worker count before any member (notably the TaskPool,
+/// whose 0 means "hardware default") is constructed from it.
+std::uint32_t checkedThreads(std::uint32_t threads) {
+  VS07_EXPECT(threads >= 1);
+  return threads;
+}
+}  // namespace
+
 ShardedEngine::ShardedEngine(Network& network, std::uint64_t seed,
                              std::uint32_t threads)
     : network_(network),
-      shardCount_(threads == 0 ? 1 : threads),
+      shardCount_(checkedThreads(threads)),
       streamSeed_(seed),
       pool_(shardCount_) {
-  VS07_EXPECT(threads >= 1);
   // senders_ must never reallocate: each worker's ShardContext keeps a
   // Transport* into it.
   senders_.resize(shardCount_);
@@ -29,7 +37,12 @@ ShardedEngine::ShardedEngine(Network& network, std::uint64_t seed,
   network_.addObserver(growth_);
 }
 
-ShardedEngine::~ShardedEngine() = default;
+ShardedEngine::~ShardedEngine() {
+  // The Network is passed by reference and may outlive this engine (e.g.
+  // a Scenario rebuilding its engine); leaving growth_ registered would
+  // dangle on the next spawn/kill.
+  network_.removeObserver(growth_);
+}
 
 void ShardedEngine::addProtocol(ShardedProtocol& protocol) {
   protocols_.push_back(&protocol);

@@ -241,6 +241,38 @@ TEST(View, CopyPreservesStorageModeAndContents) {
   inlineView = heapView;
   EXPECT_FALSE(inlineView.storesInline());
   EXPECT_EQ(inlineView.size(), heapView.size());
+
+  // Heap-to-heap with mismatched capacities: the target's smaller block
+  // must be reallocated, not reused (regression: a stale capacity check
+  // once wrote past the old allocation).
+  View smallHeap(0, View::kInlineCapacity + 2);
+  for (NodeId id = 1; id <= View::kInlineCapacity + 2; ++id)
+    smallHeap.add(entry(id));
+  View bigHeap(0, View::kInlineCapacity + 30);
+  for (NodeId id = 1; id <= View::kInlineCapacity + 30; ++id)
+    bigHeap.add(entry(id));
+  smallHeap = bigHeap;
+  EXPECT_FALSE(smallHeap.storesInline());
+  EXPECT_EQ(smallHeap.capacity(), bigHeap.capacity());
+  ASSERT_EQ(smallHeap.size(), bigHeap.size());
+  for (std::size_t i = 0; i < bigHeap.size(); ++i)
+    EXPECT_EQ(smallHeap.at(i), bigHeap.at(i));
+  // And the capacity must be usable: fill the copy to the brim.
+  while (!smallHeap.full())
+    smallHeap.add(entry(static_cast<NodeId>(1000 + smallHeap.size())));
+  EXPECT_EQ(smallHeap.size(), View::kInlineCapacity + 30);
+  // Shrinking direction (big over small) must right-size too: a later
+  // add() beyond the new capacity has to trip the full() contract.
+  View donor(0, View::kInlineCapacity + 2);
+  donor.add(entry(7));
+  bigHeap = donor;
+  EXPECT_EQ(bigHeap.capacity(), View::kInlineCapacity + 2);
+  EXPECT_EQ(bigHeap.size(), 1u);
+  while (!bigHeap.full())
+    bigHeap.add(entry(static_cast<NodeId>(2000 + bigHeap.size())));
+  EXPECT_EQ(bigHeap.size(), View::kInlineCapacity + 2);
+  EXPECT_THROW(bigHeap.add(entry(3000)), ContractViolation);
+
   heapView = View(9, 3);
   EXPECT_TRUE(heapView.storesInline());
   EXPECT_EQ(heapView.capacity(), 3u);

@@ -140,6 +140,25 @@ class SequenceObserver final : public MembershipObserver {
   std::string tag_;
 };
 
+TEST(Network, RemoveObserverStopsNotifications) {
+  Network net(2, 20);
+  RecordingObserver kept;
+  RecordingObserver removed;
+  net.addObserver(kept);
+  net.addObserver(removed);
+  net.removeObserver(removed);
+  const std::size_t seen = removed.spawned.size();
+  net.spawn(1);
+  net.kill(0);
+  EXPECT_EQ(removed.spawned.size(), seen);
+  EXPECT_TRUE(removed.killed.empty());
+  EXPECT_EQ(kept.spawned.size(), 3u);
+  EXPECT_EQ(kept.killed.size(), 1u);
+  // Removing an observer that was never registered is a harmless no-op
+  // (destructors call this unconditionally).
+  net.removeObserver(removed);
+}
+
 TEST(Network, ObserversNotifiedInRegistrationOrderPerEvent) {
   Network net(2, 20);
   std::vector<std::string> log;

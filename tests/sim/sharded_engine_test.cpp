@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/expect.hpp"
 #include "net/message.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded_engine.hpp"
@@ -191,6 +192,26 @@ TEST(ShardedEngine, RunUntilStopsAtPredicate) {
       engine.runUntil([&] { return engine.cycle() >= 3; }, /*maxCycles=*/10);
   EXPECT_EQ(ran, 3u);
   EXPECT_EQ(engine.cycle(), 3u);
+}
+
+TEST(ShardedEngine, DestructionUnregistersMembershipObserver) {
+  // The Network outlives the engine here; membership mutations after the
+  // engine is gone must not reach its (destroyed) growth tracker.
+  Network network(8, 7);
+  {
+    ShardedEngine engine(network, 2, 2);
+    RecordingProtocol protocol(network, 8, /*reply=*/false);
+    engine.addProtocol(protocol);
+    engine.run(1);
+  }
+  network.spawn(1);  // would call through a dangling observer before the fix
+  network.kill(0);
+  EXPECT_EQ(network.aliveCount(), 8u);
+}
+
+TEST(ShardedEngine, ZeroThreadsIsAContractViolation) {
+  Network network(4, 7);
+  EXPECT_THROW(ShardedEngine(network, 2, 0), ContractViolation);
 }
 
 TEST(ShardedEngine, BatchAssignmentIsPartitionIndependent) {
