@@ -304,4 +304,141 @@ using analysis::progressSeries;
 using analysis::tableSeries;
 using analysis::toJson;
 
+// -- sharded-engine thread scaling (scale_sweep, timing_sensitivity) -----
+
+/// One thread-scaling sweep: identical work at 1, 2, 4, ... maxThreads
+/// workers under one timing model.
+struct ThreadScalingOptions {
+  std::uint32_t nodes = 0;
+  std::uint32_t warmupCycles = 0;
+  std::uint32_t measuredCycles = 0;
+  std::uint32_t maxThreads = 0;
+  std::uint64_t seed = 0;
+  sim::TimingConfig timing{};
+  /// Series label; benches sweeping several timing models prefix it with
+  /// the model name (kind stays "thread_scaling").
+  std::string label = "thread_scaling";
+};
+
+/// Runs the sweep, prints per-count lines, and appends a
+/// "thread_scaling" series (threads / node_cycles_per_sec / speedup_vs_1
+/// / peak_rss_bytes parallel arrays, plus the timing metadata) to
+/// `report`. Returns false when either the cross-thread message-count
+/// identity or the hardware-permitting >= 3x speedup floor is violated;
+/// the floor is enforced only at >= 8 workers on machines with the cores
+/// to back them and populations >= 1M that amortise barrier cost.
+inline bool runThreadScaling(const ThreadScalingOptions& opt,
+                             JsonReport& report) {
+  std::vector<std::uint32_t> counts{1};
+  while (counts.back() * 2 <= opt.maxThreads)
+    counts.push_back(counts.back() * 2);
+  if (counts.back() != opt.maxThreads) counts.push_back(opt.maxThreads);
+
+  std::printf("thread scaling at %u nodes (%u measured cycles/point, "
+              "%s timing, %s latency):\n",
+              opt.nodes, opt.measuredCycles, opt.timing.modeName(),
+              opt.timing.latency.name());
+  struct ThreadPoint {
+    std::uint32_t threads = 0;
+    double nodeCyclesPerSec = 0.0;
+    std::uint64_t messages = 0;
+    std::uint64_t peakRssBytes = 0;
+  };
+  std::vector<ThreadPoint> points;
+  for (const std::uint32_t threads : counts) {
+    auto scenario = analysis::Scenario::builder()
+                        .nodes(opt.nodes)
+                        .seed(opt.seed)
+                        .engineThreads(threads)
+                        .warmupCycles(opt.warmupCycles)
+                        .timing(opt.timing)
+                        .build();
+    scenario.runCycles(1);  // settle scratch/bucket capacities
+    const std::uint64_t sentBefore = scenario.gossipMessagesSent();
+    Stopwatch timer;
+    scenario.runCycles(opt.measuredCycles);
+    const double seconds = timer.seconds();
+    ThreadPoint point;
+    point.threads = threads;
+    point.nodeCyclesPerSec =
+        seconds > 0.0
+            ? static_cast<double>(opt.nodes) * opt.measuredCycles / seconds
+            : 0.0;
+    point.messages = scenario.gossipMessagesSent() - sentBefore;
+    point.peakRssBytes = peakRssBytes();
+    std::printf("  %2u thread%s: %.0f node-cycles/s, %.2fx vs 1\n", threads,
+                threads == 1 ? " " : "s", point.nodeCyclesPerSec,
+                points.empty() ? 1.0
+                               : point.nodeCyclesPerSec /
+                                     points.front().nodeCyclesPerSec);
+    points.push_back(point);
+  }
+
+  // The cheap determinism guard: identical gossip traffic at every
+  // worker count (the full bit-identity lives in the ctest suites).
+  bool ok = true;
+  for (const auto& point : points)
+    if (point.messages != points.front().messages) {
+      std::fprintf(stderr,
+                   "FAIL: %u threads sent %llu gossip messages, 1 thread "
+                   "sent %llu — sharded determinism violated\n",
+                   point.threads,
+                   static_cast<unsigned long long>(point.messages),
+                   static_cast<unsigned long long>(points.front().messages));
+      ok = false;
+    }
+
+  // Speedup floor, hardware-aware: only meaningful when the machine has
+  // the cores to back the workers and the population amortises barrier
+  // cost (a 1-core CI container skips this, a dev box enforces it).
+  const std::uint32_t hwThreads =
+      static_cast<std::uint32_t>(TaskPool::defaultThreads());
+  const ThreadPoint& top = points.back();
+  const double speedup = points.front().nodeCyclesPerSec > 0.0
+                             ? top.nodeCyclesPerSec /
+                                   points.front().nodeCyclesPerSec
+                             : 0.0;
+  if (top.threads >= 8 && hwThreads >= top.threads &&
+      opt.nodes >= 1'000'000) {
+    if (speedup < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: %.2fx speedup at %u threads (>= 3x required on "
+                   "%u-core hardware)\n",
+                   speedup, top.threads, hwThreads);
+      ok = false;
+    }
+  } else {
+    std::printf("  (speedup floor not enforced: %u hardware cores, max %u "
+                "workers, %u nodes)\n",
+                hwThreads, top.threads, opt.nodes);
+  }
+
+  Json threadsAxis = Json::array();
+  Json rate = Json::array();
+  Json speedups = Json::array();
+  Json rss = Json::array();
+  for (const auto& point : points) {
+    threadsAxis.push(point.threads);
+    rate.push(point.nodeCyclesPerSec);
+    speedups.push(points.front().nodeCyclesPerSec > 0.0
+                      ? point.nodeCyclesPerSec /
+                            points.front().nodeCyclesPerSec
+                      : 0.0);
+    rss.push(point.peakRssBytes);
+  }
+  report.addSeries(Json::object()
+                       .set("label", opt.label)
+                       .set("kind", "thread_scaling")
+                       .set("timing", JsonReport::timingJson(opt.timing))
+                       .set("nodes", opt.nodes)
+                       .set("measured_cycles", opt.measuredCycles)
+                       .set("hardware_threads", hwThreads)
+                       .set("threads", std::move(threadsAxis))
+                       .set("node_cycles_per_sec", std::move(rate))
+                       .set("speedup_vs_1", std::move(speedups))
+                       .set("peak_rss_bytes", std::move(rss)));
+  std::printf("\n");
+  return ok;
+}
+
 }  // namespace vs07::bench

@@ -92,6 +92,46 @@ BENCHMARK(BM_ShardedGossipCycle)
     ->Args({10'000, 4})
     ->Unit(benchmark::kMillisecond);
 
+void BM_ShardedGossipCycleLatency(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  const auto threads = static_cast<std::uint32_t>(state.range(1));
+  auto scenario = analysis::Scenario::builder()
+                      .nodes(nodes)
+                      .seed(7)
+                      .engineThreads(threads)
+                      .timing(sim::TimingConfig::jitteredLatency(
+                          sim::LatencyModel::uniform(1, 4)))
+                      .build();
+  // The windowed schedule keeps latency-delayed traffic in per-shard
+  // stores across cycles; a few settle cycles let the stores and due
+  // queues reach their steady capacity before the timed loop.
+  scenario.runCycles(3);
+  const std::uint64_t sentBefore = scenario.gossipMessagesSent();
+  const vs07::AllocScope allocs;
+  for (auto _ : state) scenario.runCycles(1);
+  const std::uint64_t allocDelta = allocs.allocations();
+  const auto cycles = static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations() * nodes * 2);
+  state.counters["nodes"] = nodes;
+  state.counters["engine_threads"] = threads;
+  // Same invariant as BM_ShardedGossipCycle, now for the windowed
+  // (conservative-lookahead) schedule: window scans, per-shard due
+  // queues, message-store check-in/out, and canonical-order delivery
+  // all run allocation-free once warm. The name prefix keeps this
+  // benchmark under main()'s zero-allocation gate.
+  state.counters["allocs_per_cycle"] =
+      static_cast<double>(allocDelta) / cycles;
+  state.counters["msgs_per_cycle"] =
+      static_cast<double>(scenario.gossipMessagesSent() - sentBefore) /
+      cycles;
+  state.counters["stored_in_flight"] =
+      static_cast<double>(scenario.shardedEngine()->storedInFlight());
+}
+BENCHMARK(BM_ShardedGossipCycleLatency)
+    ->Args({1'000, 2})
+    ->Args({10'000, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RingCastDissemination(benchmark::State& state) {
   const auto nodes = static_cast<std::uint32_t>(state.range(0));
   const auto fanout = static_cast<std::uint32_t>(state.range(1));
@@ -247,12 +287,12 @@ int main(int argc, char** argv) {
   }
   if (quick)
     // The 10k-node scenarios take minutes to warm up; CI smoke exercises
-    // the cheap benchmarks plus the 1k-node gossip cycles (sequential and
-    // sharded), whose allocs_per_cycle counters guard the zero-allocation
-    // hot path.
+    // the cheap benchmarks plus the 1k-node gossip cycles (sequential,
+    // sharded lockstep, and sharded windowed-latency), whose
+    // allocs_per_cycle counters guard the zero-allocation hot path.
     passthroughStore.push_back(
         "--benchmark_filter=BM_(MessageCodec|TargetSelection)"
-        "|BM_GossipCycle/1000$|BM_ShardedGossipCycle/1000/2$");
+        "|BM_GossipCycle/1000$|BM_ShardedGossipCycle(Latency)?/1000/2$");
 
   std::vector<char*> passthrough;
   for (auto& arg : passthroughStore)

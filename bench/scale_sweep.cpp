@@ -25,7 +25,9 @@
 // workers (results bit-identical to N=1 by construction) and appends a
 // thread-scaling sweep at the largest population: node-cycles/s and
 // speedup vs 1 worker at 1, 2, 4, ... N threads, with a cross-thread
-// message-count identity check as a cheap determinism guard.
+// message-count identity check as a cheap determinism guard. All three
+// --timing models shard: cyclesync runs the lockstep schedule, jittered
+// and latency run the windowed (conservative-lookahead) schedule.
 #include <algorithm>
 #include <cstdio>
 #include <stdexcept>
@@ -118,120 +120,6 @@ PointResult runPoint(const bench::Scale& scale, std::uint32_t nodes,
   return result;
 }
 
-/// The sharded-engine scaling story at one population: identical work at
-/// 1, 2, 4, ... `maxThreads` workers. Returns false when either the
-/// cross-thread message-count identity or the (hardware-permitting)
-/// speedup floor is violated.
-bool threadScaling(const bench::Scale& scale, std::uint32_t nodes,
-                   std::uint32_t warmupCycles, std::uint32_t measuredCycles,
-                   std::uint32_t maxThreads, bench::JsonReport& report) {
-  std::vector<std::uint32_t> counts{1};
-  while (counts.back() * 2 <= maxThreads) counts.push_back(counts.back() * 2);
-  if (counts.back() != maxThreads) counts.push_back(maxThreads);
-
-  std::printf("thread scaling at %u nodes (%u measured cycles/point):\n",
-              nodes, measuredCycles);
-  struct ThreadPoint {
-    std::uint32_t threads = 0;
-    double nodeCyclesPerSec = 0.0;
-    std::uint64_t messages = 0;
-    std::uint64_t peakRssBytes = 0;
-  };
-  std::vector<ThreadPoint> points;
-  for (const std::uint32_t threads : counts) {
-    auto scenario = analysis::Scenario::builder()
-                        .nodes(nodes)
-                        .seed(scale.seed)
-                        .engineThreads(threads)
-                        .warmupCycles(warmupCycles)
-                        .timing(scale.timing)
-                        .build();
-    scenario.runCycles(1);  // settle scratch/bucket capacities
-    const std::uint64_t sentBefore = scenario.gossipMessagesSent();
-    bench::Stopwatch timer;
-    scenario.runCycles(measuredCycles);
-    const double seconds = timer.seconds();
-    ThreadPoint point;
-    point.threads = threads;
-    point.nodeCyclesPerSec =
-        seconds > 0.0
-            ? static_cast<double>(nodes) * measuredCycles / seconds
-            : 0.0;
-    point.messages = scenario.gossipMessagesSent() - sentBefore;
-    point.peakRssBytes = peakRssBytes();
-    std::printf("  %2u thread%s: %.0f node-cycles/s, %.2fx vs 1\n", threads,
-                threads == 1 ? " " : "s", point.nodeCyclesPerSec,
-                points.empty() ? 1.0
-                               : point.nodeCyclesPerSec /
-                                     points.front().nodeCyclesPerSec);
-    points.push_back(point);
-  }
-
-  // The cheap determinism guard: identical gossip traffic at every
-  // worker count (the full bit-identity lives in the ctest suites).
-  bool ok = true;
-  for (const auto& point : points)
-    if (point.messages != points.front().messages) {
-      std::fprintf(stderr,
-                   "FAIL: %u threads sent %llu gossip messages, 1 thread "
-                   "sent %llu — sharded determinism violated\n",
-                   point.threads,
-                   static_cast<unsigned long long>(point.messages),
-                   static_cast<unsigned long long>(points.front().messages));
-      ok = false;
-    }
-
-  // Speedup floor, hardware-aware: only meaningful when the machine has
-  // the cores to back the workers and the population amortises barrier
-  // cost (a 1-core CI container skips this, a dev box enforces it).
-  const std::uint32_t hwThreads =
-      static_cast<std::uint32_t>(TaskPool::defaultThreads());
-  const ThreadPoint& top = points.back();
-  const double speedup = points.front().nodeCyclesPerSec > 0.0
-                             ? top.nodeCyclesPerSec /
-                                   points.front().nodeCyclesPerSec
-                             : 0.0;
-  if (top.threads >= 8 && hwThreads >= top.threads && nodes >= 1'000'000) {
-    if (speedup < 3.0) {
-      std::fprintf(stderr,
-                   "FAIL: %.2fx speedup at %u threads (>= 3x required on "
-                   "%u-core hardware)\n",
-                   speedup, top.threads, hwThreads);
-      ok = false;
-    }
-  } else {
-    std::printf("  (speedup floor not enforced: %u hardware cores, max %u "
-                "workers, %u nodes)\n",
-                hwThreads, top.threads, nodes);
-  }
-
-  Json threadsAxis = Json::array();
-  Json rate = Json::array();
-  Json speedups = Json::array();
-  Json rss = Json::array();
-  for (const auto& point : points) {
-    threadsAxis.push(point.threads);
-    rate.push(point.nodeCyclesPerSec);
-    speedups.push(points.front().nodeCyclesPerSec > 0.0
-                      ? point.nodeCyclesPerSec /
-                            points.front().nodeCyclesPerSec
-                      : 0.0);
-    rss.push(point.peakRssBytes);
-  }
-  report.addSeries(Json::object()
-                       .set("label", "thread_scaling")
-                       .set("kind", "thread_scaling")
-                       .set("nodes", nodes)
-                       .set("measured_cycles", measuredCycles)
-                       .set("hardware_threads", hwThreads)
-                       .set("threads", std::move(threadsAxis))
-                       .set("node_cycles_per_sec", std::move(rate))
-                       .set("speedup_vs_1", std::move(speedups))
-                       .set("peak_rss_bytes", std::move(rss)));
-  std::printf("\n");
-  return ok;
-}
-
 int run(const bench::Scale& scale, const std::vector<std::uint32_t>& axis,
         std::uint32_t engineThreads) {
   bench::printHeader(
@@ -255,8 +143,13 @@ int run(const bench::Scale& scale, const std::vector<std::uint32_t>& axis,
 
   bool scalingOk = true;
   if (engineThreads >= 1)
-    scalingOk = threadScaling(scale, axis.back(), warmupCycles,
-                              measuredCycles, engineThreads, report);
+    scalingOk = bench::runThreadScaling({.nodes = axis.back(),
+                                         .warmupCycles = warmupCycles,
+                                         .measuredCycles = measuredCycles,
+                                         .maxThreads = engineThreads,
+                                         .seed = scale.seed,
+                                         .timing = scale.timing},
+                                        report);
 
   Table table({"nodes", "node_cycles/s", "allocs/cycle", "msgs/cycle",
                "miss%", "last_hop", "peak_rss_mib"});
@@ -316,13 +209,6 @@ int main(int argc, char** argv) {
               "--engine-threads must be between 0 and 256");
         return threads;
       }));
-  if (engineThreads >= 1 && scale.timingName != "cyclesync") {
-    std::fprintf(stderr,
-                 "--engine-threads requires the cycle-synchronous timing "
-                 "model (got --timing %s)\n",
-                 scale.timingName.c_str());
-    return 2;
-  }
   std::vector<std::uint32_t> axis;
   if (explicitNodes)
     axis = {scale.nodes};

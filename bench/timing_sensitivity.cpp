@@ -18,7 +18,14 @@
 // ring marginally less converged, and the wave acquires a nonzero
 // duration — differences are statistical, not structural, which is
 // exactly the §7 claim.
+//
+// --engine-threads N runs every model on the sharded engine with N
+// workers (jittered/latency ride the windowed conservative-lookahead
+// schedule) and appends a thread-scaling sweep *per timing mode*
+// (series "<model>_thread_scaling"). Live waves are a sequential-engine
+// feature and are skipped in sharded runs.
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -47,7 +54,8 @@ std::vector<Model> selectModels(const CliArgs& args) {
   return {all[pick]};
 }
 
-int run(const bench::Scale& scale, const std::vector<Model>& models) {
+int run(const bench::Scale& scale, const std::vector<Model>& models,
+        std::uint32_t engineThreads) {
   bench::printHeader(
       "Timing sensitivity: effectiveness & progress across timing models",
       "§7 claims timing assumptions are immaterial: RingCast misses "
@@ -78,11 +86,13 @@ int run(const bench::Scale& scale, const std::vector<Model>& models) {
   Table waves({"timing", "publishes", "delivered%", "mean_spread_ticks",
                "mean_last_hop"});
 
+  bool scalingOk = true;
   for (const auto& model : models) {
     bench::Stopwatch modelTimer;
     auto scenario = analysis::Scenario::builder()
                         .nodes(scale.nodes)
                         .seed(scale.seed)
+                        .engineThreads(engineThreads)
                         .timing(model.config)
                         .build();
 
@@ -114,6 +124,27 @@ int run(const bench::Scale& scale, const std::vector<Model>& models) {
         bench::progressSeries(model.name + "_ringcast_f3", progress);
     progressSeries.set("timing", bench::JsonReport::timingJson(model.config));
     report.addSeries(std::move(progressSeries));
+
+    // -- per-mode thread scaling on the sharded engine -----------------
+    if (engineThreads >= 1) {
+      const std::uint32_t warmup = scale.quick ? 10 : 50;
+      const std::uint32_t measured = scale.quick ? 3 : 10;
+      scalingOk &= bench::runThreadScaling(
+          {.nodes = scale.nodes,
+           .warmupCycles = warmup,
+           .measuredCycles = measured,
+           .maxThreads = engineThreads,
+           .seed = scale.seed,
+           .timing = model.config,
+           .label = model.name + "_thread_scaling"},
+          report);
+      // Live waves are a sequential-engine feature (LiveSession rides
+      // the engine's event queue); skip them in sharded runs.
+      std::printf("%s: sweeps + thread scaling in %.2fs (live waves "
+                  "skipped: sharded run)\n",
+                  model.name.c_str(), modelTimer.seconds());
+      continue;
+    }
 
     // -- one live wave per model: extent in simulated ticks ------------
     auto& live = scenario.liveSession(
@@ -164,25 +195,40 @@ int run(const bench::Scale& scale, const std::vector<Model>& models) {
       (scale.csv ? effectiveness.renderCsv() : effectiveness.render())
           .c_str(),
       stdout);
-  std::printf("\n--- live RingCast wave (F=3) per timing model ---\n");
-  std::fputs((scale.csv ? waves.renderCsv() : waves.render()).c_str(),
-             stdout);
+  if (engineThreads == 0) {
+    std::printf("\n--- live RingCast wave (F=3) per timing model ---\n");
+    std::fputs((scale.csv ? waves.renderCsv() : waves.render()).c_str(),
+               stdout);
+  }
 
   report.write(scale);
-  return 0;
+  return scalingOk ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto parser = bench::makeParser(
+  auto parser = bench::makeParser(
       "Timing sensitivity of hybrid dissemination: Fig. 6/7-style curves "
       "under cyclesync vs jittered vs latency-laden timing (all three "
       "side by side unless --timing picks one).");
+  parser.option("engine-threads",
+                "run every model on the sharded engine with N workers "
+                "(bit-identical for any N >= 1) and append a per-mode "
+                "thread-scaling sweep; 0 = classic sequential engine "
+                "(default)");
   const auto args = parser.parseOrExit(argc, argv);
   if (!args) return 0;
   const auto scale = bench::resolveScale(*args, /*quickNodes=*/1'000,
                                          /*quickRuns=*/10);
   const auto models = bench::argOrExit([&] { return selectModels(*args); });
-  return run(scale, models);
+  const auto engineThreads = static_cast<std::uint32_t>(bench::argOrExit(
+      [&] {
+        const std::uint64_t threads = args->getUint("engine-threads", 0);
+        if (threads > 256)
+          throw std::invalid_argument(
+              "--engine-threads must be between 0 and 256");
+        return threads;
+      }));
+  return run(scale, models, engineThreads);
 }

@@ -96,6 +96,33 @@ def fail(path, message):
     return False
 
 
+def check_thread_scaling(path, entry, i):
+    """Semantic checks on one thread_scaling series (arrays already
+    validated as equal-length non-empty lists)."""
+    threads = entry["threads"]
+    if any(not isinstance(t, int) or t < 1 for t in threads):
+        return fail(path, f"series[{i}] threads must be positive integers: "
+                          f"{threads}")
+    if any(b <= a for a, b in zip(threads, threads[1:])):
+        return fail(path, f"series[{i}] threads must be strictly "
+                          f"increasing: {threads}")
+    if threads[0] != 1:
+        return fail(path, f"series[{i}] thread axis must start at 1 "
+                          f"(the speedup baseline), got {threads[0]}")
+    rates = entry["node_cycles_per_sec"]
+    if any(not isinstance(r, (int, float)) or r <= 0 for r in rates):
+        return fail(path, f"series[{i}] node_cycles_per_sec must be "
+                          f"positive: {rates}")
+    speedups = entry["speedup_vs_1"]
+    if abs(speedups[0] - 1.0) > 1e-9:
+        return fail(path, f"series[{i}] speedup_vs_1[0] must be 1.0 "
+                          f"(it is its own baseline), got {speedups[0]}")
+    if any(not isinstance(s, (int, float)) or s <= 0 for s in speedups):
+        return fail(path, f"series[{i}] speedup_vs_1 must be positive: "
+                          f"{speedups}")
+    return True
+
+
 def check(path):
     try:
         with open(path, encoding="utf-8") as handle:
@@ -162,6 +189,17 @@ def check(path):
             if len(lengths) != 1 or 0 in lengths:
                 return fail(path, f"series[{i}] ({entry['kind']}) parallel "
                                   f"arrays disagree in length: {lengths}")
+        if entry["kind"] == "thread_scaling":
+            if not check_thread_scaling(path, entry, i):
+                return False
+    # Benches emitting per-timing-mode scaling sweeps (timing_sensitivity
+    # --engine-threads) must label each one distinctly, or consumers
+    # cannot tell the modes apart.
+    scaling_labels = [entry["label"] for entry in record["series"]
+                      if entry.get("kind") == "thread_scaling"]
+    if len(scaling_labels) != len(set(scaling_labels)):
+        return fail(path, f"duplicate thread_scaling labels: "
+                          f"{sorted(scaling_labels)}")
     print(f"OK   {path}: bench={record['bench']} "
           f"series={len(record['series'])} "
           f"threads={record['threads']} "

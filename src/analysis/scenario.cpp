@@ -83,15 +83,17 @@ struct Scenario::Core {
         killRng(mix64(c.seed ^ 0xFA11EDULL)) {
     if (model) latency->setNetworkModel(model.get());
     if (c.engineThreads >= 1) {
-      VS07_EXPECT(c.timing.mode == sim::TimingMode::kCycleSync &&
-                  c.timing.latency.kind == sim::LatencyModel::Kind::kNone &&
-                  !c.network.any() && !c.delayedTransport &&
+      VS07_EXPECT(!c.network.any() && !c.delayedTransport &&
                   c.dropProbability == 0.0 &&
-                  "the sharded engine runs the cycle-synchronous, "
-                  "latency-free model only");
+                  "the sharded engine runs without link-level network "
+                  "conditions or the legacy delayed/lossy transports");
+      VS07_EXPECT((c.timing.mode == sim::TimingMode::kJitteredPeriodic ||
+                   c.timing.latency.kind == sim::LatencyModel::Kind::kNone) &&
+                  "sharded CycleSync is latency-free; use jittered timing "
+                  "for latency models");
       sharded = std::make_unique<sim::ShardedEngine>(
           network, mix64(c.seed ^ 0x73686172ULL),  // "shar"
-          c.engineThreads);
+          c.engineThreads, c.timing);
       sharded->addProtocol(cyclon);
       sharded->addProtocol(rings);
     } else {

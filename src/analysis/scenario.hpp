@@ -64,9 +64,11 @@ class Scenario {
     /// 0 = the classic sequential Engine. >= 1 selects the sharded
     /// engine with that many worker threads (sim/sharded_engine.hpp);
     /// results are bit-identical for any value >= 1, so determinism
-    /// tests can compare 1 vs 8. Requires the cycle-synchronous,
-    /// latency-free model (no network conditions, no delayed/lossy
-    /// transport) and has no live-session support.
+    /// tests can compare 1 vs 8. Supports CycleSync (latency-free) and
+    /// JitteredPeriodic timing with or without a LatencyModel (the
+    /// windowed schedule); link-level network conditions and the legacy
+    /// delayed/lossy transports remain sequential-only, as do live
+    /// sessions.
     std::uint32_t engineThreads = 0;
 
     // -- timing model (engine timers + optional message latency) --------
@@ -268,8 +270,10 @@ class ScenarioBuilder {
   ScenarioBuilder& nodes(std::uint32_t n);
   ScenarioBuilder& seed(std::uint64_t s);
   /// Run all cycles on the sharded engine with `threads` workers
-  /// (bit-identical for any threads >= 1). Only the cycle-synchronous,
-  /// latency-free model is supported in this mode.
+  /// (bit-identical for any threads >= 1). Supports CycleSync and the
+  /// jittered timing modes, including message latency (windowed
+  /// execution); network conditions and the legacy delayed/lossy
+  /// transports stay sequential-only.
   ScenarioBuilder& engineThreads(std::uint32_t threads);
   ScenarioBuilder& rings(std::uint32_t count);
   ScenarioBuilder& warmupCycles(std::uint32_t cycles);

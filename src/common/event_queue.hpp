@@ -10,9 +10,12 @@
 // which is what every determinism suite in this repo leans on.
 //
 // Used by sim::Engine as the simulation core and by net::DelayedTransport
-// as its delivery queue (one scheduler implementation, two clocks).
+// as its delivery queue (one scheduler implementation, two clocks). The
+// parallel engine (sim::ShardedEngine) replaces the single global queue
+// with one ShardDeliveryQueue per shard plus a horizon query — see below.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -92,6 +95,61 @@ class EventQueue {
   std::priority_queue<Event, std::vector<Event>, After> heap_;
   std::uint64_t now_ = 0;
   std::uint64_t nextSeq_ = 0;
+};
+
+/// Shard-local due-tick queue for the windowed parallel engine
+/// (sim::ShardedEngine): a min-heap keyed on dueTick alone. Each shard
+/// stores the in-flight messages addressed to its own nodes here; the
+/// coordinator's safe horizon for the next execution window is
+/// min over shards of nextDueTickOr(...) combined with the next timer
+/// tick, plus the model lookahead. Within one tick the caller re-sorts
+/// the popped items into its canonical (to, from, seq) delivery order,
+/// so heap tie-breaking never leaks into results. The backing vector
+/// keeps its capacity across pops — steady-state traffic allocates
+/// nothing once the high-water mark is reached.
+template <typename Item>
+class ShardDeliveryQueue {
+ public:
+  void push(std::uint64_t dueTick, Item item) {
+    heap_.push_back(Entry{dueTick, std::move(item)});
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Pre-sizes the backing vector (slack over the in-flight record, so
+  /// a new record reached mid-window doesn't reallocate mid-cycle).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+  std::size_t capacity() const noexcept { return heap_.capacity(); }
+
+  /// Due tick of the earliest pending item, or `fallback` when empty —
+  /// the horizon query the coordinator runs between barriers.
+  std::uint64_t nextDueTickOr(std::uint64_t fallback) const noexcept {
+    return heap_.empty() ? fallback : heap_.front().dueTick;
+  }
+
+  /// Pops every item with dueTick <= tick, appending to `out` in
+  /// unspecified order (callers sort into their canonical order).
+  void popDueInto(std::uint64_t tick, std::vector<Item>& out) {
+    while (!heap_.empty() && heap_.front().dueTick <= tick) {
+      std::pop_heap(heap_.begin(), heap_.end(), After{});
+      out.push_back(std::move(heap_.back().item));
+      heap_.pop_back();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t dueTick;
+    Item item;
+  };
+  struct After {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      return a.dueTick > b.dueTick;
+    }
+  };
+  std::vector<Entry> heap_;
 };
 
 }  // namespace vs07

@@ -53,6 +53,7 @@ class MessagePool {
     live_[slot] = 1;
     to_[slot] = to;
     ++inUse_;
+    if (inUse_ > peakInUse_) peakInUse_ = inUse_;
     Message& stored = slots_[slot];
     stored.reset();
     stored.kind = msg.kind;
@@ -98,8 +99,28 @@ class MessagePool {
     free_.push_back(slot);
   }
 
+  /// Pre-creates free slots — payload buffers reserved to the given
+  /// capacities — until the pool holds at least `target` slots. A fresh
+  /// slot minted by checkIn() starts with cold buffers and swaps the
+  /// sender's warm buffer away, so an in-flight record reached mid-cycle
+  /// costs several allocations; growing to the record *with slack* at a
+  /// quiet moment (cycle boundaries) keeps later records on warm slots.
+  void reserveWarm(std::size_t target, std::size_t entryCapacity,
+                   std::size_t idCapacity) {
+    while (slots_.size() < target) {
+      Message& slot = slots_.emplace_back();
+      slot.entries.reserve(entryCapacity);
+      slot.ids.reserve(idCapacity);
+      live_.push_back(0);
+      to_.push_back(kNoNode);
+      free_.push_back(static_cast<Slot>(slots_.size() - 1));
+    }
+  }
+
   /// Slots currently checked in (queued messages).
   std::size_t inUse() const noexcept { return inUse_; }
+  /// High-water mark of simultaneously checked-in slots.
+  std::size_t peakInUse() const noexcept { return peakInUse_; }
   /// Slots ever created; stops growing once traffic reaches steady state.
   std::size_t capacity() const noexcept { return slots_.size(); }
   /// checkIn() calls served from the freelist rather than a fresh slot.
@@ -113,6 +134,7 @@ class MessagePool {
   /// Per-slot destination (valid while live).
   std::vector<NodeId> to_;
   std::size_t inUse_ = 0;
+  std::size_t peakInUse_ = 0;
   std::uint64_t recycled_ = 0;
 };
 

@@ -13,25 +13,59 @@ std::uint32_t checkedThreads(std::uint32_t threads) {
   VS07_EXPECT(threads >= 1);
   return threads;
 }
+
+/// Validates the timing configuration up front: the lockstep CycleSync
+/// schedule has no tick axis to delay messages along, so a latency model
+/// requires jittered timing (where the windowed schedule handles it).
+TimingConfig checkedTiming(TimingConfig timing) {
+  VS07_EXPECT(timing.ticksPerCycle >= 1);
+  VS07_EXPECT((timing.mode == TimingMode::kJitteredPeriodic ||
+               timing.latency.kind == LatencyModel::Kind::kNone) &&
+              "sharded CycleSync is latency-free; use jittered timing "
+              "for latency models");
+  return timing;
+}
+
+/// Canonical delivery order within one tick: by destination, then
+/// sender, then the sender's send sequence — independent of which shard
+/// buffered what and of heap pop order.
+struct CanonicalOrder {
+  template <typename Ref>
+  bool operator()(const Ref& a, const Ref& b) const noexcept {
+    if (a.to != b.to) return a.to < b.to;
+    if (a.from != b.from) return a.from < b.from;
+    return a.seq < b.seq;
+  }
+};
 }  // namespace
 
 ShardedEngine::ShardedEngine(Network& network, std::uint64_t seed,
-                             std::uint32_t threads)
+                             std::uint32_t threads, TimingConfig timing)
     : network_(network),
       shardCount_(checkedThreads(threads)),
       streamSeed_(seed),
+      timing_(checkedTiming(timing)),
       pool_(shardCount_) {
   // senders_ must never reallocate: each worker's ShardContext keeps a
   // Transport* into it.
   senders_.resize(shardCount_);
+  // Lockstep cycles bucket the worklist by step batch; the windowed
+  // schedule buckets by timer phase offset (one bucket per tick of the
+  // cycle span — the per-tick population N*threads/span is what bounds
+  // in-flight traffic there, no sub-batching needed).
+  const std::size_t worklistBuckets =
+      timing_.mode == TimingMode::kCycleSync ? kStepBatches
+                                             : timing_.ticksPerCycle;
   workers_.reserve(shardCount_);
   for (std::uint32_t s = 0; s < shardCount_; ++s) {
     senders_[s].engine = this;
     senders_[s].shard = s;
     workers_.emplace_back(s, senders_[s]);
-    workers_[s].worklist.resize(kStepBatches);
+    workers_[s].worklist.resize(worklistBuckets);
+    senders_[s].ctx = &workers_[s].ctx;
   }
   outboxes_.resize(static_cast<std::size_t>(shardCount_) * 2 * shardCount_);
+  offsetOccupied_.resize(timing_.ticksPerCycle, 0);
   phaseFn_ = [this](std::size_t shard) { runPhase(shard); };
   // Replays existing nodes via onSpawn, sizing the per-node counters.
   network_.addObserver(growth_);
@@ -86,6 +120,12 @@ void ShardedEngine::BarrierSender::send(NodeId to, net::Message&& msg) {
     }
   }
   Pending& slot = bucket.slots[bucket.count++];
+  // Arrival tick: latency drawn from the acting node's event stream, in
+  // send order, interleaved with the protocol's own draws — part of the
+  // per-node stream, so independent of thread count. Under CycleSync
+  // latency is kNone (ctor contract) and draw() consumes no randomness,
+  // keeping the lockstep schedule's draws bit-identical.
+  slot.dueTick = e.currentTick_ + e.timing_.latency.draw(ctx->rng());
   // Swap the payload into the recycled slot; the caller's message walks
   // away holding the slot's previous (reset) buffers.
   slot.msg.reset();
@@ -116,6 +156,14 @@ std::uint64_t ShardedEngine::pendingAt(std::uint32_t parity) const {
 }
 
 void ShardedEngine::runOneCycle() {
+  if (timing_.mode == TimingMode::kCycleSync) {
+    runLockstepCycle();
+  } else {
+    runJitteredCycle();
+  }
+}
+
+void ShardedEngine::runLockstepCycle() {
   phase_ = Phase::kWorklist;
   pool_.parallelFor(shardCount_, phaseFn_);
   for (std::uint32_t b = 0; b < kStepBatches; ++b) {
@@ -145,6 +193,75 @@ void ShardedEngine::runOneCycle() {
   for (auto* control : controls_) control->execute(cycle_);
 }
 
+void ShardedEngine::runJitteredCycle() {
+  const std::uint64_t start = cycleStartTick_;
+  const std::uint32_t span = timing_.ticksPerCycle;
+  const std::uint64_t end = start + span;
+  const std::uint32_t lookahead = timing_.latency.minLatencyTicks();
+
+  phase_ = Phase::kWorklist;
+  pool_.parallelFor(shardCount_, phaseFn_);
+  // Coordinator aggregate: which phase offsets have timers anywhere.
+  // (assign() reuses the vector's capacity — no steady-state allocation.)
+  offsetOccupied_.assign(span, 0);
+  for (const auto& w : workers_)
+    for (std::uint32_t o = 0; o < span; ++o)
+      if (!w.worklist[o].empty()) offsetOccupied_[o] = 1;
+
+  std::uint32_t nextOffset = 0;  // earliest timer offset not yet executed
+  while (true) {
+    while (nextOffset < span && !offsetOccupied_[nextOffset]) ++nextOffset;
+    // Next event time across all shards: the earlier of the next
+    // occupied timer tick and the earliest stored delivery. Stored
+    // entries due past the cycle end stay parked — they carry over to a
+    // later cycle's windows (in-flight traffic crosses cycle
+    // boundaries; the killed-destination check at delivery handles
+    // churn in between).
+    std::uint64_t nextTime = nextOffset < span ? start + nextOffset : end;
+    for (const auto& w : workers_)
+      nextTime = std::min(nextTime, w.dueQueue.nextDueTickOr(end));
+    if (nextTime >= end) break;
+    // Safe horizon: everything below min(next event) + lookahead can run
+    // without coordination — any send inside the window arrives at
+    // dueTick >= sendTick + lookahead >= horizon. Lookahead 0 (no
+    // latency model: sends are immediate) degrades to a 1-tick window
+    // whose same-tick request/reply cascade runs as sub-rounds below.
+    const std::uint64_t horizon =
+        lookahead == 0 ? nextTime + 1
+                       : std::min<std::uint64_t>(nextTime + lookahead, end);
+    for (std::uint64_t t = nextTime; t < horizon; ++t) {
+      currentTick_ = t;
+      phase_ = Phase::kWindowTick;
+      pool_.parallelFor(shardCount_, phaseFn_);
+      if (lookahead == 0) {
+        // Sub-rounds until the tick quiesces: immediate replies land at
+        // the same tick, anything a latency draw pushed later was parked
+        // in the stores by deliverNowPhase.
+        while (pendingAt(parity_) > 0) {
+          parity_ ^= 1u;
+          phase_ = Phase::kDeliverNow;
+          pool_.parallelFor(shardCount_, phaseFn_);
+        }
+      } else {
+        // Everything sent this tick is due at or past the horizon: park
+        // it in the destination shards' stores before the next tick's
+        // horizon query looks at the due queues.
+        parity_ ^= 1u;
+        phase_ = Phase::kIngest;
+        pool_.parallelFor(shardCount_, phaseFn_);
+      }
+      nextOffset =
+          std::max(nextOffset, static_cast<std::uint32_t>(t - start) + 1);
+    }
+  }
+  currentTick_ = end;
+  cycleStartTick_ = end;
+  // Cycle boundary: sequential, exactly like the lockstep schedule.
+  ++cycle_;
+  maintainBuffers();
+  for (auto* control : controls_) control->execute(cycle_);
+}
+
 void ShardedEngine::maintainBuffers() {
   // Trim: release slots of buckets sized by a one-off burst (the star
   // bootstrap funnels every node's first exchanges at one hub, leaving a
@@ -165,7 +282,6 @@ void ShardedEngine::maintainBuffers() {
       bucket.slots = std::move(kept);
       bucket.excessCycles = 0;
     }
-    bucket.cyclePeak = 0;
   }
   // Re-warm: slots first used long after creation were pre-warmed when
   // the high-water payload capacity was still immature; a record burst
@@ -178,6 +294,44 @@ void ShardedEngine::maintainBuffers() {
     entryCap = std::max(entryCap, sender.entryCap);
     idCap = std::max(idCap, sender.idCap);
   }
+  // Windowed-schedule slack: per-tick bucket traffic varies with every
+  // cycle's latency draws (delivery ticks move, and replies move with
+  // them), so per-bucket records keep creeping long after warm-up — and
+  // a record reached mid-cycle grows the bucket then, inside the
+  // parallel hot path. Growing here instead, at the sequential cycle
+  // boundary, absorbs the creep; the trigger-at-2x / grow-to-3x band
+  // (inside trim's 4x ceiling, so growth and trim never oscillate)
+  // keeps the boundary growth itself from firing on every +1 creep. A
+  // mid-cycle growth would then need the record to jump past 2x, which
+  // stationary traffic does not do. The lockstep schedule consumes
+  // buckets once per batch, not per tick, and peaks during warm-up — no
+  // slack needed there (and none taken: at 10M nodes tripling every
+  // bucket is real memory).
+  if (timing_.mode != TimingMode::kCycleSync) {
+    for (auto& bucket : outboxes_) {
+      if (bucket.cyclePeak > 0 && bucket.slots.size() < 2 * bucket.cyclePeak) {
+        const std::size_t old = bucket.slots.size();
+        bucket.slots.resize(3 * bucket.cyclePeak);
+        for (std::size_t i = old; i < bucket.slots.size(); ++i) {
+          bucket.slots[i].msg.entries.reserve(entryCap);
+          bucket.slots[i].msg.ids.reserve(idCap);
+        }
+      }
+    }
+    // In-flight store slack, same reasoning: the record of messages
+    // stored simultaneously shifts with arrival peaks, and a cold pool
+    // slot minted at a mid-cycle record swaps the sender's warm buffer
+    // away (see MessagePool::reserveWarm).
+    for (auto& w : workers_) {
+      const std::size_t peak = w.store.peakInUse();
+      if (peak == 0) continue;
+      if (w.store.capacity() < 2 * peak)
+        w.store.reserveWarm(3 * peak, entryCap, idCap);
+      if (w.dueQueue.capacity() < 2 * peak) w.dueQueue.reserve(3 * peak);
+      if (w.dueScratch.capacity() < 2 * peak) w.dueScratch.reserve(3 * peak);
+    }
+  }
+  for (auto& bucket : outboxes_) bucket.cyclePeak = 0;
   if (entryCap == warmedEntryCap_ && idCap == warmedIdCap_) return;
   warmedEntryCap_ = entryCap;
   warmedIdCap_ = idCap;
@@ -207,6 +361,15 @@ void ShardedEngine::runPhase(std::size_t shard) {
     case Phase::kDeliver:
       deliverPhase(s);
       break;
+    case Phase::kWindowTick:
+      windowTickPhase(s);
+      break;
+    case Phase::kDeliverNow:
+      deliverNowPhase(s);
+      break;
+    case Phase::kIngest:
+      ingestPhase(s);
+      break;
   }
 }
 
@@ -216,8 +379,15 @@ void ShardedEngine::buildWorklist(std::uint32_t shard) {
   // aliveIds() order is a pure function of the spawn/kill history (see
   // Network), so every shard's worklist — and with it the node-local
   // execution order — is identical across runs and thread counts.
-  for (const NodeId node : network_.aliveIds())
-    if (node % shardCount_ == shard) w.worklist[batchOf(node)].push_back(node);
+  if (timing_.mode == TimingMode::kCycleSync) {
+    for (const NodeId node : network_.aliveIds())
+      if (node % shardCount_ == shard)
+        w.worklist[batchOf(node)].push_back(node);
+  } else {
+    for (const NodeId node : network_.aliveIds())
+      if (node % shardCount_ == shard)
+        w.worklist[timerPhaseOf(node)].push_back(node);
+  }
 }
 
 void ShardedEngine::stepPhase(std::uint32_t shard) {
@@ -248,12 +418,7 @@ void ShardedEngine::deliverPhase(std::uint32_t shard) {
   }
   // Canonical order: by destination, then sender, then the sender's send
   // sequence — independent of which shard buffered what.
-  std::sort(w.inbox.begin(), w.inbox.end(),
-            [](const InRef& a, const InRef& b) {
-              if (a.to != b.to) return a.to < b.to;
-              if (a.from != b.from) return a.from < b.from;
-              return a.seq < b.seq;
-            });
+  std::sort(w.inbox.begin(), w.inbox.end(), CanonicalOrder{});
   for (const InRef& ref : w.inbox) {
     const Pending& p = outbox(ref.srcShard, readParity, shard).slots[ref.slot];
     if (!network_.isAlive(p.to)) {
@@ -274,6 +439,111 @@ void ShardedEngine::deliverPhase(std::uint32_t shard) {
   }
 }
 
+void ShardedEngine::windowTickPhase(std::uint32_t shard) {
+  Worker& w = workers_[shard];
+  // Deliveries before timers within a tick — the same intra-tick
+  // priority order as the sequential engine's event queue.
+  w.dueScratch.clear();
+  w.dueQueue.popDueInto(currentTick_, w.dueScratch);
+  std::sort(w.dueScratch.begin(), w.dueScratch.end(), CanonicalOrder{});
+  for (const StoreRef& ref : w.dueScratch) {
+    if (!network_.isAlive(ref.to)) {
+      // The destination died (churn at a cycle boundary) while the
+      // message was in flight — implicit failure detection, as in the
+      // lockstep deliver phase.
+      ++w.droppedDead;
+      w.store.release(ref.slot);
+      continue;
+    }
+    net::Message& msg = w.store.at(ref.slot);
+    seedEventRng(w.ctx, ref.to);
+    bool handled = false;
+    for (auto* protocol : protocols_) {
+      if (protocol->shardDeliver(ref.to, msg, w.ctx)) {
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) ++w.droppedUnroutable;
+    w.store.release(ref.slot);
+  }
+  // This tick's node timers. Worklists are rebuilt from aliveIds() each
+  // cycle and membership mutates only at cycle boundaries, so every
+  // listed node is alive.
+  const auto offset = static_cast<std::uint32_t>(currentTick_ -
+                                                 cycleStartTick_);
+  for (const NodeId node : w.worklist[offset]) {
+    for (auto* protocol : protocols_) {
+      seedEventRng(w.ctx, node);
+      protocol->shardStep(node, w.ctx);
+    }
+  }
+}
+
+void ShardedEngine::deliverNowPhase(std::uint32_t shard) {
+  Worker& w = workers_[shard];
+  const std::uint32_t readParity = parity_ ^ 1u;
+  w.inbox.clear();
+  for (std::uint32_t src = 0; src < shardCount_; ++src) {
+    Bucket& bucket = outbox(src, readParity, shard);
+    for (std::size_t i = 0; i < bucket.count; ++i) {
+      Pending& p = bucket.slots[i];
+      if (p.dueTick > currentTick_) {
+        // A latency draw pushed this arrival past the current tick: park
+        // it in the store; a later window's tick delivers it. (checkIn
+        // swaps buffers, leaving the outbox slot warm for reuse.)
+        const NodeId from = p.msg.from;
+        const net::MessagePool::Slot slot = w.store.checkIn(p.to, p.msg);
+        w.dueQueue.push(p.dueTick, StoreRef{p.to, from, p.seq, slot});
+      } else {
+        w.inbox.push_back({p.to, p.msg.from, p.seq, src,
+                           static_cast<std::uint32_t>(i)});
+      }
+    }
+  }
+  std::sort(w.inbox.begin(), w.inbox.end(), CanonicalOrder{});
+  for (const InRef& ref : w.inbox) {
+    const Pending& p = outbox(ref.srcShard, readParity, shard).slots[ref.slot];
+    if (!network_.isAlive(p.to)) {
+      ++w.droppedDead;
+      continue;
+    }
+    seedEventRng(w.ctx, p.to);
+    bool handled = false;
+    for (auto* protocol : protocols_) {
+      if (protocol->shardDeliver(p.to, p.msg, w.ctx)) {
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) ++w.droppedUnroutable;
+  }
+  // Reset the consumed read-side buckets (dst-owned here: each bucket is
+  // read by exactly one destination shard, and the coordinator's
+  // pendingAt() check runs after the barrier). Slots stay allocated.
+  for (std::uint32_t src = 0; src < shardCount_; ++src) {
+    Bucket& bucket = outbox(src, readParity, shard);
+    bucket.cyclePeak = std::max(bucket.cyclePeak, bucket.count);
+    bucket.count = 0;
+  }
+}
+
+void ShardedEngine::ingestPhase(std::uint32_t shard) {
+  Worker& w = workers_[shard];
+  const std::uint32_t readParity = parity_ ^ 1u;
+  for (std::uint32_t src = 0; src < shardCount_; ++src) {
+    Bucket& bucket = outbox(src, readParity, shard);
+    for (std::size_t i = 0; i < bucket.count; ++i) {
+      Pending& p = bucket.slots[i];
+      const NodeId from = p.msg.from;
+      const net::MessagePool::Slot slot = w.store.checkIn(p.to, p.msg);
+      w.dueQueue.push(p.dueTick, StoreRef{p.to, from, p.seq, slot});
+    }
+    bucket.cyclePeak = std::max(bucket.cyclePeak, bucket.count);
+    bucket.count = 0;
+  }
+}
+
 std::uint64_t ShardedEngine::messagesSent() const noexcept {
   std::uint64_t total = 0;
   for (const auto& sender : senders_) total += sender.sent();
@@ -289,6 +559,12 @@ std::uint64_t ShardedEngine::droppedDead() const noexcept {
 std::uint64_t ShardedEngine::droppedUnroutable() const noexcept {
   std::uint64_t total = 0;
   for (const auto& worker : workers_) total += worker.droppedUnroutable;
+  return total;
+}
+
+std::size_t ShardedEngine::storedInFlight() const noexcept {
+  std::size_t total = 0;
+  for (const auto& worker : workers_) total += worker.dueQueue.size();
   return total;
 }
 

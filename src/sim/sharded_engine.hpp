@@ -36,19 +36,53 @@
 // independent while bounding in-flight traffic to population/kStepBatches
 // exchanges. All buffers (outboxes, inbox indexes, worklists, payload
 // slots) are recycled, so a steady-state cycle allocates nothing.
+//
+// Windowed execution (JitteredPeriodic, with or without latency): the
+// lockstep schedule above assumes all timers coincide. Under jittered
+// timing the engine instead runs conservative windowed PDES over
+// per-shard event state — each shard keeps the in-flight messages due at
+// its own nodes in a ShardDeliveryQueue, and node timers fire at
+// per-node phase offsets within the cycle's ticksPerCycle-tick span. At
+// each barrier the coordinator computes the global safe horizon
+//
+//   horizon = min(next event time across shards) + lookahead,
+//
+// where the next event time is the earlier of the next occupied timer
+// tick and the earliest stored delivery, and the lookahead is the
+// minimum cross-shard message latency (LatencyModel::minLatencyTicks()).
+// Every tick below the horizon executes without further coordination:
+// any message sent at tick t inside the window arrives no earlier than
+// t + lookahead >= horizon, so nothing sent in-window can become due
+// in-window. Cross-shard sends buffer into the same parity outboxes as
+// the lockstep path and merge at the window barrier in canonical
+// (to, from, sender-seq) order. Latency-free jittered timing has
+// lookahead 0 (sends are immediate) and degrades to 1-tick windows with
+// delivery sub-rounds until the tick quiesces — the same request/reply
+// cascade as the lockstep deliver rounds, per tick instead of per batch.
+// Timer phases are a pure function of the node id (a deriveStreamSeed
+// hash), so the event schedule — like everything else — is independent
+// of the shard layout and thread count. The jittered sharded schedule is
+// its own reference, exactly like the CycleSync sharded schedule: the
+// sequential Engine's shared instance RNGs (timer phases in spawn order,
+// latency draws in global send order) cannot be reproduced shard-locally,
+// so the determinism suites pin sharded-vs-sharded bit-identity across
+// thread counts plus macroscopic agreement with the sequential engine.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "common/event_queue.hpp"
 #include "common/rng.hpp"
 #include "common/task_pool.hpp"
 #include "net/message.hpp"
+#include "net/message_pool.hpp"
 #include "net/transport.hpp"
 #include "sim/engine.hpp"
 #include "sim/network.hpp"
 #include "sim/sharded.hpp"
+#include "sim/timing.hpp"
 
 namespace vs07::sim {
 
@@ -72,7 +106,13 @@ class ShardedEngine {
   /// bootstrap hub funnel do).
   static constexpr std::uint32_t kTrimAfterCycles = 8;
 
-  ShardedEngine(Network& network, std::uint64_t seed, std::uint32_t threads);
+  /// CycleSync timing (lockstep barriered cycles) unless `timing` says
+  /// otherwise; JitteredPeriodic (with or without a LatencyModel) runs
+  /// the windowed schedule described in the file comment. CycleSync with
+  /// a latency model is not supported sharded (the lockstep sweep has no
+  /// tick axis to delay along) — use jitteredLatency for delayed traffic.
+  ShardedEngine(Network& network, std::uint64_t seed, std::uint32_t threads,
+                TimingConfig timing = TimingConfig::cycleSync());
   ~ShardedEngine();
 
   ShardedEngine(const ShardedEngine&) = delete;
@@ -102,6 +142,12 @@ class ShardedEngine {
   /// Completed cycles.
   std::uint64_t cycle() const noexcept { return cycle_; }
 
+  /// Current simulated tick. Advances only under jittered timing (the
+  /// lockstep CycleSync schedule has no tick axis).
+  std::uint64_t tick() const noexcept { return currentTick_; }
+
+  const TimingConfig& timing() const noexcept { return timing_; }
+
   /// Worker/shard count (fixed at construction).
   std::uint32_t threadCount() const noexcept { return shardCount_; }
 
@@ -122,6 +168,21 @@ class ShardedEngine {
   /// Messages no registered protocol claimed (always 0 when wired right).
   std::uint64_t droppedUnroutable() const noexcept;
 
+  /// Latency-delayed messages currently stored across all shard queues
+  /// (in flight past the current tick; drains to zero only when traffic
+  /// stops). Always 0 under CycleSync or latency-free timing.
+  std::size_t storedInFlight() const noexcept;
+
+  /// Timer phase offset of `node` within the cycle span — a pure hash of
+  /// the node id (unlike the sequential Engine's spawn-order draws), so
+  /// the jittered event schedule is identical for every thread count.
+  std::uint32_t timerPhaseOf(NodeId node) const noexcept {
+    return static_cast<std::uint32_t>(
+        deriveStreamSeed(streamSeed_ ^ 0x7068617365ULL,  // "phase"
+                         node) %
+        timing_.ticksPerCycle);
+  }
+
   Network& network() noexcept { return network_; }
 
  private:
@@ -129,7 +190,20 @@ class ShardedEngine {
   struct Pending {
     NodeId to = kNoNode;
     std::uint32_t seq = 0;  ///< per-sender send counter (canonical tiebreak)
+    /// Arrival tick under jittered timing (send tick + latency draw);
+    /// unused by the lockstep CycleSync schedule.
+    std::uint64_t dueTick = 0;
     net::Message msg;       ///< sender id travels in msg.from
+  };
+  /// A latency-delayed message parked in a shard's delivery store: the
+  /// payload lives in the worker's MessagePool, the due tick in the
+  /// worker's ShardDeliveryQueue entry, and (from, seq) ride along for
+  /// the canonical per-tick delivery sort.
+  struct StoreRef {
+    NodeId to;
+    NodeId from;
+    std::uint32_t seq;
+    net::MessagePool::Slot slot;
   };
   /// Slot-recycled outbox bucket (one per (worker, parity, dest shard)).
   struct Bucket {
@@ -160,6 +234,10 @@ class ShardedEngine {
     void send(NodeId to, net::Message&& msg) override;
     ShardedEngine* engine = nullptr;
     std::uint32_t shard = 0;
+    /// The owning worker's context: latency draws come from the acting
+    /// node's event stream (ctx->rng()), interleaved with the protocol's
+    /// own draws in send order — deterministic for any thread count.
+    ShardContext* ctx = nullptr;
     /// High-water payload capacities seen by this shard's sends. Slot
     /// buffers circulate with protocol scratch via swap, so every buffer
     /// is topped up to these the first time it passes through send();
@@ -186,21 +264,49 @@ class ShardedEngine {
     explicit Worker(std::uint32_t shard, BarrierSender& sender)
         : ctx(shard, sender) {}
     ShardContext ctx;
-    /// This cycle's alive nodes of the shard, bucketed by step batch.
+    /// This cycle's alive nodes of the shard, bucketed by step batch
+    /// (CycleSync) or by timer phase offset (jittered).
     std::vector<std::vector<NodeId>> worklist;
     /// Sorted index of messages due at this shard in the current round.
     std::vector<InRef> inbox;
+    /// Windowed schedule only: payloads of latency-delayed messages
+    /// addressed to this shard, keyed by arrival tick in `dueQueue`.
+    net::MessagePool store;
+    ShardDeliveryQueue<StoreRef> dueQueue;
+    /// Per-tick scratch: refs popped due this tick, canonically sorted.
+    std::vector<StoreRef> dueScratch;
     std::uint64_t droppedDead = 0;
     std::uint64_t droppedUnroutable = 0;
   };
 
-  enum class Phase { kWorklist, kStep, kDeliver };
+  enum class Phase {
+    kWorklist,    ///< bucket the shard's alive nodes (both schedules)
+    kStep,        ///< lockstep: step one batch
+    kDeliver,     ///< lockstep: deliver one parity round
+    kWindowTick,  ///< windowed: due deliveries then timers at currentTick_
+    kDeliverNow,  ///< windowed, lookahead 0: same-tick delivery sub-round
+    kIngest,      ///< windowed: drain read-parity outboxes into stores
+  };
 
   void runOneCycle();
+  /// The lockstep CycleSync schedule (unchanged from the pre-windowed
+  /// engine; the determinism suites pin its results bit-for-bit).
+  void runLockstepCycle();
+  /// The windowed jittered schedule (see file comment).
+  void runJitteredCycle();
   void runPhase(std::size_t shard);
   void buildWorklist(std::uint32_t shard);
   void stepPhase(std::uint32_t shard);
   void deliverPhase(std::uint32_t shard);
+  /// Windowed: deliver everything stored due <= currentTick_ (canonical
+  /// order), then fire this tick's node timers.
+  void windowTickPhase(std::uint32_t shard);
+  /// Windowed, lookahead 0: deliver read-parity messages due at
+  /// currentTick_ in canonical order; park later-due ones in the store.
+  void deliverNowPhase(std::uint32_t shard);
+  /// Windowed, lookahead >= 1: park every read-parity message addressed
+  /// to this shard in the store (all are due at or past the horizon).
+  void ingestPhase(std::uint32_t shard);
   void ensureNode(NodeId node);
   /// Cycle-boundary buffer upkeep (sequential): re-reserves every slot
   /// buffer when the observed high-water payload capacity grew this
@@ -222,6 +328,7 @@ class ShardedEngine {
   Network& network_;
   const std::uint32_t shardCount_;
   const std::uint64_t streamSeed_;
+  const TimingConfig timing_;
   TaskPool pool_;
   GrowthTracker growth_{*this};
   std::vector<ShardedProtocol*> protocols_;
@@ -243,6 +350,12 @@ class ShardedEngine {
   std::size_t warmedIdCap_ = 0;
   std::uint32_t parity_ = 0;       ///< outbox side written by this phase
   std::uint32_t currentBatch_ = 0;
+  /// Windowed schedule state (coordinator-written between barriers).
+  std::uint64_t currentTick_ = 0;
+  std::uint64_t cycleStartTick_ = 0;
+  /// Per phase offset: 1 when any shard has timers at that offset this
+  /// cycle (coordinator aggregate of the worklists).
+  std::vector<std::uint8_t> offsetOccupied_;
   /// Single persistent phase thunk: parallelFor never boxes a fresh
   /// closure, keeping steady-state cycles allocation-free.
   Phase phase_ = Phase::kWorklist;

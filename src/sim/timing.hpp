@@ -56,8 +56,11 @@ struct LatencyModel {
   static LatencyModel uniform(std::uint32_t minTicks,
                               std::uint32_t maxTicks) {
     VS07_EXPECT(minTicks <= maxTicks);
+    // Sum in double: uint32 bounds near the top of the range would wrap
+    // if added before the division.
     return {Kind::kUniform, minTicks, maxTicks,
-            (minTicks + maxTicks) / 2.0};
+            (static_cast<double>(minTicks) + static_cast<double>(maxTicks)) /
+                2.0};
   }
   static LatencyModel exponential(double meanTicks,
                                   std::uint32_t capTicks) {
@@ -68,6 +71,16 @@ struct LatencyModel {
 
   /// Draws one latency. Deterministic in the rng stream.
   std::uint64_t draw(Rng& rng) const;
+
+  /// Smallest latency any draw can return — the conservative lookahead of
+  /// the windowed parallel engine (ShardedEngine): a message sent at tick
+  /// t arrives no earlier than t + minLatencyTicks(), so all events below
+  /// min(next event time) + minLatencyTicks() are safe to execute without
+  /// further synchronisation. kNone delivers synchronously (lookahead 0,
+  /// per-tick windows); kExponential draws are clamped up to minTicks.
+  std::uint32_t minLatencyTicks() const noexcept {
+    return kind == Kind::kNone ? 0 : minTicks;
+  }
 
   /// Stable lowercase name ("none" / "fixed" / "uniform" /
   /// "exponential") — the bench JSON metadata vocabulary.

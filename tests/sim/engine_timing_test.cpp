@@ -233,6 +233,36 @@ TEST(EngineTiming, LatencyModelValidatesItsParameters) {
   EXPECT_THROW(LatencyModel::exponential(2.0, 0), ContractViolation);
 }
 
+TEST(EngineTiming, UniformMeanComputedInDouble) {
+  // (minTicks + maxTicks) summed in uint32 would wrap for bounds near
+  // the top of the range; the mean must come out exact regardless.
+  const auto wide = LatencyModel::uniform(3'000'000'000u, 4'000'000'000u);
+  EXPECT_DOUBLE_EQ(wide.meanTicks, 3.5e9);
+  const auto degenerate = LatencyModel::uniform(4'000'000'000u,
+                                                4'000'000'000u);
+  EXPECT_DOUBLE_EQ(degenerate.meanTicks, 4e9);
+  const auto small = LatencyModel::uniform(1, 4);
+  EXPECT_DOUBLE_EQ(small.meanTicks, 2.5);
+}
+
+TEST(EngineTiming, MinLatencyTicksIsTheConservativeLookahead) {
+  // minLatencyTicks() is the windowed sharded engine's lookahead: the
+  // smallest delay any draw can return. kNone delivers synchronously
+  // (lookahead 0 — per-tick windows); kExponential clamps draws up to
+  // its floor of 1.
+  EXPECT_EQ(LatencyModel::none().minLatencyTicks(), 0u);
+  EXPECT_EQ(LatencyModel::fixed(0).minLatencyTicks(), 0u);
+  EXPECT_EQ(LatencyModel::fixed(3).minLatencyTicks(), 3u);
+  EXPECT_EQ(LatencyModel::uniform(0, 4).minLatencyTicks(), 0u);
+  EXPECT_EQ(LatencyModel::uniform(2, 9).minLatencyTicks(), 2u);
+  EXPECT_EQ(LatencyModel::exponential(4.0, 100).minLatencyTicks(), 1u);
+  // No draw can undershoot the advertised lookahead.
+  Rng rng(99);
+  const auto model = LatencyModel::uniform(2, 9);
+  for (int i = 0; i < 1000; ++i)
+    EXPECT_GE(model.draw(rng), model.minLatencyTicks());
+}
+
 // -- scenario-level pins (the ISSUE acceptance criteria) -----------------
 
 TEST(EngineTiming, JitteredStaticRingCastStillComplete) {
