@@ -64,6 +64,9 @@ PARALLEL_ARRAY_KINDS = {
     # sharded-engine scaling (bench/scale_sweep --engine-threads)
     "thread_scaling": ["threads", "node_cycles_per_sec", "speedup_vs_1",
                        "peak_rss_bytes"],
+    # search workloads over the frozen overlays (bench/search_workload)
+    "search_sweep": ["ttl", "hit_rate_percent", "cache_hit_percent",
+                     "avg_hops_to_hit", "messages_per_query"],
 }
 # Parallel-array kinds that compare dissemination strategies and must
 # carry a string 'strategy' key. Engine-level kinds (thread_scaling) run

@@ -15,6 +15,7 @@
 #include "common/histogram.hpp"
 #include "common/json.hpp"
 #include "common/table.hpp"
+#include "search/query.hpp"
 
 namespace vs07::analysis {
 
@@ -96,6 +97,38 @@ inline Json tableSeries(std::string label, const Table& table) {
       .set("kind", "table")
       .set("columns", std::move(columns))
       .set("rows", std::move(rows));
+}
+
+/// A replication-factor sweep of one search strategy as a series object:
+/// parallel arrays indexed by TTL, one series per (strategy, replication)
+/// pair. Shared by bench/search_workload and the hit-rate golden test so
+/// the regression pins the exact bytes the bench emits.
+inline Json searchSweepSeries(std::string label,
+                              const search::SearchReport& sample,
+                              const std::vector<search::SearchReport>& sweep) {
+  Json ttl = Json::array();
+  Json hitRate = Json::array();
+  Json cacheHit = Json::array();
+  Json avgHops = Json::array();
+  Json messages = Json::array();
+  for (const auto& report : sweep) {
+    ttl.push(report.ttl);
+    hitRate.push(report.hitRatePercent());
+    cacheHit.push(100.0 * report.cacheHitFraction());
+    avgHops.push(report.avgHopsToResolve());
+    messages.push(report.messagesPerQuery());
+  }
+  return Json::object()
+      .set("label", std::move(label))
+      .set("kind", "search_sweep")
+      .set("strategy", search::searchStrategyName(sample.strategy))
+      .set("replication", sample.replication)
+      .set("queries", sample.queries)
+      .set("ttl", std::move(ttl))
+      .set("hit_rate_percent", std::move(hitRate))
+      .set("cache_hit_percent", std::move(cacheHit))
+      .set("avg_hops_to_hit", std::move(avgHops))
+      .set("messages_per_query", std::move(messages));
 }
 
 }  // namespace vs07::analysis

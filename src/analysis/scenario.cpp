@@ -364,6 +364,15 @@ cast::SnapshotSession Scenario::snapshotSession(
   return cast::SnapshotSession(snapshot(options.strategy), options);
 }
 
+search::QuerySession Scenario::querySession(
+    const search::QueryOptions& options) const {
+  return search::QuerySession(snapshot(options.overlay), options);
+}
+
+search::QuerySession Scenario::querySession() const {
+  return querySession(core_->config.query);
+}
+
 cast::LiveSession& Scenario::liveSession(cast::CastOptions options) {
   VS07_EXPECT(!core_->sharded &&
               "live sessions run on the sequential engine (its tick clock "
@@ -529,6 +538,10 @@ ScenarioBuilder& ScenarioBuilder::sessionChurn(
   VS07_EXPECT(config_.churnRate == 0.0 && "pick one churn model");
   config_.sessionChurn = true;
   config_.sessions = distribution;
+  return *this;
+}
+ScenarioBuilder& ScenarioBuilder::query(search::QueryOptions options) {
+  config_.query = options;
   return *this;
 }
 ScenarioBuilder& ScenarioBuilder::noWarmup() {

@@ -24,6 +24,7 @@
 #include "cast/session.hpp"
 #include "cast/snapshot.hpp"
 #include "cast/strategy.hpp"
+#include "search/query.hpp"
 #include "gossip/cyclon.hpp"
 #include "gossip/multiring.hpp"
 #include "gossip/vicinity.hpp"
@@ -99,6 +100,9 @@ class Scenario {
     double churnRate = 0.0;       ///< per-cycle replacement fraction
     bool sessionChurn = false;    ///< heavy-tailed session-length model
     sim::SessionDistribution sessions{};
+
+    // -- default query workload (querySession() with no arguments) ------
+    search::QueryOptions query{};
   };
 
   static ScenarioBuilder builder();
@@ -255,6 +259,20 @@ class Scenario {
   /// Engine cycles from now on also run its pull heartbeat.
   cast::LiveSession& liveSession(cast::CastOptions options = {});
 
+  // -- query sessions (search/query.hpp) --------------------------------
+
+  /// Freezes the overlay `options.overlay` selects (same snapshot
+  /// vocabulary as dissemination) and returns a query session over it:
+  /// replicated content placement + TTL-limited search with
+  /// local-knowledge caches. Like snapshotSession, the session replays
+  /// over the frozen links and never touches the transport — two
+  /// scenarios with bit-identical overlays (e.g. any two
+  /// --engine-threads counts) produce bit-identical SearchReports,
+  /// which is the conformance harness's contract.
+  search::QuerySession querySession(const search::QueryOptions& options) const;
+  /// querySession with the builder-configured defaults (query() hook).
+  search::QuerySession querySession() const;
+
  private:
   friend class ScenarioBuilder;
   struct Core;
@@ -345,6 +363,11 @@ class ScenarioBuilder {
   ScenarioBuilder& churn(double ratePerCycle);
   /// Heavy-tailed session-length churn instead (bounded Pareto).
   ScenarioBuilder& sessionChurn(sim::SessionDistribution distribution);
+
+  /// Default options for Scenario::querySession() — the query() hook.
+  /// QueryOptions presets (ttlGossip / flood / randomWalk) cover the
+  /// common workloads.
+  ScenarioBuilder& query(search::QueryOptions options);
 
   /// Skip the §7 bootstrap+warm-up; call Scenario::warmup() manually.
   ScenarioBuilder& noWarmup();

@@ -40,15 +40,38 @@ std::size_t editDistance(const std::string& a, const std::string& b) {
   return row[b.size()];
 }
 
-/// The candidate within edit distance 2 of `value` (a plausible typo),
-/// or nullptr. Shared by the unknown-option and bad-choice error paths
-/// so both speak the same did-you-mean dialect.
+std::string lowered(const std::string& s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// The candidate `value` plausibly meant, or nullptr. Shared by the
+/// unknown-option and bad-choice error paths so both speak the same
+/// did-you-mean dialect. Two rules, both case-insensitive:
+///   1. a unique prefix of >= 3 chars names its completion
+///      (--search rand -> randomwalk), and
+///   2. otherwise the closest candidate within edit distance 2
+///      (a plausible typo: --search flod -> flood, FLOOD -> flood).
 const std::string* closestMatch(const std::string& value,
                                 const std::vector<std::string>& candidates) {
+  const std::string needle = lowered(value);
+  if (needle.size() >= 3) {
+    const std::string* completion = nullptr;
+    bool unique = true;
+    for (const auto& candidate : candidates) {
+      if (lowered(candidate).rfind(needle, 0) != 0) continue;
+      if (completion) unique = false;
+      completion = &candidate;
+    }
+    if (completion && unique) return completion;
+  }
   const std::string* closest = nullptr;
   auto best = std::numeric_limits<std::size_t>::max();
   for (const auto& candidate : candidates) {
-    const auto distance = editDistance(value, candidate);
+    const auto distance = editDistance(needle, lowered(candidate));
     if (distance < best) {
       best = distance;
       closest = &candidate;

@@ -1,7 +1,9 @@
 // The sharded engine's headline guarantee, asserted end-to-end: a full
 // Scenario — star bootstrap, CYCLON + VICINITY warm-up, optional churn,
 // frozen-overlay dissemination — produces bit-identical state and
-// reports for --engine-threads 1, 2, and 8.
+// reports for --engine-threads 1, 2, and 8 under every timing model.
+// The table itself (thread counts x timing models) comes from the
+// shared conformance harness; this file only states what it measures.
 #include <cstdint>
 #include <vector>
 
@@ -9,33 +11,12 @@
 
 #include "analysis/scenario.hpp"
 #include "cast/strategy.hpp"
+#include "harness/conformance.hpp"
 
 namespace vs07::analysis {
 namespace {
 
 using cast::Strategy;
-
-/// Every view entry of every node, flattened in a fixed order — the
-/// byte-level fingerprint of the whole overlay state.
-std::vector<std::uint64_t> overlayFingerprint(const Scenario& scenario) {
-  std::vector<std::uint64_t> out;
-  const auto total = scenario.network().totalCreated();
-  for (NodeId n = 0; n < total; ++n) {
-    for (const auto& e : scenario.cyclon().view(n).entries()) {
-      out.push_back(e.node);
-      out.push_back(e.age);
-      out.push_back(e.profile);
-    }
-    out.push_back(~0ULL);  // view separator
-    for (const auto& e : scenario.vicinity().view(n).entries()) {
-      out.push_back(e.node);
-      out.push_back(e.age);
-      out.push_back(e.profile);
-    }
-    out.push_back(~0ULL);
-  }
-  return out;
-}
 
 /// The fig06-style measurement: frozen-overlay RINGCAST dissemination at
 /// a few fanouts, reduced to the fields the paper's figures plot.
@@ -64,201 +45,117 @@ FigRecord figRecord(const Scenario& scenario, Strategy strategy) {
   return record;
 }
 
-Scenario buildStatic(std::uint32_t threads) {
-  return Scenario::builder()
-      .nodes(600)
-      .seed(42)
-      .engineThreads(threads)
-      .warmupCycles(60)
-      .build();
-}
+/// Everything one static run measures: byte-level overlay state, gossip
+/// traffic, in-flight storage, and the fig06-style records.
+struct StaticRecord {
+  std::vector<std::uint64_t> state;
+  std::uint64_t messages = 0;
+  std::size_t storedInFlight = 0;
+  FigRecord ring;
+  FigRecord rand;
 
-TEST(ShardedDeterminism, StaticOverlayBitIdenticalAcrossThreadCounts) {
-  const auto base = buildStatic(1);
-  const auto baseState = overlayFingerprint(base);
-  const auto baseMsgs = base.gossipMessagesSent();
-  for (const std::uint32_t threads : {2u, 8u}) {
-    const auto run = buildStatic(threads);
-    EXPECT_EQ(baseState, overlayFingerprint(run)) << "threads=" << threads;
-    EXPECT_EQ(baseMsgs, run.gossipMessagesSent()) << "threads=" << threads;
-    EXPECT_EQ(run.shardedEngine()->threadCount(), threads);
-  }
-}
-
-TEST(ShardedDeterminism, Fig06StyleRecordsBitIdenticalAcrossThreadCounts) {
-  const auto base = buildStatic(1);
-  const auto baseRing = figRecord(base, Strategy::kRingCast);
-  const auto baseRand = figRecord(base, Strategy::kRandCast);
-  for (const std::uint32_t threads : {2u, 8u}) {
-    const auto run = buildStatic(threads);
-    EXPECT_EQ(baseRing, figRecord(run, Strategy::kRingCast))
-        << "threads=" << threads;
-    EXPECT_EQ(baseRand, figRecord(run, Strategy::kRandCast))
-        << "threads=" << threads;
-  }
-}
-
-Scenario buildChurned(std::uint32_t threads) {
-  auto scenario = Scenario::builder()
-                      .nodes(400)
-                      .seed(7)
-                      .engineThreads(threads)
-                      .warmupCycles(50)
-                      .build();
-  // Heavy churn at small scale: full turnover in a few hundred cycles,
-  // exercising spawn-time bookkeeping growth and dead-node drops.
-  scenario.runChurnUntilFullTurnover(/*rate=*/0.01, /*maxCycles=*/2'000);
-  return scenario;
-}
-
-TEST(ShardedDeterminism, Fig11StyleChurnBitIdenticalAcrossThreadCounts) {
-  const auto base = buildChurned(1);
-  const auto baseState = overlayFingerprint(base);
-  const auto baseRecord = figRecord(base, Strategy::kRingCast);
-  const auto baseAlive = base.network().aliveIds();
-  const auto baseDropped = base.shardedEngine()->droppedDead();
-  ASSERT_EQ(base.network().initialSurvivors(), 0u);
-  ASSERT_GT(baseDropped, 0u);  // churn must have exercised dead drops
-  for (const std::uint32_t threads : {2u, 8u}) {
-    const auto run = buildChurned(threads);
-    EXPECT_EQ(baseAlive, run.network().aliveIds()) << "threads=" << threads;
-    EXPECT_EQ(baseState, overlayFingerprint(run)) << "threads=" << threads;
-    EXPECT_EQ(baseRecord, figRecord(run, Strategy::kRingCast))
-        << "threads=" << threads;
-    EXPECT_EQ(baseDropped, run.shardedEngine()->droppedDead())
-        << "threads=" << threads;
-  }
-}
-
-// -- windowed schedule (jittered / jittered+latency timing) -------------
-//
-// The same end-to-end guarantee for the windowed PDES schedule: overlay
-// state, fig06-style frozen-cast records and fig11-style churn outcomes
-// must be bit-identical across thread counts for jittered timing with
-// and without a latency model. (Like the CycleSync sharded schedule, the
-// windowed schedule is its own reference — the sequential Engine draws
-// timer phases and latencies from shared instance RNGs in global
-// execution order, which no shard-local schedule can reproduce — so the
-// sequential cross-check below is macroscopic, not bit-level.)
-
-sim::TimingConfig jitteredTiming() { return sim::TimingConfig::jittered(); }
-
-sim::TimingConfig latencyTiming() {
-  return sim::TimingConfig::jitteredLatency(sim::LatencyModel::uniform(1, 4));
-}
+  friend bool operator==(const StaticRecord&, const StaticRecord&) = default;
+};
 
 Scenario buildTimed(std::uint32_t threads, sim::TimingConfig timing) {
-  return Scenario::builder()
-      .nodes(600)
-      .seed(42)
-      .engineThreads(threads)
-      .warmupCycles(60)
-      .timing(timing)
-      .build();
-}
-
-TEST(ShardedDeterminism, JitteredOverlayAndRecordsBitIdentical) {
-  const auto base = buildTimed(1, jitteredTiming());
-  const auto baseState = overlayFingerprint(base);
-  const auto baseMsgs = base.gossipMessagesSent();
-  const auto baseRing = figRecord(base, Strategy::kRingCast);
-  const auto baseRand = figRecord(base, Strategy::kRandCast);
-  for (const std::uint32_t threads : {2u, 8u}) {
-    const auto run = buildTimed(threads, jitteredTiming());
-    EXPECT_EQ(baseState, overlayFingerprint(run)) << "threads=" << threads;
-    EXPECT_EQ(baseMsgs, run.gossipMessagesSent()) << "threads=" << threads;
-    EXPECT_EQ(baseRing, figRecord(run, Strategy::kRingCast))
-        << "threads=" << threads;
-    EXPECT_EQ(baseRand, figRecord(run, Strategy::kRandCast))
-        << "threads=" << threads;
-  }
-}
-
-TEST(ShardedDeterminism, JitteredLatencyOverlayAndRecordsBitIdentical) {
-  const auto base = buildTimed(1, latencyTiming());
-  const auto baseState = overlayFingerprint(base);
-  const auto baseMsgs = base.gossipMessagesSent();
-  const auto baseRing = figRecord(base, Strategy::kRingCast);
-  const auto baseRand = figRecord(base, Strategy::kRandCast);
-  // Latency must actually have been exercised: a uniform(1,4) model
-  // leaves some gossip traffic in flight across the freeze boundary.
-  ASSERT_GT(base.shardedEngine()->storedInFlight(), 0u);
-  for (const std::uint32_t threads : {2u, 8u}) {
-    const auto run = buildTimed(threads, latencyTiming());
-    EXPECT_EQ(baseState, overlayFingerprint(run)) << "threads=" << threads;
-    EXPECT_EQ(baseMsgs, run.gossipMessagesSent()) << "threads=" << threads;
-    EXPECT_EQ(baseRing, figRecord(run, Strategy::kRingCast))
-        << "threads=" << threads;
-    EXPECT_EQ(baseRand, figRecord(run, Strategy::kRandCast))
-        << "threads=" << threads;
-  }
-}
-
-Scenario buildTimedChurned(std::uint32_t threads, sim::TimingConfig timing) {
   auto scenario = Scenario::builder()
-                      .nodes(400)
-                      .seed(7)
+                      .nodes(600)
+                      .seed(42)
                       .engineThreads(threads)
-                      .warmupCycles(50)
+                      .warmupCycles(60)
                       .timing(timing)
                       .build();
-  scenario.runChurnUntilFullTurnover(/*rate=*/0.01, /*maxCycles=*/2'000);
+  EXPECT_EQ(scenario.shardedEngine()->threadCount(), threads);
   return scenario;
 }
 
-TEST(ShardedDeterminism, WindowedChurnBitIdenticalAcrossThreadCounts) {
-  for (const auto timing : {jitteredTiming(), latencyTiming()}) {
-    const auto base = buildTimedChurned(1, timing);
-    const auto baseState = overlayFingerprint(base);
-    const auto baseRecord = figRecord(base, Strategy::kRingCast);
-    const auto baseAlive = base.network().aliveIds();
-    const auto baseDropped = base.shardedEngine()->droppedDead();
-    ASSERT_EQ(base.network().initialSurvivors(), 0u);
-    ASSERT_GT(baseDropped, 0u);
-    for (const std::uint32_t threads : {2u, 8u}) {
-      const auto run = buildTimedChurned(threads, timing);
-      EXPECT_EQ(baseAlive, run.network().aliveIds())
-          << "threads=" << threads << " mode=" << timing.modeName();
-      EXPECT_EQ(baseState, overlayFingerprint(run))
-          << "threads=" << threads << " mode=" << timing.modeName();
-      EXPECT_EQ(baseRecord, figRecord(run, Strategy::kRingCast))
-          << "threads=" << threads << " mode=" << timing.modeName();
-      EXPECT_EQ(baseDropped, run.shardedEngine()->droppedDead())
-          << "threads=" << threads << " mode=" << timing.modeName();
-    }
-  }
+TEST(ShardedDeterminism, OverlayAndRecordsBitIdenticalPerTimingModel) {
+  harness::expectScenarioConformance(buildTimed, [](const Scenario& run) {
+    return StaticRecord{harness::overlayFingerprint(run),
+                        run.gossipMessagesSent(),
+                        run.shardedEngine()->storedInFlight(),
+                        figRecord(run, Strategy::kRingCast),
+                        figRecord(run, Strategy::kRandCast)};
+  });
+}
+
+TEST(ShardedDeterminism, LatencyModelLeavesTrafficInFlight) {
+  // The latency row of the table must actually exercise the in-flight
+  // store: a uniform(1,4) model leaves some gossip traffic crossing the
+  // freeze boundary.
+  const auto timed = buildTimed(
+      2, sim::TimingConfig::jitteredLatency(sim::LatencyModel::uniform(1, 4)));
+  EXPECT_GT(timed.shardedEngine()->storedInFlight(), 0u);
+}
+
+/// The fig11-style churn measurement: who survived, the overlay bytes,
+/// dissemination over it, and the engine's dead-drop bookkeeping.
+struct ChurnRecord {
+  std::vector<NodeId> alive;
+  std::vector<std::uint64_t> state;
+  FigRecord ring;
+  std::uint64_t droppedDead = 0;
+
+  friend bool operator==(const ChurnRecord&, const ChurnRecord&) = default;
+};
+
+TEST(ShardedDeterminism, ChurnOutcomesBitIdenticalPerTimingModel) {
+  harness::expectScenarioConformance(
+      [](std::uint32_t threads, sim::TimingConfig timing) {
+        auto scenario = Scenario::builder()
+                            .nodes(400)
+                            .seed(7)
+                            .engineThreads(threads)
+                            .warmupCycles(50)
+                            .timing(timing)
+                            .build();
+        // Heavy churn at small scale: full turnover in a few hundred
+        // cycles, exercising spawn-time bookkeeping growth and
+        // dead-node drops.
+        scenario.runChurnUntilFullTurnover(/*rate=*/0.01, /*maxCycles=*/2'000);
+        return scenario;
+      },
+      [](const Scenario& run) {
+        EXPECT_EQ(run.network().initialSurvivors(), 0u);
+        EXPECT_GT(run.shardedEngine()->droppedDead(), 0u);
+        return ChurnRecord{run.network().aliveIds(),
+                           harness::overlayFingerprint(run),
+                           figRecord(run, Strategy::kRingCast),
+                           run.shardedEngine()->droppedDead()};
+      });
 }
 
 TEST(ShardedDeterminism, SequentialAndShardedAgreeMacroscopically) {
   // Sequential-vs-sharded, per timing mode. Bit-identity is out of reach
-  // by design (see the comment atop the windowed section), so this pins
-  // the macroscopic agreement the paper's §7 argument actually needs:
-  // both engines self-organise an overlay whose frozen RINGCAST
-  // dissemination at F=3 reaches every node, with gossip volume within a
-  // few percent of each other (same protocols, same per-cycle step
-  // budget, different interleaving).
-  for (const auto timing :
-       {sim::TimingConfig::cycleSync(), jitteredTiming(), latencyTiming()}) {
+  // by design — the sequential Engine draws timer phases and latencies
+  // from shared instance RNGs in global execution order, which no
+  // shard-local schedule can reproduce — so this pins the macroscopic
+  // agreement the paper's §7 argument actually needs: both engines
+  // self-organise an overlay whose frozen RINGCAST dissemination at F=3
+  // reaches every node, with gossip volume within a few percent of each
+  // other (same protocols, same per-cycle step budget, different
+  // interleaving).
+  for (const auto& timingCase : harness::conformanceTimings()) {
     const auto sequential = Scenario::builder()
                                 .nodes(600)
                                 .seed(42)
                                 .warmupCycles(60)
-                                .timing(timing)
+                                .timing(timingCase.timing)
                                 .build();
-    const auto sharded = buildTimed(4, timing);
+    const auto sharded = buildTimed(4, timingCase.timing);
     for (const Scenario* scenario : {&sequential, &sharded}) {
       auto session = scenario->snapshotSession(
           {.strategy = Strategy::kRingCast, .fanout = 3, .seed = 5});
       const auto report = session.publishFromRandom();
       EXPECT_TRUE(report.complete())
-          << "mode=" << timing.modeName()
+          << "mode=" << timingCase.name
           << " sharded=" << (scenario == &sharded) << " missed "
           << report.missed.size() << " of " << report.aliveTotal;
     }
     const auto seqMsgs = static_cast<double>(sequential.gossipMessagesSent());
     const auto shardMsgs = static_cast<double>(sharded.gossipMessagesSent());
     EXPECT_NEAR(shardMsgs / seqMsgs, 1.0, 0.05)
-        << "mode=" << timing.modeName() << " sequential=" << seqMsgs
+        << "mode=" << timingCase.name << " sequential=" << seqMsgs
         << " sharded=" << shardMsgs;
   }
 }
@@ -267,7 +164,7 @@ TEST(ShardedDeterminism, ShardedModeBuildsAWorkingRing) {
   // Sanity beyond self-consistency: the parallel semantics must still
   // *converge* — after warm-up the frozen RINGCAST overlay at F=3
   // reaches everyone (the paper's §7.1 headline result).
-  const auto scenario = buildStatic(4);
+  const auto scenario = buildTimed(4, sim::TimingConfig::cycleSync());
   auto session = scenario.snapshotSession(
       {.strategy = Strategy::kRingCast, .fanout = 3, .seed = 5});
   const auto report = session.publishFromRandom();

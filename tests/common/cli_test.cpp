@@ -210,6 +210,55 @@ TEST(Cli, GetChoiceFarValueListsChoicesWithoutSuggestion) {
   }
 }
 
+// The --search vocabulary of bench/search_workload, exercising the
+// did-you-mean rules the timing choices never hit: case folding and
+// unique-prefix completion.
+const std::vector<std::string> kSearchChoices = {"ttlgossip", "flood",
+                                                 "randomwalk"};
+
+std::string searchChoiceFailure(const char* value) {
+  CliParser parser("p");
+  parser.option("search", "search strategy");
+  std::vector<const char*> argv{"prog", "--search", value};
+  const auto args = parser.parse(static_cast<int>(argv.size()), argv.data());
+  try {
+    args->getChoice("search", kSearchChoices, 0);
+    ADD_FAILURE() << "expected std::invalid_argument for '" << value << "'";
+    return {};
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+}
+
+TEST(Cli, GetChoiceSuggestionIsCaseInsensitive) {
+  // Shouting the right value is a near-miss, not an unrecognisable one.
+  EXPECT_NE(searchChoiceFailure("FLOOD").find("did you mean 'flood'?"),
+            std::string::npos);
+  EXPECT_NE(searchChoiceFailure("RandomWalk").find("did you mean "
+                                                   "'randomwalk'?"),
+            std::string::npos);
+}
+
+TEST(Cli, GetChoiceCompletesUniquePrefixes) {
+  // "rand" is 6 edits from "randomwalk" — only prefix completion can
+  // rescue it. Ambiguous or too-short prefixes must stay suggestion-free.
+  EXPECT_NE(searchChoiceFailure("rand").find("did you mean 'randomwalk'?"),
+            std::string::npos);
+  EXPECT_NE(searchChoiceFailure("ttl").find("did you mean 'ttlgossip'?"),
+            std::string::npos);
+  EXPECT_EQ(searchChoiceFailure("xyzzyxplugh").find("did you mean"),
+            std::string::npos);
+}
+
+TEST(Cli, GetChoiceStillRejectsNearMissesLoudly) {
+  // The suggestion never silently falls back: the error still names the
+  // option and lists the full vocabulary.
+  const auto what = searchChoiceFailure("flod");
+  EXPECT_NE(what.find("--search"), std::string::npos);
+  EXPECT_NE(what.find("did you mean 'flood'?"), std::string::npos);
+  EXPECT_NE(what.find("ttlgossip flood randomwalk"), std::string::npos);
+}
+
 TEST(Cli, GetChoiceRejectsBadFallback) {
   CliParser parser("p");
   parser.option("timing", "timing model");

@@ -1,0 +1,85 @@
+// The search workload under the cross-model conformance table: for each
+// timing model {cyclesync, jittered, latency}, a full scenario built at
+// --engine-threads 1, 2 and 8 must freeze bit-identical overlays and
+// therefore produce bit-identical SearchReports for every strategy.
+//
+// This is the tentpole guarantee of the query subsystem: QuerySession is
+// a pure function of (frozen overlay, options), so search results are
+// exactly as reproducible as the sharded engine's overlay state.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/scenario.hpp"
+#include "harness/conformance.hpp"
+#include "search/query.hpp"
+
+namespace vs07::search {
+namespace {
+
+/// Everything the workload measures, for one scenario: the overlay
+/// fingerprint plus one report per strategy (caches exercised on the
+/// gossip strategy, cache-free baselines alongside).
+struct SearchRecord {
+  std::vector<std::uint64_t> overlayState;
+  SearchReport gossip;
+  SearchReport flood;
+  SearchReport walk;
+  std::uint64_t gossipCachedEntries = 0;
+
+  friend bool operator==(const SearchRecord&, const SearchRecord&) = default;
+};
+
+SearchRecord searchRecord(const analysis::Scenario& scenario) {
+  SearchRecord record;
+  record.overlayState = harness::overlayFingerprint(scenario);
+  auto gossip = scenario.querySession(QueryOptions::ttlGossip(6, 2));
+  record.gossip = gossip.run(200);
+  record.gossipCachedEntries = gossip.cachedEntries();
+  record.flood = scenario.querySession(QueryOptions::flood(6)).run(200);
+  record.walk = scenario.querySession(QueryOptions::randomWalk(4, 6)).run(200);
+  return record;
+}
+
+TEST(SearchConformance, ReportsBitIdenticalAcrossThreadCountsPerTiming) {
+  harness::expectScenarioConformance(
+      [](std::uint32_t threads, sim::TimingConfig timing) {
+        return analysis::Scenario::builder()
+            .nodes(400)
+            .seed(42)
+            .engineThreads(threads)
+            .warmupCycles(50)
+            .timing(timing)
+            .build();
+      },
+      searchRecord);
+}
+
+TEST(SearchConformance, FailedOverlaySearchBitIdenticalAcrossThreadCounts) {
+  // Same table after a §7.2-style failure burst: snapshots keep links
+  // pointing at the dead nodes, so queries pay messagesToDead — and that
+  // loss bookkeeping must be thread-invariant too.
+  harness::expectScenarioConformance(
+      [](std::uint32_t threads, sim::TimingConfig timing) {
+        auto scenario = analysis::Scenario::builder()
+                            .nodes(300)
+                            .seed(7)
+                            .engineThreads(threads)
+                            .warmupCycles(40)
+                            .timing(timing)
+                            .build();
+        scenario.killRandomFraction(0.2);
+        return scenario;
+      },
+      [](const analysis::Scenario& scenario) {
+        auto record = searchRecord(scenario);
+        EXPECT_GT(record.gossip.messagesToDead + record.flood.messagesToDead,
+                  0u)
+            << "churn must leave dead links for queries to hit";
+        return record;
+      });
+}
+
+}  // namespace
+}  // namespace vs07::search

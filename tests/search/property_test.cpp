@@ -1,0 +1,131 @@
+// Property-based pins for the query layer — invariants that hold by
+// construction, checked against live scenarios rather than fixtures:
+//
+//   * flood resolves *everything* once TTL covers the overlay diameter
+//     (on a strongly connected alive graph),
+//   * k random walks never bill more than k * TTL messages per query,
+//   * enabling the local-knowledge cache can only help: at equal
+//     (ttl, fanout) budget the hit rate dominates and the message bill
+//     does not grow (the cache never routes, it only resolves).
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/graph_analysis.hpp"
+#include "analysis/scenario.hpp"
+#include "search/query.hpp"
+
+namespace vs07::search {
+namespace {
+
+analysis::Scenario quickScenario() {
+  return analysis::Scenario::builder()
+      .nodes(400)
+      .seed(42)
+      .warmupCycles(50)
+      .build();
+}
+
+/// Directed diameter of a dense-indexed adjacency (BFS from every node).
+/// Requires strong connectivity — asserted by the caller.
+std::uint32_t directedDiameter(
+    const std::vector<std::vector<std::uint32_t>>& adjacency) {
+  const auto n = adjacency.size();
+  std::uint32_t diameter = 0;
+  std::vector<std::uint32_t> dist(n);
+  for (std::uint32_t source = 0; source < n; ++source) {
+    std::fill(dist.begin(), dist.end(), ~std::uint32_t{0});
+    std::queue<std::uint32_t> frontier;
+    dist[source] = 0;
+    frontier.push(source);
+    while (!frontier.empty()) {
+      const auto at = frontier.front();
+      frontier.pop();
+      for (const auto to : adjacency[at]) {
+        if (dist[to] != ~std::uint32_t{0}) continue;
+        dist[to] = dist[at] + 1;
+        diameter = std::max(diameter, dist[to]);
+        frontier.push(to);
+      }
+    }
+  }
+  return diameter;
+}
+
+TEST(SearchProperty, FloodResolvesEverythingOnceTtlCoversTheDiameter) {
+  const auto scenario = quickScenario();
+  const auto overlay = scenario.snapshotRing();
+  const auto adjacency = analysis::aliveAdjacency(overlay);
+  ASSERT_EQ(analysis::stronglyConnectedComponentCount(adjacency), 1u)
+      << "warm static overlay must be strongly connected";
+  const auto diameter = directedDiameter(adjacency);
+  ASSERT_GE(diameter, 2u);  // non-trivial: flooding actually has to hop
+
+  auto session = scenario.querySession(QueryOptions::flood(diameter));
+  const auto report = session.run(300);
+  EXPECT_EQ(report.resolved, report.queries)
+      << "diameter=" << diameter << " " << report;
+  EXPECT_EQ(report.cacheResolved, 0u);  // flood preset runs cache-free
+}
+
+TEST(SearchProperty, RandomWalkBudgetIsBounded) {
+  const auto scenario = quickScenario();
+  for (const std::uint32_t walkers : {1u, 4u, 8u}) {
+    auto session =
+        scenario.querySession(QueryOptions::randomWalk(walkers, /*ttl=*/6));
+    const auto report = session.run(200);
+    // Each walker takes at most one step per TTL tick, and each step is
+    // exactly one message — absorbed walkers stop billing.
+    EXPECT_LE(report.messagesTotal,
+              report.queries * walkers * session.options().ttl)
+        << "walkers=" << walkers;
+    EXPECT_GT(report.messagesTotal, 0u);
+  }
+}
+
+TEST(SearchProperty, CacheDominatesCacheFreeAtEqualBudget) {
+  // The forwarding rng never consults the cache, so until the first
+  // cache resolution a cached and a cache-free run of the same query are
+  // step-identical. A cache entry can therefore only convert an
+  // unresolved query into a resolved one (never the reverse), and an
+  // early resolution only cancels forwarding that the cache-free run
+  // still pays for. Hence at equal (ttl, fanout, seed):
+  //   resolved(cache) >= resolved(no cache)
+  //   messages(cache) <= messages(no cache)
+  const auto scenario = quickScenario();
+  for (const std::uint32_t ttl : {3u, 5u, 8u}) {
+    auto cached = QueryOptions::ttlGossip(ttl, 2);
+    auto cacheFree = cached;
+    cacheFree.cacheCapacity = 0;
+    auto withCache = scenario.querySession(cached);
+    auto withoutCache = scenario.querySession(cacheFree);
+    const auto cachedReport = withCache.run(400);
+    const auto plainReport = withoutCache.run(400);
+    EXPECT_GE(cachedReport.resolved, plainReport.resolved) << "ttl=" << ttl;
+    EXPECT_LE(cachedReport.messagesTotal, plainReport.messagesTotal)
+        << "ttl=" << ttl;
+    // Identical workload composition: same origins, same items.
+    EXPECT_EQ(cachedReport.queries, plainReport.queries);
+  }
+}
+
+TEST(SearchProperty, HigherReplicationNeverHurtsTheFloodHitRate) {
+  // More copies can only shorten the distance to the nearest holder, so
+  // at a TTL below the diameter the flood hit rate is monotone in the
+  // replication factor (same overlay, same origin/item streams).
+  const auto scenario = quickScenario();
+  double previous = -1.0;
+  for (const std::uint32_t replication : {1u, 4u, 16u}) {
+    auto options = QueryOptions::flood(/*ttl=*/2);
+    options.replication = replication;
+    auto session = scenario.querySession(options);
+    const auto rate = session.run(400).hitRatePercent();
+    EXPECT_GE(rate, previous) << "replication=" << replication;
+    previous = rate;
+  }
+}
+
+}  // namespace
+}  // namespace vs07::search
